@@ -1,0 +1,70 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. Algorithm 4 literal ELSE BREAK vs the corrected window scan.
+//  2. Prediction disabled entirely (NeverPredictor semantics via the
+//     proactive policy with prediction unusable == reactive behaviour) —
+//     covered by the reactive row.
+//  3. The control plane's proactive resume operation disabled (proactive
+//     pauses without pre-warm).
+//  4. Pre-warm restore after capacity evictions on/off.
+//  5. Weekly vs daily seasonality.
+
+#include "bench/bench_util.h"
+
+using namespace prorp;         // NOLINT: bench brevity
+using namespace prorp::bench;  // NOLINT
+
+int main() {
+  PrintHeader("Ablation: contribution of each ProRP design choice (EU1)",
+              "each row removes or alters one mechanism; compare QoS and "
+              "idle against the full proactive configuration");
+  FleetSetup setup = MakeFleet(workload::RegionEU1(), 3000, 3);
+
+  struct Variant {
+    std::string name;
+    sim::SimOptions options;
+  };
+  std::vector<Variant> variants;
+
+  variants.push_back({"reactive baseline",
+                      MakeOptions(setup, policy::PolicyMode::kReactive)});
+  variants.push_back({"proactive (full)",
+                      MakeOptions(setup, policy::PolicyMode::kProactive)});
+  {
+    auto o = MakeOptions(setup, policy::PolicyMode::kProactive);
+    o.config.policy.prediction.literal_break = true;
+    variants.push_back({"literal ELSE BREAK (Alg 4 as printed)", o});
+  }
+  {
+    auto o = MakeOptions(setup, policy::PolicyMode::kProactive);
+    o.proactive_resume_enabled = false;
+    variants.push_back({"no proactive resume op", o});
+  }
+  {
+    auto o = MakeOptions(setup, policy::PolicyMode::kProactive);
+    o.config.policy.eviction_restore_delay = 0;
+    variants.push_back({"no pre-warm restore after eviction", o});
+  }
+  {
+    auto o = MakeOptions(setup, policy::PolicyMode::kProactive);
+    o.config.policy.prediction.seasonality = Weeks(1);
+    o.config.policy.prediction.prediction_horizon = Days(1);
+    variants.push_back({"weekly seasonality (horizon 1d)", o});
+  }
+
+  std::printf("%-40s %7s %7s %7s %9s\n", "variant", "QoS%", "idle%",
+              "wrong%", "resumes");
+  for (const Variant& v : variants) {
+    auto report = sim::RunFleetSimulation(setup.traces, v.options);
+    if (!report.ok()) {
+      std::printf("%-40s FAILED: %s\n", v.name.c_str(),
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-40s %7.1f %7.1f %7.1f %9llu\n", v.name.c_str(),
+                report->kpi.QosAvailablePct(), report->kpi.IdleTotalPct(),
+                report->kpi.idle_proactive_wrong_pct,
+                static_cast<unsigned long long>(
+                    report->kpi.proactive_resumes));
+  }
+  return 0;
+}

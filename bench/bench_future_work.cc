@@ -1,0 +1,169 @@
+// The paper's Section 11 future-work directions, implemented and measured:
+//  (1) proactive auto-scale in small increments of capacity — FixedScaler
+//      vs ReactiveScaler vs ProactiveScaler on recurring multi-level
+//      demand (generalizes Figure 2 beyond binary allocation);
+//  (4) maintenance scheduling aligned with predicted customer activity —
+//      fixed-hour vs prediction-aligned backup scheduling (the Seagull
+//      idea folded into ProRP).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "forecast/fast_predictor.h"
+#include "maintenance/scheduler.h"
+#include "scaling/autoscaler.h"
+
+using namespace prorp;         // NOLINT: bench brevity
+using namespace prorp::bench;  // NOLINT
+
+namespace {
+
+void RunAutoScale() {
+  PrintHeader("Future work 1: auto-scale in small capacity increments",
+              "the proactive scaler pre-scales ahead of recurring ramps: "
+              "less throttling than reactive at far less over-provisioning "
+              "than fixed capacity");
+  scaling::CapacityLadder ladder({0, 0.5, 1, 2, 4, 8});
+  EpochSeconds from = kT0;
+  EpochSeconds to = kT0 + Days(14);
+  scaling::ScalingSimOptions options;
+
+  // A small fleet of recurring-demand databases.
+  const int kDbs = 50;
+  std::printf("%-10s %14s %14s %12s %12s\n", "scaler", "throttled vc-h",
+              "avoidable %", "overprov %", "scale ops");
+  double floor_vcs = 0;  // fixed capacity's unavoidable SKU-limit throttle
+  for (int which = 0; which < 3; ++which) {
+    double throttled_vcs = 0, demand_vcs = 0, overprov_vcs = 0,
+           alloc_vcs = 0;
+    uint64_t ops = 0;
+    std::string name;
+    for (int db = 0; db < kDbs; ++db) {
+      Rng rng(1000 + db);
+      scaling::DemandTrace trace = scaling::GenerateDailyDemandTrace(
+          from, to, /*peak=*/1.5 + (db % 4) * 1.5, rng);
+      std::unique_ptr<scaling::AutoScaler> scaler;
+      if (which == 0) {
+        scaler = std::make_unique<scaling::FixedScaler>(ladder);
+      } else if (which == 1) {
+        scaler = std::make_unique<scaling::ReactiveScaler>(ladder);
+      } else {
+        scaler = std::make_unique<scaling::ProactiveScaler>(ladder);
+      }
+      name = scaler->name();
+      auto report = scaling::ReplayDemandTrace(trace, *scaler, from, to,
+                                               options);
+      if (!report.ok()) return;
+      throttled_vcs += report->throttled_vcore_seconds;
+      demand_vcs += report->demand_vcore_seconds;
+      overprov_vcs += report->overprov_vcore_seconds;
+      alloc_vcs += report->allocated_vcore_seconds;
+      ops += report->scale_ups + report->scale_downs;
+    }
+    if (which == 0) floor_vcs = throttled_vcs;
+    double avoidable = throttled_vcs - floor_vcs;
+    std::printf("%-10s %14.1f %13.2f%% %11.1f%% %12llu\n", name.c_str(),
+                throttled_vcs / 3600.0,
+                demand_vcs == 0 ? 0 : 100.0 * avoidable / demand_vcs,
+                alloc_vcs == 0 ? 0 : 100.0 * overprov_vcs / alloc_vcs,
+                static_cast<unsigned long long>(ops));
+  }
+}
+
+void RunMaintenance() {
+  PrintHeader("Future work 4: maintenance aligned with predicted activity",
+              "scheduling backups inside the predicted customer-activity "
+              "window avoids dedicated resume/pause cycles");
+  EpochSeconds from = kMeasureFrom;
+  EpochSeconds to = from + Days(7);
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 400, kT0,
+                                        to, 77);
+  PredictionConfig cfg;
+  forecast::FastPredictor predictor(cfg);
+  maintenance::FixedHourScheduler fixed(Hours(3));
+  maintenance::PredictionAlignedScheduler aligned(&predictor);
+
+  maintenance::MaintenanceReport naive_total, aligned_total;
+  maintenance::MaintenanceReport naive_daily, aligned_daily;
+  for (const auto& trace : traces) {
+    if (trace.sessions.empty()) continue;
+    auto a = maintenance::ReplayMaintenance(trace, fixed, from, to);
+    auto b = maintenance::ReplayMaintenance(trace, aligned, from, to);
+    if (!a.ok() || !b.ok()) return;
+    bool daily = trace.pattern == workload::PatternType::kDailyBusiness ||
+                 trace.pattern == workload::PatternType::kDaily;
+    auto add = [](maintenance::MaintenanceReport& sum,
+                  const maintenance::MaintenanceReport& r) {
+      sum.ops_total += r.ops_total;
+      sum.ops_during_activity += r.ops_during_activity;
+      sum.ops_dedicated_resume += r.ops_dedicated_resume;
+    };
+    add(naive_total, *a);
+    add(aligned_total, *b);
+    if (daily) {
+      add(naive_daily, *a);
+      add(aligned_daily, *b);
+    }
+  }
+  std::printf("%-22s %10s %16s %18s\n", "scheduler", "ops",
+              "co-scheduled %", "dedicated resumes");
+  std::printf("%-22s %10llu %15.1f%% %18llu\n", "fixed 03:00",
+              static_cast<unsigned long long>(naive_total.ops_total),
+              naive_total.CoScheduledPct(),
+              static_cast<unsigned long long>(
+                  naive_total.ops_dedicated_resume));
+  std::printf("%-22s %10llu %15.1f%% %18llu\n", "prediction-aligned",
+              static_cast<unsigned long long>(aligned_total.ops_total),
+              aligned_total.CoScheduledPct(),
+              static_cast<unsigned long long>(
+                  aligned_total.ops_dedicated_resume));
+  std::printf("\n(daily-patterned databases only)\n");
+  std::printf("%-22s %10llu %15.1f%% %18llu\n", "fixed 03:00",
+              static_cast<unsigned long long>(naive_daily.ops_total),
+              naive_daily.CoScheduledPct(),
+              static_cast<unsigned long long>(
+                  naive_daily.ops_dedicated_resume));
+  std::printf("%-22s %10llu %15.1f%% %18llu\n", "prediction-aligned",
+              static_cast<unsigned long long>(aligned_daily.ops_total),
+              aligned_daily.CoScheduledPct(),
+              static_cast<unsigned long long>(
+                  aligned_daily.ops_dedicated_resume));
+}
+
+void RunMachineSavings() {
+  PrintHeader("Future work 3: alignment with tenant placement",
+              "reclaimed resources only save money if they reduce the "
+              "number of physical machines; peak concurrent allocation is "
+              "the machine count driver");
+  FleetSetup setup = MakeFleet(workload::RegionEU1(), 4000, 2);
+  const double kDbsPerNode = 50;  // packing density
+  std::printf("%-10s %18s %18s %16s\n", "policy", "mean allocated",
+              "peak allocated", "machines (peak)");
+  for (auto mode :
+       {policy::PolicyMode::kAlwaysOn, policy::PolicyMode::kReactive,
+        policy::PolicyMode::kProactive}) {
+    auto report =
+        sim::RunFleetSimulation(setup.traces, MakeOptions(setup, mode));
+    if (!report.ok()) return;
+    double mean = report->allocated_samples.Mean();
+    double peak = report->allocated_samples.Max();
+    std::printf("%-10s %18.0f %18.0f %16.0f\n",
+                std::string(policy::PolicyModeName(mode)).c_str(), mean,
+                peak, std::ceil(peak / kDbsPerNode));
+  }
+  std::printf("\nThe proactive policy's extra pre-warms raise allocation "
+              "slightly above\nreactive; both are far below fixed "
+              "provisioning.  Packing the paused\nmajority tighter is the "
+              "tenant-placement opportunity the paper cites.\n");
+}
+
+}  // namespace
+
+int main() {
+  RunAutoScale();
+  std::printf("\n");
+  RunMaintenance();
+  std::printf("\n");
+  RunMachineSavings();
+  return 0;
+}

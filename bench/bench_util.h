@@ -1,0 +1,67 @@
+#ifndef PRORP_BENCH_BENCH_UTIL_H_
+#define PRORP_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the figure-reproduction harnesses.  Every bench prints
+// the same rows/series the paper's figure reports, prefixed with the
+// paper's expected band so the shape comparison is one glance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/fleet_simulator.h"
+#include "workload/region.h"
+
+namespace prorp::bench {
+
+/// Simulation anchor: day 1005 is a Monday 00:00 UTC.
+inline constexpr EpochSeconds kT0 = Days(1005);
+/// Warm-up equals the default history length.
+inline constexpr EpochSeconds kMeasureFrom = kT0 + Days(28);
+
+struct FleetSetup {
+  workload::RegionProfile profile;
+  std::vector<workload::DbTrace> traces;
+  EpochSeconds measure_from = kMeasureFrom;
+  EpochSeconds end = 0;
+};
+
+/// Generates a fleet with warm-up plus `eval_days` of evaluation.
+inline FleetSetup MakeFleet(const workload::RegionProfile& profile,
+                            size_t num_dbs, int eval_days,
+                            uint64_t seed = 2024) {
+  FleetSetup setup;
+  setup.profile = profile;
+  setup.end = kMeasureFrom + Days(eval_days);
+  setup.traces = workload::GenerateFleet(profile, num_dbs, kT0, setup.end,
+                                         seed, kMeasureFrom);
+  return setup;
+}
+
+inline sim::SimOptions MakeOptions(const FleetSetup& setup,
+                                   policy::PolicyMode mode,
+                                   uint64_t seed = 7) {
+  sim::SimOptions options;
+  options.mode = mode;
+  options.measure_from = setup.measure_from;
+  options.end = setup.end;
+  options.eviction_per_hour = setup.profile.eviction_per_hour;
+  options.seed = seed;
+  return options;
+}
+
+inline void PrintHeader(const char* figure, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintKpiRow(const std::string& label,
+                        const telemetry::KpiReport& kpi) {
+  std::printf("%-16s %s\n", label.c_str(), kpi.ToString().c_str());
+}
+
+}  // namespace prorp::bench
+
+#endif  // PRORP_BENCH_BENCH_UTIL_H_

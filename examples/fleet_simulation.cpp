@@ -1,0 +1,103 @@
+// Region-scale simulation: generates a synthetic serverless fleet for one
+// of the EU1/EU2/US1/US2 profiles and compares the reactive baseline, the
+// ProRP proactive policy, and a fixed (always-on) allocation.
+//
+// Usage: fleet_simulation [region=EU1] [num_dbs=2000] [eval_days=4]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/fleet_simulator.h"
+#include "telemetry/region_report.h"
+#include "workload/region.h"
+
+using namespace prorp;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  std::string region_name = argc > 1 ? argv[1] : "EU1";
+  size_t num_dbs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2000;
+  int eval_days = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  workload::RegionProfile profile;
+  bool found = false;
+  for (const auto& candidate : workload::AllRegions()) {
+    if (candidate.name == region_name) {
+      profile = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::printf("unknown region '%s' (use EU1, EU2, US1, US2)\n",
+                region_name.c_str());
+    return 1;
+  }
+
+  EpochSeconds t0 = Days(1005);
+  EpochSeconds measure_from = t0 + Days(28);  // warm-up = history length
+  EpochSeconds end = measure_from + Days(eval_days);
+  std::printf("Generating %zu databases for region %s "
+              "(28 warm-up days + %d evaluation days)...\n",
+              num_dbs, profile.name.c_str(), eval_days);
+  auto traces = workload::GenerateFleet(profile, num_dbs, t0, end, 2024,
+                                        measure_from);
+  auto gaps = workload::ComputeGapStats(traces);
+  std::printf("idle-gap fragmentation: %.0f%% of gaps < 1h, "
+              "contributing %.1f%% of idle time\n\n",
+              100 * gaps.short_gap_count_fraction,
+              100 * gaps.short_gap_duration_fraction);
+
+  std::printf("%-10s %s\n", "policy", "KPI report (Section 8 metrics)");
+  telemetry::KpiReport reactive_kpi, proactive_kpi;
+  for (auto mode :
+       {policy::PolicyMode::kReactive, policy::PolicyMode::kProactive,
+        policy::PolicyMode::kAlwaysOn}) {
+    sim::SimOptions options;
+    options.mode = mode;
+    options.measure_from = measure_from;
+    options.end = end;
+    options.eviction_per_hour = profile.eviction_per_hour;
+    options.seed = 7;
+    auto report = sim::RunFleetSimulation(traces, options);
+    if (!report.ok()) {
+      std::printf("simulation failed: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %s\n",
+                std::string(policy::PolicyModeName(mode)).c_str(),
+                report->kpi.ToString().c_str());
+    if (mode == policy::PolicyMode::kReactive) reactive_kpi = report->kpi;
+    if (mode == policy::PolicyMode::kProactive) proactive_kpi = report->kpi;
+    if (mode == policy::PolicyMode::kProactive) {
+      std::printf("%-10s   proactive resumes=%llu physical pauses=%llu "
+                  "incidents=%llu\n",
+                  "",
+                  static_cast<unsigned long long>(
+                      report->kpi.proactive_resumes),
+                  static_cast<unsigned long long>(
+                      report->kpi.physical_pauses),
+                  static_cast<unsigned long long>(
+                      report->diagnostics.incidents));
+    }
+  }
+  std::printf(
+      "\nReading guide: the proactive policy should serve 80-90%% of first\n"
+      "logins with resources available (reactive: 60-68%%) at a modest\n"
+      "increase in idle time split across logical pauses and correct/wrong\n"
+      "proactive resumes (paper Figures 6-7).\n");
+
+  // The monitoring dashboard's view of the same run.
+  telemetry::RegionReportInput report_input;
+  report_input.region_name = profile.name;
+  report_input.policy_name = "proactive";
+  report_input.from = measure_from;
+  report_input.to = end;
+  report_input.num_databases = num_dbs;
+  report_input.kpi = proactive_kpi;
+  report_input.baseline = &reactive_kpi;
+  report_input.baseline_name = "reactive";
+  std::printf("\n%s",
+              telemetry::RenderRegionReport(report_input).c_str());
+  return 0;
+}

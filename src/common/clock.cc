@@ -1,0 +1,11 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+namespace prorp {
+
+EpochSeconds SystemClock::Now() const {
+  return static_cast<EpochSeconds>(std::time(nullptr));
+}
+
+}  // namespace prorp

@@ -1,0 +1,41 @@
+#ifndef PRORP_COMMON_CLOCK_H_
+#define PRORP_COMMON_CLOCK_H_
+
+#include "common/time_util.h"
+
+namespace prorp {
+
+/// Source of "now" for components that must run both against the real wall
+/// clock (production-style usage of the library) and against the simulated
+/// clock of the fleet simulator.  Implementations: SystemClock below and
+/// sim::SimClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in epoch seconds.
+  virtual EpochSeconds Now() const = 0;
+};
+
+/// Wall-clock implementation backed by time(2).
+class SystemClock : public Clock {
+ public:
+  EpochSeconds Now() const override;
+};
+
+/// Fixed, manually advanced clock; handy in unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(EpochSeconds start = 0) : now_(start) {}
+
+  EpochSeconds Now() const override { return now_; }
+  void Set(EpochSeconds t) { now_ = t; }
+  void Advance(DurationSeconds d) { now_ += d; }
+
+ private:
+  EpochSeconds now_;
+};
+
+}  // namespace prorp
+
+#endif  // PRORP_COMMON_CLOCK_H_

@@ -1,0 +1,93 @@
+#include "common/config.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace prorp {
+
+Status PredictionConfig::Validate() const {
+  if (history_length <= 0) {
+    return Status::InvalidArgument("history_length must be positive");
+  }
+  if (prediction_horizon <= 0) {
+    return Status::InvalidArgument("prediction_horizon must be positive");
+  }
+  if (window_size <= 0) {
+    return Status::InvalidArgument("window_size must be positive");
+  }
+  if (window_slide <= 0) {
+    return Status::InvalidArgument("window_slide must be positive");
+  }
+  if (window_slide > window_size) {
+    return Status::InvalidArgument(
+        "window_slide must not exceed window_size (windows would skip time)");
+  }
+  if (confidence_threshold < 0.0 || confidence_threshold > 1.0) {
+    return Status::InvalidArgument("confidence_threshold must be in [0, 1]");
+  }
+  if (seasonality <= 0) {
+    return Status::InvalidArgument("seasonality must be positive");
+  }
+  if (prediction_horizon > seasonality) {
+    return Status::InvalidArgument(
+        "prediction_horizon must not exceed the seasonality period; the "
+        "pattern repeats after one season");
+  }
+  if (history_length < seasonality) {
+    return Status::InvalidArgument(
+        "history_length must cover at least one season");
+  }
+  return Status::OK();
+}
+
+int64_t PredictionConfig::NumWindows() const {
+  if (window_size > prediction_horizon) return 0;
+  return (prediction_horizon - window_size) / window_slide + 1;
+}
+
+int64_t PredictionConfig::NumSeasons() const {
+  return history_length / seasonality;
+}
+
+Status PolicyConfig::Validate() const {
+  if (logical_pause_duration <= 0) {
+    return Status::InvalidArgument("logical_pause_duration must be positive");
+  }
+  return prediction.Validate();
+}
+
+Status ControlPlaneConfig::Validate() const {
+  if (prewarm_interval < 0) {
+    return Status::InvalidArgument("prewarm_interval must be non-negative");
+  }
+  if (resume_operation_period <= 0) {
+    return Status::InvalidArgument(
+        "resume_operation_period must be positive");
+  }
+  return Status::OK();
+}
+
+Status ProrpConfig::Validate() const {
+  PRORP_RETURN_IF_ERROR(policy.Validate());
+  return control_plane.Validate();
+}
+
+std::string ProrpConfig::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "l=%" PRId64 "h h=%" PRId64 "d p=%" PRId64 "h c=%.2f w=%" PRId64
+      "h s=%" PRId64 "m season=%" PRId64 "d k=%" PRId64 "m op=%" PRId64 "m",
+      policy.logical_pause_duration / kSecondsPerHour,
+      policy.prediction.history_length / kSecondsPerDay,
+      policy.prediction.prediction_horizon / kSecondsPerHour,
+      policy.prediction.confidence_threshold,
+      policy.prediction.window_size / kSecondsPerHour,
+      policy.prediction.window_slide / kSecondsPerMinute,
+      policy.prediction.seasonality / kSecondsPerDay,
+      control_plane.prewarm_interval / kSecondsPerMinute,
+      control_plane.resume_operation_period / kSecondsPerMinute);
+  return buf;
+}
+
+}  // namespace prorp

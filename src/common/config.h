@@ -1,0 +1,104 @@
+#ifndef PRORP_COMMON_CONFIG_H_
+#define PRORP_COMMON_CONFIG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/time_util.h"
+
+namespace prorp {
+
+/// Configuration knobs of the next-activity prediction (Algorithm 4).
+/// Defaults are the paper's Table 1 values.
+struct PredictionConfig {
+  /// h: history retention length.  Only this much recent customer activity
+  /// is kept and analyzed (default 28 days = 4 weeks).
+  DurationSeconds history_length = Days(28);
+
+  /// p: prediction horizon; the algorithm looks for activity within
+  /// [now, now + p] (default 1 day, matching daily seasonality).
+  DurationSeconds prediction_horizon = Days(1);
+
+  /// c: confidence threshold; a window predicts activity only if the
+  /// fraction of past seasons whose matching window contained a login is at
+  /// least c (default 0.1).
+  double confidence_threshold = 0.1;
+
+  /// w: window size (default 7 hours).
+  DurationSeconds window_size = Hours(7);
+
+  /// s: window slide (default 5 minutes).
+  DurationSeconds window_slide = Minutes(5);
+
+  /// Seasonality period: 1 day for a daily pattern (the default), 7 days
+  /// for a weekly pattern.  The inner loop of Algorithm 4 looks back at the
+  /// same window shifted by multiples of this period.
+  DurationSeconds seasonality = Days(1);
+
+  /// Ablation flag: when true, reproduces the literally printed control
+  /// flow of Algorithm 4, whose ELSE BREAK exits the outer loop at the
+  /// first window below the confidence threshold.  See DESIGN.md section 3.
+  bool literal_break = false;
+
+  /// Validates parameter sanity (positive durations, c in [0,1],
+  /// slide <= window, horizon covered by history).
+  Status Validate() const;
+
+  /// Number of sliding-window positions the outer loop evaluates,
+  /// i.e. the number of windows fitting in the horizon: at most
+  /// (p - w) / s + 1 (zero when w > p).
+  int64_t NumWindows() const;
+
+  /// Number of past seasons the inner loop inspects: h / seasonality.
+  int64_t NumSeasons() const;
+};
+
+/// Configuration of the proactive resource allocation policy (Algorithm 1).
+struct PolicyConfig {
+  /// l: duration of logical pause (default 7 hours).  A new database (or an
+  /// old one with activity predicted to start within l) stays logically
+  /// paused this long before resources are physically reclaimed.
+  DurationSeconds logical_pause_duration = Hours(7);
+
+  /// When node capacity pressure forcibly reclaims a pre-warm that the
+  /// control plane established ahead of predicted activity (and the
+  /// predicted window is still ahead), the pre-warm is re-scheduled at
+  /// least this far in the future so it can be re-established, typically
+  /// on a less loaded node.  Applies ONLY to control-plane pre-warms;
+  /// ordinary logical pauses are not restored, so pressure still relieves
+  /// the node.  0 disables restore (ablation).
+  DurationSeconds eviction_restore_delay = Minutes(8);
+
+  PredictionConfig prediction;
+
+  Status Validate() const;
+};
+
+/// Configuration of the control-plane management service (Algorithm 5).
+struct ControlPlaneConfig {
+  /// k: pre-warm interval; resources are proactively resumed k time units
+  /// ahead of predicted customer activity (default 5 minutes).
+  DurationSeconds prewarm_interval = Minutes(5);
+
+  /// Period of the periodic proactive-resume operation (default 1 minute;
+  /// Figure 11 tunes this between 1 and 15 minutes).
+  DurationSeconds resume_operation_period = Minutes(1);
+
+  Status Validate() const;
+};
+
+/// Everything together; the unit handed to the fleet simulator.
+struct ProrpConfig {
+  PolicyConfig policy;
+  ControlPlaneConfig control_plane;
+
+  Status Validate() const;
+
+  /// Renders the configuration as a short single-line summary for bench
+  /// harness output.
+  std::string ToString() const;
+};
+
+}  // namespace prorp
+
+#endif  // PRORP_COMMON_CONFIG_H_

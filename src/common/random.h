@@ -1,0 +1,50 @@
+#ifndef PRORP_COMMON_RANDOM_H_
+#define PRORP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace prorp {
+
+/// Deterministic pseudo-random generator (SplitMix64 seeding a
+/// xoshiro256**-style core).  Every stochastic component in ProRP takes one
+/// of these so that simulations and benches reproduce bit-for-bit from a
+/// seed; see DESIGN.md "Determinism".
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n).  n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Normally distributed (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// database its own stream so fleet composition changes do not perturb
+  /// other databases' traces.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace prorp
+
+#endif  // PRORP_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef PRORP_COMMON_RESULT_H_
+#define PRORP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace prorp {
+
+/// A value-or-error type (the StatusOr idiom).  A Result is either OK and
+/// holds a T, or non-OK and holds only the error Status.  Accessing the
+/// value of a non-OK Result is a programming error (asserted in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an error result.  `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "error Result requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace prorp
+
+/// Evaluates `rexpr` (a Result<T>), propagates its error, or binds the
+/// value to `lhs`.  Usage:
+///   PRORP_ASSIGN_OR_RETURN(auto page, pool.Fetch(id));
+#define PRORP_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  PRORP_ASSIGN_OR_RETURN_IMPL_(                         \
+      PRORP_RESULT_CONCAT_(_prorp_result, __LINE__), lhs, rexpr)
+
+#define PRORP_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define PRORP_RESULT_CONCAT_(a, b) PRORP_RESULT_CONCAT_IMPL_(a, b)
+#define PRORP_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PRORP_COMMON_RESULT_H_

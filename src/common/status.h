@@ -1,0 +1,125 @@
+#ifndef PRORP_COMMON_STATUS_H_
+#define PRORP_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace prorp {
+
+/// Error categories used across the ProRP code base.  Modeled after the
+/// RocksDB/Arrow Status idiom: no exceptions, every fallible operation
+/// returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kNotSupported,
+  kInternal,
+  kTimedOut,
+  kAborted,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value.  Copyable and movable; the OK
+/// status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+  static Status TimedOut(std::string_view msg) {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace prorp
+
+/// Propagates a non-OK Status to the caller.  Usage:
+///   PRORP_RETURN_IF_ERROR(DoThing());
+#define PRORP_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::prorp::Status _prorp_status = (expr);        \
+    if (!_prorp_status.ok()) return _prorp_status; \
+  } while (false)
+
+#endif  // PRORP_COMMON_STATUS_H_

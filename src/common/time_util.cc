@@ -1,0 +1,42 @@
+#include "common/time_util.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+namespace prorp {
+
+std::string FormatTimestamp(EpochSeconds t) {
+  std::time_t tt = static_cast<std::time_t>(t);
+  std::tm tm_utc{};
+  gmtime_r(&tt, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  return buf;
+}
+
+std::string FormatDuration(DurationSeconds d) {
+  bool negative = d < 0;
+  if (negative) d = -d;
+  int64_t days = d / kSecondsPerDay;
+  int64_t rem = d % kSecondsPerDay;
+  int64_t hours = rem / kSecondsPerHour;
+  rem %= kSecondsPerHour;
+  int64_t minutes = rem / kSecondsPerMinute;
+  int64_t seconds = rem % kSecondsPerMinute;
+  char buf[48];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                  negative ? "-" : "", days, hours, minutes, seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%s%02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                  negative ? "-" : "", hours, minutes, seconds);
+  }
+  return buf;
+}
+
+}  // namespace prorp

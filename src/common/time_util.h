@@ -1,0 +1,65 @@
+#ifndef PRORP_COMMON_TIME_UTIL_H_
+#define PRORP_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prorp {
+
+/// All ProRP timestamps are epoch seconds (seconds since 1970-01-01 00:00
+/// UTC), matching the paper's sys.pause_resume_history.time_snapshot column
+/// and Azure's per-second billing granularity.
+using EpochSeconds = int64_t;
+
+/// Durations are also plain second counts.
+using DurationSeconds = int64_t;
+
+inline constexpr DurationSeconds kSecondsPerMinute = 60;
+inline constexpr DurationSeconds kSecondsPerHour = 60 * 60;
+inline constexpr DurationSeconds kSecondsPerDay = 24 * kSecondsPerHour;
+inline constexpr DurationSeconds kSecondsPerWeek = 7 * kSecondsPerDay;
+
+constexpr DurationSeconds Minutes(int64_t m) { return m * kSecondsPerMinute; }
+constexpr DurationSeconds Hours(int64_t h) { return h * kSecondsPerHour; }
+constexpr DurationSeconds Days(int64_t d) { return d * kSecondsPerDay; }
+constexpr DurationSeconds Weeks(int64_t w) { return w * kSecondsPerWeek; }
+
+/// Start of the UTC day containing `t`.
+constexpr EpochSeconds StartOfDay(EpochSeconds t) {
+  EpochSeconds r = t % kSecondsPerDay;
+  if (r < 0) r += kSecondsPerDay;
+  return t - r;
+}
+
+/// Offset of `t` within its UTC day, in [0, 86400).
+constexpr DurationSeconds SecondsIntoDay(EpochSeconds t) {
+  return t - StartOfDay(t);
+}
+
+/// Day of week for `t` where 0 = Thursday (1970-01-01 was a Thursday),
+/// i.e. (DayIndex(t) % 7).  Use WeekdayIndex for a Monday-based index.
+constexpr int64_t DayIndex(EpochSeconds t) {
+  return StartOfDay(t) / kSecondsPerDay;
+}
+
+/// Monday-based weekday index in [0, 6]; 0 = Monday ... 6 = Sunday.
+constexpr int WeekdayIndex(EpochSeconds t) {
+  // 1970-01-01 (day 0) was a Thursday, i.e. Monday-based index 3.
+  int64_t idx = (DayIndex(t) + 3) % 7;
+  if (idx < 0) idx += 7;
+  return static_cast<int>(idx);
+}
+
+constexpr bool IsWeekend(EpochSeconds t) { return WeekdayIndex(t) >= 5; }
+
+/// Formats epoch seconds as "YYYY-MM-DD HH:MM:SS" (UTC).  This is the
+/// human-readable conversion used by the customer-facing materialized view
+/// over the history table (Section 5 of the paper).
+std::string FormatTimestamp(EpochSeconds t);
+
+/// Formats a duration as e.g. "2d 03:15:07" or "00:05:00".
+std::string FormatDuration(DurationSeconds d);
+
+}  // namespace prorp
+
+#endif  // PRORP_COMMON_TIME_UTIL_H_

@@ -1,0 +1,90 @@
+#include "controlplane/management_service.h"
+
+namespace prorp::controlplane {
+
+ManagementService::ManagementService(MetadataStore* metadata,
+                                     ControlPlaneConfig config,
+                                     ResumeCallback resume,
+                                     int max_attempts)
+    : metadata_(metadata),
+      config_(config),
+      resume_(std::move(resume)),
+      max_attempts_(max_attempts) {}
+
+Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
+                                            bool use_sql_scan) {
+  // Step 1: Algorithm 5's selection.
+  std::vector<DbId> due;
+  if (use_sql_scan) {
+    PRORP_ASSIGN_OR_RETURN(
+        due, metadata_->SelectDueForResumeSql(
+                 now, config_.prewarm_interval,
+                 config_.resume_operation_period));
+  } else {
+    PRORP_ASSIGN_OR_RETURN(
+        due, metadata_->SelectDueForResume(
+                 now, config_.prewarm_interval,
+                 config_.resume_operation_period));
+  }
+  // Step 2: enqueue one resume workflow per database.
+  for (DbId db : due) queue_.push_back({db, 0});
+  ++diagnostics_.observed_iterations;
+  diagnostics_.max_queue_depth =
+      std::max(diagnostics_.max_queue_depth, queue_.size());
+
+  // Step 3: drain the queue (Algorithm 5 lines 7-8 with mitigation).
+  uint64_t resumed = 0;
+  size_t budget = queue_.size();
+  for (size_t i = 0; i < budget; ++i) {
+    WorkItem item = queue_.front();
+    queue_.pop_front();
+    Status s = resume_(item.db, now);
+    if (s.ok()) {
+      ++resumed;
+      continue;
+    }
+    if (s.code() == StatusCode::kFailedPrecondition) {
+      // The database is no longer physically paused (it resumed on its
+      // own or was already handled): nothing to do.
+      ++diagnostics_.skipped_state_changed;
+      continue;
+    }
+    // Transient workflow failure: the diagnostics runner retries.
+    ++item.attempts;
+    if (item.attempts == 1) ++diagnostics_.stuck_workflows;
+    if (item.attempts < max_attempts_) {
+      queue_.push_back(item);
+    } else {
+      ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
+    }
+  }
+  // Items requeued above get a second chance within the same iteration —
+  // the runner "makes sure that these queues drain" (Section 7).
+  size_t retry_budget = queue_.size();
+  for (size_t i = 0; i < retry_budget; ++i) {
+    WorkItem item = queue_.front();
+    queue_.pop_front();
+    Status s = resume_(item.db, now);
+    if (s.ok()) {
+      ++resumed;
+      ++diagnostics_.mitigated;
+      continue;
+    }
+    if (s.code() == StatusCode::kFailedPrecondition) {
+      ++diagnostics_.skipped_state_changed;
+      continue;
+    }
+    ++item.attempts;
+    if (item.attempts < max_attempts_) {
+      queue_.push_back(item);  // tried again next iteration
+    } else {
+      ++diagnostics_.incidents;
+    }
+  }
+
+  resumed_per_iteration_.Add(static_cast<double>(resumed));
+  total_resumed_ += resumed;
+  return resumed;
+}
+
+}  // namespace prorp::controlplane

@@ -1,0 +1,79 @@
+#ifndef PRORP_CONTROLPLANE_MANAGEMENT_SERVICE_H_
+#define PRORP_CONTROLPLANE_MANAGEMENT_SERVICE_H_
+
+#include <deque>
+#include <functional>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "controlplane/metadata_store.h"
+
+namespace prorp::controlplane {
+
+/// Outcome counters of the diagnostics and mitigation runner (Section 7):
+/// it monitors the proactive-resume queue, retries stuck workflows, and
+/// raises an incident when mitigation fails.
+struct DiagnosticsReport {
+  uint64_t observed_iterations = 0;
+  size_t max_queue_depth = 0;
+  uint64_t stuck_workflows = 0;      // required at least one retry
+  uint64_t mitigated = 0;            // succeeded on retry
+  uint64_t skipped_state_changed = 0;  // database resumed on its own
+  uint64_t incidents = 0;            // retries exhausted -> on-call
+};
+
+/// The periodic proactive resume operation of the Management Service
+/// (Algorithm 5), plus the workflow queue with stuck-workflow mitigation.
+///
+/// Each RunOnce(now):
+///  1. selects physically paused databases whose predicted activity starts
+///     within [now + k, now + k + period) from the metadata store,
+///  2. enqueues a resume workflow per database, and
+///  3. drains the queue by invoking the resume callback, retrying
+///     transient failures up to `max_attempts` before raising an incident.
+///
+/// The resume callback returns:
+///   OK                  — resources allocated (LogicalPause entered),
+///   FailedPrecondition  — the database is no longer physically paused
+///                         (customer beat us to it); dropped silently,
+///   anything else       — transient workflow failure; retried.
+class ManagementService {
+ public:
+  using ResumeCallback =
+      std::function<Status(DbId db, EpochSeconds now)>;
+
+  ManagementService(MetadataStore* metadata, ControlPlaneConfig config,
+                    ResumeCallback resume, int max_attempts = 3);
+
+  /// One iteration of the proactive resume operation.  Returns the number
+  /// of databases proactively resumed in this iteration (the Figure 11
+  /// metric).  Set `use_sql_scan` to exercise the faithful SQL path.
+  Result<uint64_t> RunOnce(EpochSeconds now, bool use_sql_scan = false);
+
+  /// Number of databases resumed per iteration so far (box-plot source).
+  const Summary& resumed_per_iteration() const {
+    return resumed_per_iteration_;
+  }
+  const DiagnosticsReport& diagnostics() const { return diagnostics_; }
+  uint64_t total_resumed() const { return total_resumed_; }
+  const ControlPlaneConfig& config() const { return config_; }
+
+ private:
+  struct WorkItem {
+    DbId db;
+    int attempts = 0;
+  };
+
+  MetadataStore* metadata_;
+  ControlPlaneConfig config_;
+  ResumeCallback resume_;
+  int max_attempts_;
+  std::deque<WorkItem> queue_;
+  Summary resumed_per_iteration_;
+  DiagnosticsReport diagnostics_;
+  uint64_t total_resumed_ = 0;
+};
+
+}  // namespace prorp::controlplane
+
+#endif  // PRORP_CONTROLPLANE_MANAGEMENT_SERVICE_H_

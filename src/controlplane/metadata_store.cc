@@ -1,0 +1,109 @@
+#include "controlplane/metadata_store.h"
+
+#include "sql/parser.h"
+
+namespace prorp::controlplane {
+namespace {
+
+int64_t StateCode(policy::DbState state) {
+  switch (state) {
+    case policy::DbState::kResumed:
+      return 0;
+    case policy::DbState::kLogicallyPaused:
+      return 1;
+    case policy::DbState::kPhysicallyPaused:
+      return 2;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetadataStore>> MetadataStore::Open() {
+  std::unique_ptr<MetadataStore> store(new MetadataStore());
+  store->db_ = std::make_unique<sql::Database>();
+  PRORP_RETURN_IF_ERROR(
+      store->db_
+          ->Execute("CREATE TABLE sys.databases ("
+                    "database_id BIGINT PRIMARY KEY, state INT, "
+                    "start_of_pred_activity BIGINT)")
+          .status());
+  PRORP_ASSIGN_OR_RETURN(
+      store->insert_stmt_,
+      sql::Parse("INSERT INTO sys.databases (database_id, state, "
+                 "start_of_pred_activity) VALUES (@db, @state, @pred)"));
+  PRORP_ASSIGN_OR_RETURN(
+      store->update_stmt_,
+      sql::Parse("UPDATE sys.databases SET state = @state, "
+                 "start_of_pred_activity = @pred WHERE database_id = @db"));
+  // Algorithm 5 lines 2-6 ('physical_pause' encoded as state = 2).
+  PRORP_ASSIGN_OR_RETURN(
+      store->select_due_stmt_,
+      sql::Parse("SELECT database_id FROM sys.databases "
+                 "WHERE state = 2 AND @lo <= start_of_pred_activity AND "
+                 "start_of_pred_activity < @hi"));
+  return store;
+}
+
+Status MetadataStore::UpsertState(DbId db, policy::DbState state,
+                                  EpochSeconds predicted_start) {
+  if (state != policy::DbState::kPhysicallyPaused) predicted_start = 0;
+  sql::Params params{{"db", static_cast<int64_t>(db)},
+                     {"state", StateCode(state)},
+                     {"pred", predicted_start}};
+  auto it = entries_.find(db);
+  if (it == entries_.end()) {
+    PRORP_RETURN_IF_ERROR(
+        db_->ExecuteStatement(insert_stmt_, params).status());
+    entries_[db] = {state, predicted_start};
+    it = entries_.find(db);
+  } else {
+    // Drop the stale index entry before overwriting.
+    if (it->second.state == policy::DbState::kPhysicallyPaused &&
+        it->second.predicted_start > 0) {
+      resume_index_.erase({it->second.predicted_start, db});
+    }
+    PRORP_RETURN_IF_ERROR(
+        db_->ExecuteStatement(update_stmt_, params).status());
+    it->second = {state, predicted_start};
+  }
+  if (state == policy::DbState::kPhysicallyPaused && predicted_start > 0) {
+    resume_index_[{predicted_start, db}] = true;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DbId>> MetadataStore::SelectDueForResume(
+    EpochSeconds now, DurationSeconds k, DurationSeconds period) const {
+  std::vector<DbId> due;
+  EpochSeconds lo = now + k;
+  EpochSeconds hi = now + k + period;
+  for (auto it = resume_index_.lower_bound({lo, 0});
+       it != resume_index_.end() && it->first.first < hi; ++it) {
+    due.push_back(it->first.second);
+  }
+  return due;
+}
+
+Result<std::vector<DbId>> MetadataStore::SelectDueForResumeSql(
+    EpochSeconds now, DurationSeconds k, DurationSeconds period) const {
+  sql::Params params{{"lo", now + k}, {"hi", now + k + period}};
+  PRORP_ASSIGN_OR_RETURN(sql::QueryResult r,
+                         db_->ExecuteStatement(select_due_stmt_, params));
+  std::vector<DbId> due;
+  due.reserve(r.rows.size());
+  for (const sql::Row& row : r.rows) {
+    due.push_back(static_cast<DbId>(row[0]));
+  }
+  return due;
+}
+
+uint64_t MetadataStore::CountInState(policy::DbState state) const {
+  uint64_t n = 0;
+  for (const auto& [db, entry] : entries_) {
+    if (entry.state == state) ++n;
+  }
+  return n;
+}
+
+}  // namespace prorp::controlplane

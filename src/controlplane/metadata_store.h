@@ -1,0 +1,79 @@
+#ifndef PRORP_CONTROLPLANE_METADATA_STORE_H_
+#define PRORP_CONTROLPLANE_METADATA_STORE_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_util.h"
+#include "policy/lifecycle.h"
+#include "sql/ast.h"
+#include "sql/database.h"
+#include "telemetry/events.h"
+
+namespace prorp::controlplane {
+
+using telemetry::DbId;
+
+/// The metadata store of the Management Service: the sys.databases table
+/// Algorithm 5 queries (database_id, state, start_of_pred_activity).
+///
+/// Two query paths are maintained and kept consistent:
+///  * the faithful SQL table, scanned exactly per Algorithm 5 lines 2-6
+///    (SelectDueForResumeSql), and
+///  * an ordered secondary index on (start_of_pred_activity, database_id)
+///    restricted to physically paused databases (SelectDueForResume) — the
+///    production-grade access path that makes a once-a-minute scan over
+///    hundreds of thousands of databases cheap.
+/// Property tests assert the two return identical sets.
+class MetadataStore {
+ public:
+  static Result<std::unique_ptr<MetadataStore>> Open();
+
+  MetadataStore(const MetadataStore&) = delete;
+  MetadataStore& operator=(const MetadataStore&) = delete;
+
+  /// Records the database's lifecycle state and, when physically paused,
+  /// the predicted next-activity start (Algorithm 1 line 31; 0 = none).
+  Status UpsertState(DbId db, policy::DbState state,
+                     EpochSeconds predicted_start);
+
+  /// Algorithm 5 lines 2-6 over the secondary index: physically paused
+  /// databases with now + k <= start_of_pred_activity < now + k + period.
+  Result<std::vector<DbId>> SelectDueForResume(EpochSeconds now,
+                                               DurationSeconds k,
+                                               DurationSeconds period) const;
+
+  /// The same selection as a literal SQL scan of sys.databases.
+  Result<std::vector<DbId>> SelectDueForResumeSql(
+      EpochSeconds now, DurationSeconds k, DurationSeconds period) const;
+
+  /// Number of databases currently in the given state.
+  uint64_t CountInState(policy::DbState state) const;
+
+  uint64_t size() const { return entries_.size(); }
+
+ private:
+  MetadataStore() = default;
+
+  struct Entry {
+    policy::DbState state = policy::DbState::kResumed;
+    EpochSeconds predicted_start = 0;
+  };
+
+  mutable std::unique_ptr<sql::Database> db_;
+  sql::Statement insert_stmt_;
+  sql::Statement update_stmt_;
+  sql::Statement select_due_stmt_;
+  std::unordered_map<DbId, Entry> entries_;
+  /// (predicted_start, db) for physically paused databases with a
+  /// prediction.
+  std::map<std::pair<EpochSeconds, DbId>, bool> resume_index_;
+};
+
+}  // namespace prorp::controlplane
+
+#endif  // PRORP_CONTROLPLANE_METADATA_STORE_H_

@@ -1,0 +1,59 @@
+#ifndef PRORP_FORECAST_BASELINE_PREDICTORS_H_
+#define PRORP_FORECAST_BASELINE_PREDICTORS_H_
+
+#include <string>
+
+#include "forecast/predictor.h"
+
+namespace prorp::forecast {
+
+/// Predicts nothing, ever.  Under Algorithm 1 this turns the proactive
+/// policy into "physically pause old databases immediately when idle";
+/// used by the ablation bench to isolate the value of prediction.
+class NeverPredictor : public Predictor {
+ public:
+  Result<ActivityPrediction> PredictNextActivity(
+      const history::HistoryStore&, EpochSeconds) const override {
+    return ActivityPrediction::None();
+  }
+  std::string name() const override { return "never"; }
+};
+
+/// Always fails with Unavailable.  Drives the "Default to Reactive
+/// Database-Scoped Decisions" design principle (Section 3.2): when any
+/// ProRP component is down, the policy must degrade to the reactive
+/// baseline.  Used by failure-injection tests.
+class FailingPredictor : public Predictor {
+ public:
+  Result<ActivityPrediction> PredictNextActivity(
+      const history::HistoryStore&, EpochSeconds) const override {
+    return Status::Unavailable("prediction component is down");
+  }
+  std::string name() const override { return "failing"; }
+};
+
+/// Oracle that always predicts activity `delay` seconds from now lasting
+/// `duration`.  Only for unit tests that need a controllable prediction.
+class FixedDelayPredictor : public Predictor {
+ public:
+  FixedDelayPredictor(DurationSeconds delay, DurationSeconds duration)
+      : delay_(delay), duration_(duration) {}
+
+  Result<ActivityPrediction> PredictNextActivity(
+      const history::HistoryStore&, EpochSeconds now) const override {
+    ActivityPrediction p;
+    p.start = now + delay_;
+    p.end = p.start + duration_;
+    p.confidence = 1.0;
+    return p;
+  }
+  std::string name() const override { return "fixed_delay"; }
+
+ private:
+  DurationSeconds delay_;
+  DurationSeconds duration_;
+};
+
+}  // namespace prorp::forecast
+
+#endif  // PRORP_FORECAST_BASELINE_PREDICTORS_H_

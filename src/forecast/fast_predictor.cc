@@ -1,0 +1,58 @@
+#include "forecast/fast_predictor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "forecast/window_selection.h"
+
+namespace prorp::forecast {
+
+Result<ActivityPrediction> FastPredictor::PredictNextActivity(
+    const history::HistoryStore& history, EpochSeconds now) const {
+  const PredictionConfig& cfg = config_;
+  PRORP_RETURN_IF_ERROR(cfg.Validate());
+  const int64_t num_windows = cfg.NumWindows();
+  const int64_t num_seasons = cfg.NumSeasons();
+  if (num_windows <= 0) return ActivityPrediction::None();
+
+  std::vector<WindowStats> stats(
+      static_cast<size_t>(std::max<int64_t>(num_windows, 0)));
+  for (WindowStats& s : stats) {
+    s.first_login_offset = cfg.window_size;
+    s.last_login_offset = 0;
+  }
+
+  // One bulk scan per season; monotone two-pointer sweep over windows.
+  for (int64_t season = 1; season <= num_seasons; ++season) {
+    EpochSeconds base = now - season * cfg.seasonality;
+    EpochSeconds span_end =
+        base + (num_windows - 1) * cfg.window_slide + cfg.window_size;
+    PRORP_ASSIGN_OR_RETURN(std::vector<EpochSeconds> logins,
+                           history.CollectLogins(base, span_end));
+    size_t lo = 0;  // first login >= window start
+    size_t hi = 0;  // first login >  window end
+    for (int64_t i = 0; i < num_windows; ++i) {
+      EpochSeconds win_start = base + i * cfg.window_slide;
+      EpochSeconds win_end = win_start + cfg.window_size;
+      while (lo < logins.size() && logins[lo] < win_start) ++lo;
+      if (hi < lo) hi = lo;
+      while (hi < logins.size() && logins[hi] <= win_end) ++hi;
+      if (lo < hi) {
+        WindowStats& s = stats[static_cast<size_t>(i)];
+        ++s.seasons_with_activity;
+        s.first_login_offset =
+            std::min(s.first_login_offset, logins[lo] - win_start);
+        s.last_login_offset =
+            std::max(s.last_login_offset, logins[hi - 1] - win_start);
+      }
+    }
+  }
+
+  return SelectPrediction(
+      cfg, now, [&](EpochSeconds win_start) -> Result<WindowStats> {
+        int64_t i = (win_start - now) / cfg.window_slide;
+        return stats[static_cast<size_t>(i)];
+      });
+}
+
+}  // namespace prorp::forecast

@@ -1,0 +1,32 @@
+#ifndef PRORP_FORECAST_PREDICTION_H_
+#define PRORP_FORECAST_PREDICTION_H_
+
+#include <string>
+
+#include "common/time_util.h"
+
+namespace prorp::forecast {
+
+/// Output of Algorithm 4 (sys.PredictNextActivity): the absolute start and
+/// end of the next predicted customer activity.  The paper encodes "no
+/// activity predicted" as start = 0 (Algorithm 1 checks
+/// `nextActivity.start = 0`), which we preserve.
+struct ActivityPrediction {
+  EpochSeconds start = 0;
+  EpochSeconds end = 0;
+  /// Probability of the selected window (for diagnostics/training).
+  double confidence = 0.0;
+
+  bool HasPrediction() const { return start != 0; }
+
+  static ActivityPrediction None() { return ActivityPrediction{}; }
+
+  friend bool operator==(const ActivityPrediction&,
+                         const ActivityPrediction&) = default;
+
+  std::string ToString() const;
+};
+
+}  // namespace prorp::forecast
+
+#endif  // PRORP_FORECAST_PREDICTION_H_

@@ -1,0 +1,33 @@
+#ifndef PRORP_FORECAST_PREDICTOR_H_
+#define PRORP_FORECAST_PREDICTOR_H_
+
+#include <string>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "forecast/prediction.h"
+#include "history/history_store.h"
+
+namespace prorp::forecast {
+
+/// Next-activity prediction contract.  Implementations are pure functions
+/// of (history, now, config): no hidden state, so a prediction can be
+/// recomputed offline for training (Section 8).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Predicts the start/end of the next customer activity within
+  /// [now, now + p].  Returns ActivityPrediction::None() when no window
+  /// clears the confidence threshold.  A non-OK Status means the component
+  /// is unavailable, in which case the policy must default to reactive
+  /// behaviour (design principle "Default to Reactive", Section 3.2).
+  virtual Result<ActivityPrediction> PredictNextActivity(
+      const history::HistoryStore& history, EpochSeconds now) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace prorp::forecast
+
+#endif  // PRORP_FORECAST_PREDICTOR_H_

@@ -1,0 +1,40 @@
+#include "forecast/sliding_window_predictor.h"
+
+#include <algorithm>
+
+#include "forecast/window_selection.h"
+
+namespace prorp::forecast {
+
+Result<ActivityPrediction> SlidingWindowPredictor::PredictNextActivity(
+    const history::HistoryStore& history, EpochSeconds now) const {
+  const PredictionConfig& cfg = config_;
+  return SelectPrediction(
+      cfg, now,
+      [&](EpochSeconds win_start) -> Result<WindowStats> {
+        WindowStats stats;
+        stats.first_login_offset = cfg.window_size;  // line 11
+        stats.last_login_offset = 0;                 // line 12
+        // Inner loop, lines 15-35: the same window on each previous
+        // season.
+        const int64_t num_seasons = cfg.NumSeasons();
+        for (int64_t season = 1; season <= num_seasons; ++season) {
+          EpochSeconds prev_start = win_start - season * cfg.seasonality;
+          EpochSeconds prev_end = prev_start + cfg.window_size;
+          PRORP_ASSIGN_OR_RETURN(
+              history::LoginRangeAgg agg,
+              history.LoginMinMax(prev_start, prev_end));
+          if (!agg.any) continue;  // line 25
+          stats.first_login_offset =
+              std::min(stats.first_login_offset,
+                       agg.first_login - prev_start);  // lines 26-29
+          stats.last_login_offset =
+              std::max(stats.last_login_offset,
+                       agg.last_login - prev_start);  // lines 30-33
+          ++stats.seasons_with_activity;              // line 34
+        }
+        return stats;
+      });
+}
+
+}  // namespace prorp::forecast

@@ -1,0 +1,37 @@
+#ifndef PRORP_FORECAST_SLIDING_WINDOW_PREDICTOR_H_
+#define PRORP_FORECAST_SLIDING_WINDOW_PREDICTOR_H_
+
+#include <string>
+
+#include "forecast/predictor.h"
+
+namespace prorp::forecast {
+
+/// The faithful Algorithm 4 (sys.PredictNextActivity): for every sliding
+/// window position the inner loop issues one MIN/MAX range query per
+/// previous season against the history store — when the store is a
+/// SqlHistoryStore, these are literal SQL queries over the clustered
+/// B+tree, giving the paper's p/s x h x O(log m) time complexity.
+///
+/// Used for correctness (property-tested against FastPredictor) and for
+/// the prediction-latency overhead evaluation (Figure 10(c)).
+class SlidingWindowPredictor : public Predictor {
+ public:
+  explicit SlidingWindowPredictor(PredictionConfig config)
+      : config_(config) {}
+
+  Result<ActivityPrediction> PredictNextActivity(
+      const history::HistoryStore& history,
+      EpochSeconds now) const override;
+
+  std::string name() const override { return "sliding_window"; }
+
+  const PredictionConfig& config() const { return config_; }
+
+ private:
+  PredictionConfig config_;
+};
+
+}  // namespace prorp::forecast
+
+#endif  // PRORP_FORECAST_SLIDING_WINDOW_PREDICTOR_H_

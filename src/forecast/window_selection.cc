@@ -1,0 +1,60 @@
+#include "forecast/window_selection.h"
+
+#include <cstdio>
+
+namespace prorp::forecast {
+
+std::string ActivityPrediction::ToString() const {
+  if (!HasPrediction()) return "no activity predicted";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%s .. %s] conf=%.2f",
+                FormatTimestamp(start).c_str(),
+                FormatTimestamp(end).c_str(), confidence);
+  return buf;
+}
+
+Result<ActivityPrediction> SelectPrediction(
+    const PredictionConfig& config, EpochSeconds now,
+    const std::function<Result<WindowStats>(EpochSeconds win_start)>&
+        stats_fn) {
+  PRORP_RETURN_IF_ERROR(config.Validate());
+  const int64_t num_seasons = config.NumSeasons();
+  const EpochSeconds pred_end = now + config.prediction_horizon;
+
+  ActivityPrediction result;
+  double prev_prob = 0.0;
+  // Outer loop, Algorithm 4 line 9.
+  for (EpochSeconds win_start = now;
+       win_start + config.window_size <= pred_end;
+       win_start += config.window_slide) {
+    PRORP_ASSIGN_OR_RETURN(WindowStats stats, stats_fn(win_start));
+    double prob = static_cast<double>(stats.seasons_with_activity) /
+                  static_cast<double>(num_seasons);
+    // Selection, lines 37-46: take the window if it clears the confidence
+    // threshold and its probability still improves on the previous
+    // candidate.  (seasons_with_activity > 0 guards the degenerate c = 0
+    // case, where the printed code would emit an empty window.)
+    if (config.confidence_threshold <= prob &&
+        stats.seasons_with_activity > 0 &&
+        (prev_prob < prob || prev_prob == 0.0)) {
+      result.start = win_start + stats.first_login_offset;
+      result.end = win_start + stats.last_login_offset;
+      result.confidence = prob;
+      prev_prob = prob;
+      continue;
+    }
+    if (config.literal_break) {
+      // The printed ELSE BREAK: abort at the first non-qualifying window.
+      break;
+    }
+    if (prev_prob > 0.0) {
+      // Corrected reading: a candidate exists and confidence stopped
+      // increasing — the earliest-start locally-maximal window is final.
+      break;
+    }
+    // No candidate yet: keep sliding past sub-threshold windows.
+  }
+  return result;
+}
+
+}  // namespace prorp::forecast

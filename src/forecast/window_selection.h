@@ -1,0 +1,41 @@
+#ifndef PRORP_FORECAST_WINDOW_SELECTION_H_
+#define PRORP_FORECAST_WINDOW_SELECTION_H_
+
+#include <functional>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "forecast/prediction.h"
+
+namespace prorp::forecast {
+
+/// Per-window statistics accumulated over the previous seasons (Algorithm
+/// 4's inner loop): how many seasons had a login inside the window, and
+/// the extreme login offsets relative to the window start.
+struct WindowStats {
+  int64_t seasons_with_activity = 0;
+  /// Earliest first-login offset within the window across seasons
+  /// (@firstLoginPerWin; initialized to w per Algorithm 4 line 11).
+  DurationSeconds first_login_offset = 0;
+  /// Latest last-login offset (@lastLoginPerWin).
+  DurationSeconds last_login_offset = 0;
+};
+
+/// The outer loop and candidate selection of Algorithm 4 (lines 9, 36-47),
+/// shared by the faithful and the vectorized predictor: slides the window
+/// across [now, now + p], computes the activity probability per window via
+/// `stats_fn`, and returns the earliest-start window whose confidence
+/// clears the threshold and is locally maximal.
+///
+/// When config.literal_break is set, reproduces the printed pseudo-code's
+/// ELSE BREAK, which aborts the scan at the first sub-threshold window
+/// (see DESIGN.md section 3 for why that is treated as a transcription
+/// artifact).
+Result<ActivityPrediction> SelectPrediction(
+    const PredictionConfig& config, EpochSeconds now,
+    const std::function<Result<WindowStats>(EpochSeconds win_start)>&
+        stats_fn);
+
+}  // namespace prorp::forecast
+
+#endif  // PRORP_FORECAST_WINDOW_SELECTION_H_

@@ -1,0 +1,38 @@
+#ifndef PRORP_HISTORY_MEM_HISTORY_STORE_H_
+#define PRORP_HISTORY_MEM_HISTORY_STORE_H_
+
+#include <vector>
+
+#include "history/history_store.h"
+
+namespace prorp::history {
+
+/// Sorted-vector history store with the same semantics as SqlHistoryStore.
+/// Inserts are append-mostly (timestamps arrive in order), so the common
+/// path is O(1) amortized; out-of-order inserts fall back to binary-search
+/// insertion.  The fleet simulator instantiates one of these per database
+/// (hundreds of thousands), which is why it exists.
+///
+/// Property tests in tests/history assert that MemHistoryStore and
+/// SqlHistoryStore produce identical observable behaviour.
+class MemHistoryStore : public HistoryStore {
+ public:
+  MemHistoryStore() = default;
+
+  Status InsertHistory(EpochSeconds time, int event_type) override;
+  Result<bool> DeleteOldHistory(DurationSeconds h, EpochSeconds now) override;
+  Result<LoginRangeAgg> LoginMinMax(EpochSeconds lo,
+                                    EpochSeconds hi) const override;
+  Result<std::vector<EpochSeconds>> CollectLogins(
+      EpochSeconds lo, EpochSeconds hi) const override;
+  Result<std::vector<HistoryTuple>> ReadAll() const override;
+  Result<EpochSeconds> MinTimestamp() const override;
+  uint64_t NumTuples() const override { return tuples_.size(); }
+
+ private:
+  std::vector<HistoryTuple> tuples_;  // sorted by time_snapshot, unique
+};
+
+}  // namespace prorp::history
+
+#endif  // PRORP_HISTORY_MEM_HISTORY_STORE_H_

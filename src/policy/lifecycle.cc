@@ -1,0 +1,37 @@
+#include "policy/lifecycle.h"
+
+namespace prorp::policy {
+
+std::string_view DbStateName(DbState state) {
+  switch (state) {
+    case DbState::kResumed:
+      return "resumed";
+    case DbState::kLogicallyPaused:
+      return "logically_paused";
+    case DbState::kPhysicallyPaused:
+      return "physically_paused";
+  }
+  return "unknown";
+}
+
+std::string_view TransitionCauseName(TransitionCause cause) {
+  switch (cause) {
+    case TransitionCause::kActivityStart:
+      return "activity_start";
+    case TransitionCause::kReactiveResume:
+      return "reactive_resume";
+    case TransitionCause::kActivityEndLogical:
+      return "activity_end_logical_pause";
+    case TransitionCause::kActivityEndPhysical:
+      return "activity_end_physical_pause";
+    case TransitionCause::kLogicalPauseExpired:
+      return "logical_pause_expired";
+    case TransitionCause::kProactiveResume:
+      return "proactive_resume";
+    case TransitionCause::kForcedEviction:
+      return "forced_eviction";
+  }
+  return "unknown";
+}
+
+}  // namespace prorp::policy

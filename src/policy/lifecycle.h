@@ -1,0 +1,64 @@
+#ifndef PRORP_POLICY_LIFECYCLE_H_
+#define PRORP_POLICY_LIFECYCLE_H_
+
+#include <string>
+
+#include "common/time_util.h"
+#include "forecast/prediction.h"
+
+namespace prorp::policy {
+
+/// The three states of a serverless database (paper Figure 4).
+enum class DbState {
+  /// Resources allocated, customer workload running, customer billed.
+  kResumed,
+  /// Resources allocated but idle; customer NOT billed.  Absorbs short
+  /// idle intervals and pre-warmed proactive resumes.
+  kLogicallyPaused,
+  /// Resources reclaimed.
+  kPhysicallyPaused,
+};
+
+std::string_view DbStateName(DbState state);
+
+/// Why a state transition happened (Figure 4's labelled transitions plus
+/// the operational causes).
+enum class TransitionCause {
+  kActivityStart,        // customer login while resources allocated
+  kReactiveResume,       // customer login while physically paused
+  kActivityEndLogical,   // workload ended -> logical pause (transition 2)
+  kActivityEndPhysical,  // workload ended, no activity predicted soon (3)
+  kLogicalPauseExpired,  // logical pause over -> physical pause (5)
+  kProactiveResume,      // control plane pre-warm (4)
+  kForcedEviction,       // node capacity pressure reclaimed a logical pause
+};
+
+std::string_view TransitionCauseName(TransitionCause cause);
+
+/// Emitted on every state change; the telemetry recorder and the control
+/// plane subscribe to these.
+struct TransitionEvent {
+  EpochSeconds time = 0;
+  DbState from = DbState::kResumed;
+  DbState to = DbState::kResumed;
+  TransitionCause cause = TransitionCause::kActivityStart;
+  /// Prediction in effect at the transition (for metadata-store writes on
+  /// physical pause and for KPI attribution of proactive resumes).
+  forecast::ActivityPrediction prediction;
+  /// False when the policy fell back to reactive behaviour (prediction
+  /// component unavailable or database too new).
+  bool used_prediction = false;
+};
+
+/// What the database experienced at a customer login (the QoS signal of
+/// Section 8: first logins after idle intervals, split by whether the
+/// resources were available).
+enum class LoginOutcome {
+  kResourcesAvailable,  // resumed or logically paused: no delay
+  kReactiveResume,      // physically paused: resume latency visible
+  kAlreadyActive,       // overlapping activity; no state change
+};
+
+}  // namespace prorp::policy
+
+#endif  // PRORP_POLICY_LIFECYCLE_H_

@@ -1,0 +1,158 @@
+#include "scaling/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prorp::scaling {
+
+CapacityLadder::CapacityLadder(std::vector<VCores> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty() || levels_.front() != 0) {
+    levels_.insert(levels_.begin(), 0);
+  }
+  std::sort(levels_.begin(), levels_.end());
+}
+
+VCores CapacityLadder::CeilLevel(VCores demand) const {
+  for (VCores level : levels_) {
+    if (level >= demand) return level;
+  }
+  return levels_.back();
+}
+
+VCores ReactiveScaler::Target(EpochSeconds now, VCores demand,
+                              VCores current_allocation) {
+  VCores needed = ladder_.CeilLevel(demand);
+  if (needed > current_allocation) {
+    below_since_ = 0;
+    return needed;  // scale up (takes effect after the reaction delay)
+  }
+  if (needed < current_allocation) {
+    if (below_since_ == 0) below_since_ = now;
+    if (now - below_since_ >= down_hysteresis_) {
+      // Step down one ladder level at a time toward the need.
+      const auto& levels = ladder_.levels();
+      for (size_t i = levels.size(); i-- > 0;) {
+        if (levels[i] < current_allocation) {
+          below_since_ = now;  // restart the clock for the next step
+          return std::max(levels[i], needed);
+        }
+      }
+    }
+    return current_allocation;
+  }
+  below_since_ = 0;
+  return current_allocation;
+}
+
+VCores ProactiveScaler::Target(EpochSeconds now, VCores demand,
+                               VCores current_allocation) {
+  VCores reactive_target = reactive_.Target(now, demand,
+                                            current_allocation);
+  // Pre-scale for the upcoming slot's historical demand quantile.
+  VCores predicted = history_.SlotQuantileBefore(now + lead_, quantile_);
+  VCores proactive_floor = ladder_.CeilLevel(predicted);
+  return std::max(reactive_target, proactive_floor);
+}
+
+Result<ScalingReport> ReplayDemandTrace(const DemandTrace& trace,
+                                        AutoScaler& scaler,
+                                        EpochSeconds from, EpochSeconds to,
+                                        const ScalingSimOptions& options) {
+  if (options.tick <= 0) {
+    return Status::InvalidArgument("tick must be positive");
+  }
+  if (to <= from) return Status::InvalidArgument("empty replay window");
+  ScalingReport report;
+  size_t seg = 0;
+  VCores allocation = 0;
+  VCores pending_allocation = 0;
+  EpochSeconds pending_effective = 0;
+  double tick_seconds = static_cast<double>(options.tick);
+
+  for (EpochSeconds now = from; now < to; now += options.tick) {
+    // Demand at this tick.
+    while (seg < trace.size() && trace[seg].end <= now) ++seg;
+    VCores demand = 0;
+    if (seg < trace.size() && trace[seg].start <= now) {
+      demand = trace[seg].vcores;
+    }
+
+    // Pending scale-up materializes after the reaction delay.
+    if (pending_effective != 0 && now >= pending_effective) {
+      allocation = pending_allocation;
+      pending_effective = 0;
+    }
+
+    scaler.Observe(now, demand);
+    VCores target = scaler.Target(now, demand, allocation);
+    if (target > allocation) {
+      if (pending_effective == 0 || pending_allocation != target) {
+        pending_allocation = target;
+        pending_effective = now + options.scale_up_delay;
+        ++report.scale_ups;
+      }
+    } else if (target < allocation) {
+      allocation = target;  // releasing capacity is immediate
+      pending_effective = 0;
+      ++report.scale_downs;
+    }
+
+    double served = std::min(demand, allocation);
+    report.demand_vcore_seconds += demand * tick_seconds;
+    report.served_vcore_seconds += served * tick_seconds;
+    report.allocated_vcore_seconds += allocation * tick_seconds;
+    if (demand > allocation) {
+      report.throttled_vcore_seconds += (demand - allocation) * tick_seconds;
+      report.throttled_seconds += tick_seconds;
+    } else {
+      report.overprov_vcore_seconds += (allocation - demand) * tick_seconds;
+    }
+  }
+  return report;
+}
+
+DemandTrace GenerateDailyDemandTrace(EpochSeconds from, EpochSeconds to,
+                                     VCores peak, Rng& rng) {
+  DemandTrace trace;
+  DurationSeconds ramp_start = Hours(7) + rng.NextInt(0, Hours(2));
+  DurationSeconds plateau_len = Hours(4) + rng.NextInt(0, Hours(4));
+  for (EpochSeconds day = StartOfDay(from); day < to; day += Days(1)) {
+    if (rng.NextBool(0.08)) continue;  // quiet day
+    double day_scale = 0.7 + 0.6 * rng.NextDouble();
+    EpochSeconds t = day + ramp_start + rng.NextInt(-Minutes(40),
+                                                    Minutes(40));
+    // Morning ramp: three rising steps.
+    for (int step = 1; step <= 3; ++step) {
+      DurationSeconds len = Minutes(20) + rng.NextInt(0, Minutes(30));
+      trace.push_back(
+          {t, t + len, peak * day_scale * step / 3.0});
+      t += len;
+    }
+    // Midday plateau with occasional spikes above the plateau level.
+    EpochSeconds plateau_end = t + plateau_len;
+    while (t < plateau_end) {
+      DurationSeconds len = Minutes(30) + rng.NextInt(0, Hours(1));
+      VCores level = peak * day_scale;
+      if (rng.NextBool(0.15)) level *= 1.5;  // spike (may exceed the SKU)
+      trace.push_back({t, std::min(t + len, plateau_end), level});
+      t = std::min(t + len, plateau_end);
+    }
+    // Evening decay.
+    for (int step = 2; step >= 1; --step) {
+      DurationSeconds len = Minutes(30) + rng.NextInt(0, Minutes(40));
+      trace.push_back({t, t + len, peak * day_scale * step / 3.0});
+      t += len;
+    }
+  }
+  // Clip to the window and drop degenerates.
+  DemandTrace clipped;
+  for (DemandSegment s : trace) {
+    s.start = std::max(s.start, from);
+    s.end = std::min(s.end, to);
+    if (s.end > s.start && s.vcores > 0) clipped.push_back(s);
+  }
+  return clipped;
+}
+
+}  // namespace prorp::scaling

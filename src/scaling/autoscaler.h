@@ -1,0 +1,173 @@
+#ifndef PRORP_SCALING_AUTOSCALER_H_
+#define PRORP_SCALING_AUTOSCALER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "scaling/demand_history.h"
+
+namespace prorp::scaling {
+
+/// The discrete capacity ladder a serverless database can occupy
+/// (fractional vCores).  Level 0 = physically paused.  This generalizes
+/// the paper's binary allocation (Definition 2.1) toward Section 11's
+/// "auto-scale the resources in small increments of capacity".
+class CapacityLadder {
+ public:
+  /// Levels must be ascending and start at 0.
+  explicit CapacityLadder(
+      std::vector<VCores> levels = {0, 0.5, 1, 2, 4, 8});
+
+  /// Smallest level that covers `demand` (the top level if demand exceeds
+  /// the SKU maximum — the excess is throttled).
+  VCores CeilLevel(VCores demand) const;
+
+  VCores max_level() const { return levels_.back(); }
+  const std::vector<VCores>& levels() const { return levels_; }
+
+ private:
+  std::vector<VCores> levels_;
+};
+
+/// A step in a database's compute demand: `vcores` needed over
+/// [start, end).  Gaps between segments are idle (demand 0).
+struct DemandSegment {
+  EpochSeconds start = 0;
+  EpochSeconds end = 0;
+  VCores vcores = 0;
+};
+
+using DemandTrace = std::vector<DemandSegment>;
+
+/// Scaling decision contract.  `Observe` feeds the current demand sample
+/// (the telemetry signal); `Target` returns the allocation level the
+/// scaler wants right now.
+class AutoScaler {
+ public:
+  virtual ~AutoScaler() = default;
+  virtual void Observe(EpochSeconds now, VCores demand) = 0;
+  virtual VCores Target(EpochSeconds now, VCores demand,
+                        VCores current_allocation) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed provisioning at the SKU maximum: never throttles, never saves.
+class FixedScaler : public AutoScaler {
+ public:
+  explicit FixedScaler(const CapacityLadder& ladder) : ladder_(ladder) {}
+  void Observe(EpochSeconds, VCores) override {}
+  VCores Target(EpochSeconds, VCores, VCores) override {
+    return ladder_.max_level();
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  CapacityLadder ladder_;
+};
+
+/// The production-style reactive scaler: follow observed demand up
+/// immediately (effective only after the reaction delay the evaluator
+/// models) and scale down one level after demand has stayed below the
+/// next-lower level for `down_hysteresis` (avoids flapping).
+class ReactiveScaler : public AutoScaler {
+ public:
+  ReactiveScaler(const CapacityLadder& ladder,
+                 DurationSeconds down_hysteresis = Minutes(15))
+      : ladder_(ladder), down_hysteresis_(down_hysteresis) {}
+
+  void Observe(EpochSeconds, VCores) override {}
+  VCores Target(EpochSeconds now, VCores demand,
+                VCores current_allocation) override;
+  std::string name() const override { return "reactive"; }
+
+ private:
+  CapacityLadder ladder_;
+  DurationSeconds down_hysteresis_;
+  EpochSeconds below_since_ = 0;  // demand below current level since
+};
+
+/// The proactive scaler: like the reactive scaler, but additionally
+/// pre-scales to the historical demand quantile of the *upcoming* slot
+/// (looking `lead` ahead into the per-slot demand history), so capacity
+/// is in place before the recurring ramp arrives — the multi-level
+/// analogue of the paper's pre-warm.
+class ProactiveScaler : public AutoScaler {
+ public:
+  ProactiveScaler(const CapacityLadder& ladder,
+                  DurationSeconds lead = Minutes(30),
+                  double quantile = 0.8,
+                  DurationSeconds down_hysteresis = Minutes(15))
+      : ladder_(ladder),
+        reactive_(ladder, down_hysteresis),
+        lead_(lead),
+        quantile_(quantile) {}
+
+  void Observe(EpochSeconds now, VCores demand) override {
+    (void)history_.Record(now, demand);
+  }
+  VCores Target(EpochSeconds now, VCores demand,
+                VCores current_allocation) override;
+  std::string name() const override { return "proactive"; }
+
+  const DemandHistory& history() const { return history_; }
+
+ private:
+  CapacityLadder ladder_;
+  ReactiveScaler reactive_;
+  DurationSeconds lead_;
+  double quantile_;
+  DemandHistory history_;
+};
+
+/// Integrated outcome of replaying one demand trace under a scaler
+/// (Definition 2.2 generalized to fractional capacity).
+struct ScalingReport {
+  double demand_vcore_seconds = 0;
+  double served_vcore_seconds = 0;
+  double throttled_vcore_seconds = 0;   // demand above allocation
+  double overprov_vcore_seconds = 0;    // allocation above demand
+  double allocated_vcore_seconds = 0;
+  double throttled_seconds = 0;         // wall time with any throttling
+  uint64_t scale_ups = 0;
+  uint64_t scale_downs = 0;
+
+  /// Fraction of demanded vCore-seconds that were throttled.
+  double ThrottledPct() const {
+    return demand_vcore_seconds == 0
+               ? 0
+               : 100.0 * throttled_vcore_seconds / demand_vcore_seconds;
+  }
+  /// Over-provisioned capacity relative to what was allocated.
+  double OverprovisionedPct() const {
+    return allocated_vcore_seconds == 0
+               ? 0
+               : 100.0 * overprov_vcore_seconds / allocated_vcore_seconds;
+  }
+};
+
+struct ScalingSimOptions {
+  DurationSeconds tick = Minutes(1);
+  /// Scale-ups take effect this long after the scaler asks (the paper's
+  /// "reaction time between demand signal and effective change").
+  DurationSeconds scale_up_delay = Minutes(2);
+};
+
+/// Replays `trace` under `scaler` with discrete ticks; demand between
+/// segments is 0.  Deterministic.
+Result<ScalingReport> ReplayDemandTrace(const DemandTrace& trace,
+                                        AutoScaler& scaler,
+                                        EpochSeconds from, EpochSeconds to,
+                                        const ScalingSimOptions& options);
+
+/// Generates a realistic multi-level demand trace: a recurring daily ramp
+/// (morning rise, midday plateau, evening decay) with day-to-day jitter
+/// plus random short spikes.  Deterministic in `rng`.
+DemandTrace GenerateDailyDemandTrace(EpochSeconds from, EpochSeconds to,
+                                     VCores peak, Rng& rng);
+
+}  // namespace prorp::scaling
+
+#endif  // PRORP_SCALING_AUTOSCALER_H_

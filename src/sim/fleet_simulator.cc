@@ -1,0 +1,435 @@
+#include "sim/fleet_simulator.h"
+
+#include <memory>
+#include <queue>
+
+#include "common/random.h"
+#include "forecast/fast_predictor.h"
+#include "history/mem_history_store.h"
+#include "telemetry/usage_ledger.h"
+
+namespace prorp::sim {
+namespace {
+
+using controlplane::MetadataStore;
+using history::MemHistoryStore;
+using policy::DbState;
+using policy::LifecycleController;
+using policy::PolicyMode;
+using policy::TransitionCause;
+using telemetry::DbId;
+using telemetry::EventKind;
+using telemetry::Phase;
+
+enum class SimEventType : uint8_t {
+  kDbCreated,        // first session begins; controller constructed
+  kAllocationSample,  // periodic concurrent-allocation census
+  kSessionEnd,       // customer workload completes
+  kSessionStart,     // subsequent customer login
+  kTimer,            // lifecycle controller wait-condition re-check
+  kResumeOpTick,     // periodic proactive resume operation
+  kEviction,         // capacity-pressure reclamation attempt
+  kResumeLatencyDone,  // reactive resume finished; resources usable
+  kMeasureStart,     // KPI window begins: swap ledger/recorder
+};
+
+struct SimEvent {
+  EpochSeconds time;
+  uint64_t seq;  // FIFO tiebreaker for simultaneous events
+  SimEventType type;
+  DbId db;
+  uint64_t aux;  // session index or generation stamp
+
+  bool operator>(const SimEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct DbRuntime {
+  const workload::DbTrace* trace = nullptr;
+  std::unique_ptr<MemHistoryStore> history;
+  std::unique_ptr<LifecycleController> controller;
+  /// Bumped on every lifecycle transition; stamps scheduled eviction and
+  /// resume-latency events so stale ones are dropped.
+  uint64_t generation = 0;
+  EpochSeconds scheduled_timer = 0;
+};
+
+class FleetSimulation {
+ public:
+  FleetSimulation(const std::vector<workload::DbTrace>& traces,
+                  const SimOptions& options)
+      : traces_(traces), options_(options), rng_(options.seed) {}
+
+  Result<SimReport> Run();
+
+ private:
+  void Push(EpochSeconds time, SimEventType type, DbId db, uint64_t aux) {
+    queue_.push({time, seq_++, type, db, aux});
+  }
+
+  /// Re-schedules the controller's requested timer if it changed.
+  void SyncTimer(DbId db) {
+    DbRuntime& rt = dbs_[db];
+    EpochSeconds t = rt.controller->NextTimerAt();
+    if (t != 0 && t != rt.scheduled_timer) {
+      rt.scheduled_timer = t;
+      Push(t, SimEventType::kTimer, db, 0);
+    }
+  }
+
+  void RecordEvent(EpochSeconds time, DbId db, EventKind kind) {
+    recorder_->Record(time, db, kind);
+  }
+
+  void SetPhase(DbId db, Phase phase, EpochSeconds time) {
+    bool was_allocated = current_phase_[db] != Phase::kReclaimed &&
+                         phase_known_[db];
+    bool is_allocated = phase != Phase::kReclaimed;
+    if (is_allocated && !was_allocated) ++allocated_now_;
+    if (!is_allocated && was_allocated) --allocated_now_;
+    phase_known_[db] = true;
+    ledger_->SetPhase(db, phase, time);
+    current_phase_[db] = phase;
+  }
+
+  /// Lifecycle transition hook: metadata store, telemetry, ledger phases,
+  /// eviction scheduling, reactive-resume latency.
+  void OnTransition(DbId db, const policy::TransitionEvent& e);
+
+  Status HandleDbCreated(const SimEvent& ev);
+  Status HandleSessionStart(const SimEvent& ev);
+  Status HandleSessionEnd(const SimEvent& ev);
+  Status HandleTimer(const SimEvent& ev);
+  Status HandleResumeOpTick(const SimEvent& ev);
+  Status HandleEviction(const SimEvent& ev);
+  Status HandleResumeLatencyDone(const SimEvent& ev);
+  void HandleMeasureStart(const SimEvent& ev);
+
+  const std::vector<workload::DbTrace>& traces_;
+  SimOptions options_;
+  Rng rng_;
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>>
+      queue_;
+  uint64_t seq_ = 0;
+
+  std::vector<DbRuntime> dbs_;
+  std::vector<Phase> current_phase_;
+  std::vector<bool> phase_known_;
+  int64_t allocated_now_ = 0;
+  Summary allocated_samples_;
+  std::unique_ptr<forecast::FastPredictor> predictor_;
+  std::unique_ptr<MetadataStore> metadata_;
+  std::unique_ptr<controlplane::ManagementService> management_;
+  std::unique_ptr<telemetry::UsageLedger> ledger_;
+  std::unique_ptr<telemetry::Recorder> recorder_;
+};
+
+void FleetSimulation::OnTransition(DbId db,
+                                   const policy::TransitionEvent& e) {
+  DbRuntime& rt = dbs_[db];
+  ++rt.generation;
+  // Algorithm 1 line 31: persist the predicted start in the metadata
+  // store when physically pausing (0 when no prediction).
+  (void)metadata_->UpsertState(db, e.to, e.prediction.start);
+
+  switch (e.to) {
+    case DbState::kResumed:
+      // Login events themselves are recorded in HandleSessionStart (one
+      // per first-login-after-idle); here only phases are tracked.
+      if (e.cause == TransitionCause::kReactiveResume) {
+        // Resources take resume_latency to come back; the customer waits.
+        SetPhase(db, Phase::kUnavailable, e.time);
+        Push(e.time + options_.resume_latency,
+             SimEventType::kResumeLatencyDone, db, rt.generation);
+      } else {
+        SetPhase(db, Phase::kActive, e.time);
+      }
+      break;
+    case DbState::kLogicallyPaused:
+      if (e.cause == TransitionCause::kProactiveResume) {
+        RecordEvent(e.time, db, EventKind::kProactiveResume);
+        SetPhase(db, Phase::kIdleProactive, e.time);
+      } else {
+        RecordEvent(e.time, db, EventKind::kLogicalPause);
+        SetPhase(db, Phase::kIdleLogical, e.time);
+      }
+      if (options_.eviction_per_hour > 0) {
+        double mean_seconds = 3600.0 / options_.eviction_per_hour;
+        EpochSeconds at = e.time + static_cast<DurationSeconds>(
+                                       rng_.NextExponential(mean_seconds));
+        if (at < options_.end) {
+          Push(at, SimEventType::kEviction, db, rt.generation);
+        }
+      }
+      break;
+    case DbState::kPhysicallyPaused:
+      RecordEvent(e.time, db, EventKind::kPhysicalPause);
+      if (e.cause == TransitionCause::kForcedEviction) {
+        RecordEvent(e.time, db, EventKind::kForcedEviction);
+      }
+      SetPhase(db, Phase::kReclaimed, e.time);
+      break;
+  }
+}
+
+Status FleetSimulation::HandleDbCreated(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  rt.history = std::make_unique<MemHistoryStore>();
+  const forecast::Predictor* predictor =
+      options_.mode == PolicyMode::kProactive ? predictor_.get() : nullptr;
+  DbId db = ev.db;
+  rt.controller = std::make_unique<LifecycleController>(
+      options_.config.policy, options_.mode, rt.history.get(), predictor,
+      ev.time, [this, db](const policy::TransitionEvent& e) {
+        OnTransition(db, e);
+      });
+  PRORP_RETURN_IF_ERROR(metadata_->UpsertState(db, DbState::kResumed, 0));
+  // A creation login is not a "first login after an idle interval", so it
+  // does not enter the QoS statistics.
+  SetPhase(db, Phase::kActive, ev.time);
+  // The creation login is session 0; its end is the next event.
+  Push(rt.trace->sessions[0].end, SimEventType::kSessionEnd, db, 0);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleSessionStart(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  PRORP_ASSIGN_OR_RETURN(policy::LoginOutcome outcome,
+                         rt.controller->OnActivityStart(ev.time));
+  if (outcome == policy::LoginOutcome::kReactiveResume) {
+    RecordEvent(ev.time, ev.db, EventKind::kLoginReactive);
+  } else if (outcome == policy::LoginOutcome::kResourcesAvailable) {
+    RecordEvent(ev.time, ev.db, EventKind::kLoginAvailable);
+    if (options_.mode == PolicyMode::kAlwaysOn) {
+      SetPhase(ev.db, Phase::kActive, ev.time);  // no FSM transition fires
+    }
+  }
+  SyncTimer(ev.db);
+  Push(rt.trace->sessions[ev.aux].end, SimEventType::kSessionEnd, ev.db,
+       ev.aux);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleSessionEnd(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  PRORP_RETURN_IF_ERROR(rt.controller->OnActivityEnd(ev.time));
+  RecordEvent(ev.time, ev.db, EventKind::kLogout);
+  if (options_.mode == PolicyMode::kAlwaysOn) {
+    // Resources stay allocated; the idle time is plain logical-pause idle.
+    SetPhase(ev.db, Phase::kIdleLogical, ev.time);
+  }
+  SyncTimer(ev.db);
+  size_t next = static_cast<size_t>(ev.aux) + 1;
+  if (next < rt.trace->sessions.size()) {
+    Push(rt.trace->sessions[next].start, SimEventType::kSessionStart, ev.db,
+         next);
+  }
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleTimer(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  if (rt.controller == nullptr) return Status::OK();
+  if (rt.scheduled_timer != ev.time) {
+    return Status::OK();  // superseded: a newer timer event exists
+  }
+  rt.scheduled_timer = 0;  // this event is consumed either way
+  if (rt.controller->NextTimerAt() == ev.time) {
+    PRORP_RETURN_IF_ERROR(rt.controller->OnTimerCheck(ev.time));
+  }
+  SyncTimer(ev.db);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleResumeOpTick(const SimEvent& ev) {
+  PRORP_RETURN_IF_ERROR(
+      management_->RunOnce(ev.time, options_.use_sql_scan_for_resume_op)
+          .status());
+  EpochSeconds next =
+      ev.time + options_.config.control_plane.resume_operation_period;
+  if (next < options_.end) Push(next, SimEventType::kResumeOpTick, 0, 0);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleEviction(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  if (rt.controller == nullptr || rt.generation != ev.aux) {
+    return Status::OK();  // the pause this hazard was drawn for is over
+  }
+  if (rt.controller->state() != DbState::kLogicallyPaused ||
+      rt.controller->active()) {
+    return Status::OK();
+  }
+  PRORP_RETURN_IF_ERROR(rt.controller->OnForcedEviction(ev.time));
+  SyncTimer(ev.db);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleResumeLatencyDone(const SimEvent& ev) {
+  DbRuntime& rt = dbs_[ev.db];
+  if (rt.controller == nullptr || rt.generation != ev.aux) {
+    return Status::OK();
+  }
+  if (rt.controller->active() &&
+      current_phase_[ev.db] == Phase::kUnavailable) {
+    SetPhase(ev.db, Phase::kActive, ev.time);
+  }
+  return Status::OK();
+}
+
+void FleetSimulation::HandleMeasureStart(const SimEvent& ev) {
+  // Swap in a fresh ledger/recorder seeded with the current phases: the
+  // warm-up period does not count toward the KPIs.
+  auto fresh = std::make_unique<telemetry::UsageLedger>(dbs_.size(),
+                                                        ev.time);
+  for (DbId db = 0; db < dbs_.size(); ++db) {
+    if (dbs_[db].controller != nullptr) {
+      fresh->SetPhase(db, current_phase_[db], ev.time);
+    }
+  }
+  ledger_ = std::move(fresh);
+  recorder_ = std::make_unique<telemetry::Recorder>();
+}
+
+Result<SimReport> FleetSimulation::Run() {
+  PRORP_RETURN_IF_ERROR(options_.config.Validate());
+  if (options_.end <= 0) {
+    return Status::InvalidArgument("SimOptions.end is required");
+  }
+  size_t n = traces_.size();
+  dbs_.resize(n);
+  current_phase_.assign(n, Phase::kReclaimed);
+  phase_known_.assign(n, false);
+  predictor_ = std::make_unique<forecast::FastPredictor>(
+      options_.config.policy.prediction);
+  PRORP_ASSIGN_OR_RETURN(metadata_, MetadataStore::Open());
+
+  Rng failure_rng = rng_.Fork();
+  management_ = std::make_unique<controlplane::ManagementService>(
+      metadata_.get(), options_.config.control_plane,
+      [this, failure_rng](DbId db, EpochSeconds now) mutable -> Status {
+        if (options_.resume_failure_probability > 0 &&
+            failure_rng.NextBool(options_.resume_failure_probability)) {
+          return Status::Unavailable("injected workflow failure");
+        }
+        DbRuntime& rt = dbs_[db];
+        if (rt.controller == nullptr) {
+          return Status::FailedPrecondition("database not yet created");
+        }
+        Status s = rt.controller->OnProactiveResume(now);
+        if (s.ok()) SyncTimer(db);
+        return s;
+      });
+
+  EpochSeconds measure_from = options_.measure_from;
+  ledger_ = std::make_unique<telemetry::UsageLedger>(
+      n, measure_from > 0 ? measure_from : 0);
+  recorder_ = std::make_unique<telemetry::Recorder>();
+
+  for (DbId db = 0; db < n; ++db) {
+    dbs_[db].trace = &traces_[db];
+    if (!traces_[db].sessions.empty() &&
+        traces_[db].sessions[0].start < options_.end) {
+      Push(traces_[db].sessions[0].start, SimEventType::kDbCreated, db, 0);
+    }
+  }
+  if (options_.mode == PolicyMode::kProactive &&
+      options_.proactive_resume_enabled) {
+    // The operation starts with the earliest database; earlier ticks
+    // would only scan an empty metadata store.
+    EpochSeconds first_tick = options_.end;
+    for (const workload::DbTrace& t : traces_) {
+      if (!t.sessions.empty()) {
+        first_tick = std::min(first_tick, t.sessions[0].start + 1);
+      }
+    }
+    if (first_tick < options_.end) {
+      Push(first_tick, SimEventType::kResumeOpTick, 0, 0);
+    }
+  }
+  if (measure_from > 0) {
+    Push(measure_from, SimEventType::kMeasureStart, 0, 0);
+  }
+  Push(measure_from > 0 ? measure_from : options_.end - 1,
+       SimEventType::kAllocationSample, 0, 0);
+
+  while (!queue_.empty()) {
+    SimEvent ev = queue_.top();
+    queue_.pop();
+    if (ev.time >= options_.end) break;
+    switch (ev.type) {
+      case SimEventType::kDbCreated:
+        PRORP_RETURN_IF_ERROR(HandleDbCreated(ev));
+        break;
+      case SimEventType::kSessionStart:
+        PRORP_RETURN_IF_ERROR(HandleSessionStart(ev));
+        break;
+      case SimEventType::kSessionEnd:
+        PRORP_RETURN_IF_ERROR(HandleSessionEnd(ev));
+        break;
+      case SimEventType::kTimer:
+        PRORP_RETURN_IF_ERROR(HandleTimer(ev));
+        break;
+      case SimEventType::kResumeOpTick:
+        PRORP_RETURN_IF_ERROR(HandleResumeOpTick(ev));
+        break;
+      case SimEventType::kEviction:
+        PRORP_RETURN_IF_ERROR(HandleEviction(ev));
+        break;
+      case SimEventType::kResumeLatencyDone:
+        PRORP_RETURN_IF_ERROR(HandleResumeLatencyDone(ev));
+        break;
+      case SimEventType::kMeasureStart:
+        HandleMeasureStart(ev);
+        break;
+      case SimEventType::kAllocationSample: {
+        allocated_samples_.Add(static_cast<double>(allocated_now_));
+        EpochSeconds next_sample = ev.time + Minutes(5);
+        if (next_sample < options_.end) {
+          Push(next_sample, SimEventType::kAllocationSample, 0, 0);
+        }
+        break;
+      }
+    }
+  }
+  ledger_->Finish(options_.end);
+
+  SimReport report;
+  report.kpi = telemetry::ComputeKpi(*recorder_, *ledger_);
+  // Predictions are counted inside the controllers (the event stream only
+  // carries lifecycle transitions).
+  for (const DbRuntime& rt : dbs_) {
+    if (rt.controller != nullptr) {
+      report.kpi.predictions += rt.controller->stats().predictions_made;
+    }
+  }
+  report.recorder = std::move(*recorder_);
+  report.diagnostics = management_->diagnostics();
+  report.resumed_per_iteration = management_->resumed_per_iteration();
+  report.measure_from = measure_from;
+  report.measure_end = options_.end;
+  report.allocated_samples = allocated_samples_;
+  for (DbId db = 0; db < n; ++db) {
+    if (dbs_[db].history != nullptr) {
+      report.history_tuples.Add(
+          static_cast<double>(dbs_[db].history->NumTuples()));
+      report.history_bytes.Add(
+          static_cast<double>(dbs_[db].history->SizeBytes()));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<SimReport> RunFleetSimulation(
+    const std::vector<workload::DbTrace>& traces,
+    const SimOptions& options) {
+  FleetSimulation simulation(traces, options);
+  return simulation.Run();
+}
+
+}  // namespace prorp::sim

@@ -1,0 +1,82 @@
+#ifndef PRORP_SIM_FLEET_SIMULATOR_H_
+#define PRORP_SIM_FLEET_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "controlplane/management_service.h"
+#include "policy/lifecycle_controller.h"
+#include "telemetry/kpi.h"
+#include "workload/trace.h"
+
+namespace prorp::sim {
+
+/// Configuration of one region-scale simulation run.
+struct SimOptions {
+  ProrpConfig config;
+  policy::PolicyMode mode = policy::PolicyMode::kProactive;
+
+  /// KPI measurement window [measure_from, end).  Everything before
+  /// measure_from is warm-up (history accumulation); 0 = measure from the
+  /// beginning of the traces.
+  EpochSeconds measure_from = 0;
+  /// Simulation end (required; must be after all warm-up).
+  EpochSeconds end = 0;
+
+  /// Reaction time between a demand signal against a physically paused
+  /// database and resources becoming available (the reactive-resume delay
+  /// of Section 2.2).
+  DurationSeconds resume_latency = 60;
+
+  /// Per-hour hazard of a logically paused database being reclaimed early
+  /// by node capacity pressure (0 disables).
+  double eviction_per_hour = 0;
+
+  /// Injected probability that one proactive-resume workflow attempt
+  /// fails transiently (exercises the diagnostics/mitigation runner).
+  double resume_failure_probability = 0;
+
+  /// Disables the control plane's proactive resume operation (ablation:
+  /// proactive pause without proactive resume).
+  bool proactive_resume_enabled = true;
+
+  /// Route Algorithm 5's selection through the literal SQL scan instead
+  /// of the ordered index (slow; for validation runs).
+  bool use_sql_scan_for_resume_op = false;
+
+  uint64_t seed = 42;
+};
+
+/// Everything a bench needs from one run.
+struct SimReport {
+  telemetry::KpiReport kpi;
+  telemetry::Recorder recorder;  // events within the measurement window
+  controlplane::DiagnosticsReport diagnostics;
+  /// Databases proactively resumed per operation iteration (Figure 11).
+  Summary resumed_per_iteration;
+  /// Per-database history sizes at simulation end (Figure 10(a)/(b)).
+  Summary history_tuples;
+  Summary history_bytes;
+  /// Number of databases with resources allocated, sampled every 5
+  /// simulated minutes inside the measurement window.  Peak concurrent
+  /// allocation determines how many physical machines the region needs
+  /// (paper Section 11, future work 3: aligning the pause policy with
+  /// tenant placement).
+  Summary allocated_samples;
+  EpochSeconds measure_from = 0;
+  EpochSeconds measure_end = 0;
+};
+
+/// Runs the full ProRP stack over the given traces: one history store and
+/// lifecycle controller per database, the metadata store, the management
+/// service's periodic proactive resume operation, capacity-pressure
+/// evictions, and reactive-resume latency — all on a single-threaded
+/// discrete event loop.
+Result<SimReport> RunFleetSimulation(
+    const std::vector<workload::DbTrace>& traces, const SimOptions& options);
+
+}  // namespace prorp::sim
+
+#endif  // PRORP_SIM_FLEET_SIMULATOR_H_

@@ -1,0 +1,87 @@
+#ifndef PRORP_SQL_AST_H_
+#define PRORP_SQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace prorp::sql {
+
+/// A scalar operand in VALUES / SET / WHERE: an integer literal or a bound
+/// parameter (@name), mirroring the stored-procedure parameters of
+/// Algorithms 2-4.
+struct Operand {
+  enum class Kind { kLiteral, kParameter };
+  Kind kind = Kind::kLiteral;
+  int64_t literal = 0;
+  std::string parameter;  // name without '@'
+};
+
+/// One conjunct of a WHERE clause: <column> <op> <operand>.
+struct Comparison {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  std::string column;
+  Op op = Op::kEq;
+  Operand rhs;
+};
+
+struct ColumnDef {
+  std::string name;
+  bool primary_key = false;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<Operand> values;
+};
+
+struct SelectItem {
+  enum class Kind { kStar, kColumn, kMin, kMax, kCountStar };
+  Kind kind = Kind::kStar;
+  std::string column;  // for kColumn/kMin/kMax
+  std::string alias;   // optional output name
+};
+
+struct OrderBy {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Comparison> where;
+  std::optional<OrderBy> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<Comparison> where;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Operand>> assignments;
+  std::vector<Comparison> where;
+};
+
+using Statement = std::variant<CreateTableStmt, DropTableStmt, InsertStmt,
+                               SelectStmt, DeleteStmt, UpdateStmt>;
+
+}  // namespace prorp::sql
+
+#endif  // PRORP_SQL_AST_H_

@@ -1,0 +1,433 @@
+#include "sql/database.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sql/parser.h"
+
+namespace prorp::sql {
+namespace {
+
+constexpr Value kMinValue = std::numeric_limits<Value>::min();
+constexpr Value kMaxValue = std::numeric_limits<Value>::max();
+
+Result<Value> Resolve(const Operand& op, const Params& params) {
+  if (op.kind == Operand::Kind::kLiteral) return op.literal;
+  auto it = params.find(op.parameter);
+  if (it == params.end()) {
+    return Status::InvalidArgument("unbound parameter @" + op.parameter);
+  }
+  return it->second;
+}
+
+struct ResolvedComparison {
+  size_t column;
+  Comparison::Op op;
+  Value rhs;
+};
+
+bool EvalCmp(Value lhs, Comparison::Op op, Value rhs) {
+  switch (op) {
+    case Comparison::Op::kEq:
+      return lhs == rhs;
+    case Comparison::Op::kNe:
+      return lhs != rhs;
+    case Comparison::Op::kLt:
+      return lhs < rhs;
+    case Comparison::Op::kLe:
+      return lhs <= rhs;
+    case Comparison::Op::kGt:
+      return lhs > rhs;
+    case Comparison::Op::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+/// Key-range extraction: conjuncts over the primary key with range
+/// operators tighten [lo, hi]; everything else (including != on the key)
+/// stays a residual filter evaluated per row.
+struct ScanPlan {
+  Value lo = kMinValue;
+  Value hi = kMaxValue;
+  bool provably_empty = false;
+  std::vector<ResolvedComparison> residual;
+};
+
+Result<ScanPlan> PlanScan(const TableSchema& schema,
+                          const std::vector<Comparison>& where,
+                          const Params& params) {
+  ScanPlan plan;
+  for (const Comparison& cmp : where) {
+    PRORP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(cmp.column));
+    PRORP_ASSIGN_OR_RETURN(Value rhs, Resolve(cmp.rhs, params));
+    if (col == schema.key_index) {
+      switch (cmp.op) {
+        case Comparison::Op::kEq:
+          plan.lo = std::max(plan.lo, rhs);
+          plan.hi = std::min(plan.hi, rhs);
+          continue;
+        case Comparison::Op::kGe:
+          plan.lo = std::max(plan.lo, rhs);
+          continue;
+        case Comparison::Op::kGt:
+          if (rhs == kMaxValue) {
+            plan.provably_empty = true;
+          } else {
+            plan.lo = std::max(plan.lo, rhs + 1);
+          }
+          continue;
+        case Comparison::Op::kLe:
+          plan.hi = std::min(plan.hi, rhs);
+          continue;
+        case Comparison::Op::kLt:
+          if (rhs == kMinValue) {
+            plan.provably_empty = true;
+          } else {
+            plan.hi = std::min(plan.hi, rhs - 1);
+          }
+          continue;
+        case Comparison::Op::kNe:
+          break;  // falls through to residual
+      }
+    }
+    plan.residual.push_back({col, cmp.op, rhs});
+  }
+  if (plan.lo > plan.hi) plan.provably_empty = true;
+  return plan;
+}
+
+bool PassesResidual(const Row& row,
+                    const std::vector<ResolvedComparison>& residual) {
+  for (const ResolvedComparison& r : residual) {
+    if (!EvalCmp(row[r.column], r.op, r.rhs)) return false;
+  }
+  return true;
+}
+
+std::string ItemName(const SelectItem& item, const TableSchema& schema) {
+  if (!item.alias.empty()) return item.alias;
+  switch (item.kind) {
+    case SelectItem::Kind::kStar:
+      return "*";
+    case SelectItem::Kind::kColumn:
+      return item.column;
+    case SelectItem::Kind::kMin:
+      return "MIN(" + item.column + ")";
+    case SelectItem::Kind::kMax:
+      return "MAX(" + item.column + ")";
+    case SelectItem::Kind::kCountStar:
+      return "COUNT(*)";
+  }
+  (void)schema;
+  return "?";
+}
+
+}  // namespace
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const Params& params) {
+  PRORP_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  return ExecuteStatement(stmt, params);
+}
+
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
+                                               const Params& params) {
+  return std::visit(
+      [&](const auto& s) -> Result<QueryResult> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return ExecCreate(s);
+        } else if constexpr (std::is_same_v<T, DropTableStmt>) {
+          return ExecDrop(s);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecInsert(s, params);
+        } else if constexpr (std::is_same_v<T, SelectStmt>) {
+          return ExecSelect(s, params);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecDelete(s, params);
+        } else {
+          return ExecUpdate(s, params);
+        }
+      },
+      stmt);
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<QueryResult> Database::ExecCreate(const CreateTableStmt& stmt) {
+  if (tables_.count(stmt.table)) {
+    return Status::AlreadyExists("table '" + stmt.table +
+                                 "' already exists");
+  }
+  TableSchema schema;
+  schema.name = stmt.table;
+  size_t pk_count = 0;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    schema.columns.push_back(stmt.columns[i].name);
+    if (stmt.columns[i].primary_key) {
+      schema.key_index = i;
+      ++pk_count;
+    }
+  }
+  if (pk_count != 1) {
+    return Status::InvalidArgument(
+        "table must declare exactly one PRIMARY KEY column");
+  }
+  std::string table_dir;
+  if (!dir_.empty()) {
+    std::string safe = stmt.table;
+    std::replace(safe.begin(), safe.end(), '.', '_');
+    table_dir = dir_ + "/" + safe;
+  }
+  PRORP_ASSIGN_OR_RETURN(auto table, Table::Open(std::move(schema),
+                                                 table_dir));
+  tables_[stmt.table] = std::move(table);
+  QueryResult r;
+  return r;
+}
+
+Result<QueryResult> Database::ExecDrop(const DropTableStmt& stmt) {
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + stmt.table + "'");
+  }
+  tables_.erase(it);
+  QueryResult r;
+  return r;
+}
+
+Result<QueryResult> Database::ExecInsert(const InsertStmt& stmt,
+                                         const Params& params) {
+  PRORP_ASSIGN_OR_RETURN(Table * table, GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+  if (stmt.values.size() !=
+      (stmt.columns.empty() ? schema.num_columns() : stmt.columns.size())) {
+    return Status::InvalidArgument("INSERT arity mismatch");
+  }
+  Row row(schema.num_columns(), 0);
+  std::vector<bool> provided(schema.num_columns(), false);
+  for (size_t i = 0; i < stmt.values.size(); ++i) {
+    size_t col;
+    if (stmt.columns.empty()) {
+      col = i;
+    } else {
+      PRORP_ASSIGN_OR_RETURN(col, schema.ColumnIndex(stmt.columns[i]));
+    }
+    if (provided[col]) {
+      return Status::InvalidArgument("column listed twice in INSERT");
+    }
+    PRORP_ASSIGN_OR_RETURN(row[col], Resolve(stmt.values[i], params));
+    provided[col] = true;
+  }
+  for (size_t i = 0; i < provided.size(); ++i) {
+    if (!provided[i]) {
+      return Status::InvalidArgument("INSERT missing column '" +
+                                     schema.columns[i] + "'");
+    }
+  }
+  PRORP_RETURN_IF_ERROR(table->Insert(row));
+  QueryResult r;
+  r.affected_rows = 1;
+  return r;
+}
+
+Result<QueryResult> Database::ExecSelect(const SelectStmt& stmt,
+                                         const Params& params) {
+  PRORP_ASSIGN_OR_RETURN(Table * table, GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+  PRORP_ASSIGN_OR_RETURN(ScanPlan plan,
+                         PlanScan(schema, stmt.where, params));
+
+  bool has_aggregate = false;
+  bool has_plain = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kMin ||
+        item.kind == SelectItem::Kind::kMax ||
+        item.kind == SelectItem::Kind::kCountStar) {
+      has_aggregate = true;
+    } else {
+      has_plain = true;
+    }
+  }
+  if (has_aggregate && has_plain) {
+    return Status::NotSupported(
+        "mixing aggregates and plain columns without GROUP BY");
+  }
+
+  QueryResult result;
+  if (has_aggregate) {
+    // Resolve aggregate input columns up front.
+    std::vector<size_t> agg_cols(stmt.items.size(), 0);
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      result.columns.push_back(ItemName(stmt.items[i], schema));
+      if (stmt.items[i].kind != SelectItem::Kind::kCountStar) {
+        PRORP_ASSIGN_OR_RETURN(agg_cols[i],
+                               schema.ColumnIndex(stmt.items[i].column));
+      }
+    }
+    std::vector<Value> mins(stmt.items.size(), kMaxValue);
+    std::vector<Value> maxs(stmt.items.size(), kMinValue);
+    uint64_t count = 0;
+    if (!plan.provably_empty) {
+      PRORP_RETURN_IF_ERROR(
+          table->ScanKeyRange(plan.lo, plan.hi, [&](const Row& row) {
+            if (!PassesResidual(row, plan.residual)) return true;
+            ++count;
+            for (size_t i = 0; i < stmt.items.size(); ++i) {
+              if (stmt.items[i].kind == SelectItem::Kind::kMin) {
+                mins[i] = std::min(mins[i], row[agg_cols[i]]);
+              } else if (stmt.items[i].kind == SelectItem::Kind::kMax) {
+                maxs[i] = std::max(maxs[i], row[agg_cols[i]]);
+              }
+            }
+            return true;
+          }));
+    }
+    Row out(stmt.items.size(), 0);
+    result.nulls.assign(stmt.items.size(), false);
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      switch (stmt.items[i].kind) {
+        case SelectItem::Kind::kCountStar:
+          out[i] = static_cast<Value>(count);
+          break;
+        case SelectItem::Kind::kMin:
+          out[i] = mins[i];
+          result.nulls[i] = (count == 0);
+          break;
+        case SelectItem::Kind::kMax:
+          out[i] = maxs[i];
+          result.nulls[i] = (count == 0);
+          break;
+        default:
+          break;
+      }
+    }
+    result.rows.push_back(std::move(out));
+    return result;
+  }
+
+  // Plain projection.
+  std::vector<size_t> out_cols;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == SelectItem::Kind::kStar) {
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        out_cols.push_back(i);
+        result.columns.push_back(schema.columns[i]);
+      }
+    } else {
+      PRORP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(item.column));
+      out_cols.push_back(col);
+      result.columns.push_back(ItemName(item, schema));
+    }
+  }
+  std::vector<Row> matching;
+  if (!plan.provably_empty) {
+    PRORP_RETURN_IF_ERROR(
+        table->ScanKeyRange(plan.lo, plan.hi, [&](const Row& row) {
+          if (PassesResidual(row, plan.residual)) matching.push_back(row);
+          return true;
+        }));
+  }
+  if (stmt.order_by.has_value()) {
+    PRORP_ASSIGN_OR_RETURN(size_t sort_col,
+                           schema.ColumnIndex(stmt.order_by->column));
+    bool asc = stmt.order_by->ascending;
+    std::stable_sort(matching.begin(), matching.end(),
+                     [&](const Row& a, const Row& b) {
+                       return asc ? a[sort_col] < b[sort_col]
+                                  : a[sort_col] > b[sort_col];
+                     });
+  }
+  size_t limit = matching.size();
+  if (stmt.limit.has_value() && *stmt.limit >= 0 &&
+      static_cast<size_t>(*stmt.limit) < limit) {
+    limit = static_cast<size_t>(*stmt.limit);
+  }
+  result.rows.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    Row out;
+    out.reserve(out_cols.size());
+    for (size_t col : out_cols) out.push_back(matching[i][col]);
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::ExecDelete(const DeleteStmt& stmt,
+                                         const Params& params) {
+  PRORP_ASSIGN_OR_RETURN(Table * table, GetTable(stmt.table));
+  PRORP_ASSIGN_OR_RETURN(ScanPlan plan,
+                         PlanScan(table->schema(), stmt.where, params));
+  QueryResult r;
+  if (plan.provably_empty) return r;
+  if (plan.residual.empty()) {
+    // Pure key-range delete: one logical DeleteRange (Algorithm 3's path).
+    PRORP_ASSIGN_OR_RETURN(uint64_t n,
+                           table->durable_tree()->DeleteRange(plan.lo,
+                                                              plan.hi));
+    r.affected_rows = n;
+    return r;
+  }
+  std::vector<Value> keys;
+  size_t key_index = table->schema().key_index;
+  PRORP_RETURN_IF_ERROR(
+      table->ScanKeyRange(plan.lo, plan.hi, [&](const Row& row) {
+        if (PassesResidual(row, plan.residual)) {
+          keys.push_back(row[key_index]);
+        }
+        return true;
+      }));
+  for (Value key : keys) {
+    PRORP_RETURN_IF_ERROR(table->DeleteByKey(key));
+  }
+  r.affected_rows = keys.size();
+  return r;
+}
+
+Result<QueryResult> Database::ExecUpdate(const UpdateStmt& stmt,
+                                         const Params& params) {
+  PRORP_ASSIGN_OR_RETURN(Table * table, GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+  PRORP_ASSIGN_OR_RETURN(ScanPlan plan,
+                         PlanScan(schema, stmt.where, params));
+  std::vector<std::pair<size_t, Value>> sets;
+  bool updates_key = false;
+  for (const auto& [col_name, operand] : stmt.assignments) {
+    PRORP_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(col_name));
+    PRORP_ASSIGN_OR_RETURN(Value v, Resolve(operand, params));
+    if (col == schema.key_index) updates_key = true;
+    sets.emplace_back(col, v);
+  }
+  QueryResult r;
+  if (plan.provably_empty) return r;
+  std::vector<Row> matching;
+  PRORP_RETURN_IF_ERROR(
+      table->ScanKeyRange(plan.lo, plan.hi, [&](const Row& row) {
+        if (PassesResidual(row, plan.residual)) matching.push_back(row);
+        return true;
+      }));
+  for (const Row& old_row : matching) {
+    Row new_row = old_row;
+    for (const auto& [col, v] : sets) new_row[col] = v;
+    if (updates_key &&
+        new_row[schema.key_index] != old_row[schema.key_index]) {
+      PRORP_RETURN_IF_ERROR(table->DeleteByKey(old_row[schema.key_index]));
+      Status s = table->Insert(new_row);
+      if (!s.ok()) return s;
+    } else {
+      PRORP_RETURN_IF_ERROR(
+          table->UpdateByKey(old_row[schema.key_index], new_row));
+    }
+  }
+  r.affected_rows = matching.size();
+  return r;
+}
+
+}  // namespace prorp::sql

@@ -1,0 +1,72 @@
+#ifndef PRORP_SQL_DATABASE_H_
+#define PRORP_SQL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/table.h"
+#include "sql/value.h"
+
+namespace prorp::sql {
+
+/// Named parameter bindings for @parameters, mirroring stored-procedure
+/// arguments (Algorithms 2-4 are executed with @h, @now, @c, ... bound).
+using Params = std::unordered_map<std::string, Value>;
+
+/// A minimal single-schema SQL database: a catalog of integer tables plus
+/// an executor for the parsed statement forms.  Predicates on the primary
+/// key become B+tree range scans (the planner extracts key bounds from the
+/// WHERE conjunction); everything else is a residual filter.
+///
+/// This is the "familiar SQL interface" the paper requires of the history
+/// store (Section 3.3) and the substrate the stored procedures of
+/// Algorithms 2-4 run on.
+class Database {
+ public:
+  /// `dir` empty => all tables ephemeral.  Otherwise each table persists
+  /// under dir/<table-name> and CREATE TABLE recovers existing state.
+  explicit Database(std::string dir = "") : dir_(std::move(dir)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const Params& params = {});
+
+  /// Executes an already-parsed statement (hot paths cache parses).
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       const Params& params);
+
+  /// Direct access to a table for C++-level fast paths.
+  Result<Table*> GetTable(const std::string& name);
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Result<QueryResult> ExecCreate(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecDrop(const DropTableStmt& stmt);
+  Result<QueryResult> ExecInsert(const InsertStmt& stmt,
+                                 const Params& params);
+  Result<QueryResult> ExecSelect(const SelectStmt& stmt,
+                                 const Params& params);
+  Result<QueryResult> ExecDelete(const DeleteStmt& stmt,
+                                 const Params& params);
+  Result<QueryResult> ExecUpdate(const UpdateStmt& stmt,
+                                 const Params& params);
+
+  std::string dir_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace prorp::sql
+
+#endif  // PRORP_SQL_DATABASE_H_

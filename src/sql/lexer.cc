@@ -1,0 +1,142 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace prorp::sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "CREATE", "TABLE",  "DROP",   "PRIMARY", "KEY",    "BIGINT",
+      "INT",    "INSERT", "INTO",   "VALUES",  "SELECT", "FROM",
+      "WHERE",  "AND",    "ORDER",  "BY",      "ASC",    "DESC",
+      "LIMIT",  "DELETE", "UPDATE", "SET",     "MIN",    "MAX",
+      "COUNT",  "AS",     "NULL",   "IS",      "NOT",    "EXISTS",
+      "IF",     "BETWEEN",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(c) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(c) || c == '_'; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      Token t;
+      t.offset = start;
+      if (Keywords().count(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j < n && (IsIdentStart(input[j]) || input[j] == '.')) {
+        return Status::InvalidArgument(
+            "malformed numeric literal at offset " + std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kInteger;
+      t.text = input.substr(i, j - i);
+      t.offset = start;
+      errno = 0;
+      t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      if (errno != 0) {
+        return Status::InvalidArgument("integer literal out of range");
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      if (j >= n || !IsIdentStart(input[j])) {
+        return Status::InvalidArgument("dangling '@' at offset " +
+                                       std::to_string(start));
+      }
+      while (j < n && IsIdentChar(input[j])) ++j;
+      Token t;
+      t.type = TokenType::kParameter;
+      t.text = input.substr(i + 1, j - i - 1);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Two-character comparison operators.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        Token t;
+        t.type = TokenType::kSymbol;
+        t.text = (two == "<>") ? "!=" : two;
+        t.offset = start;
+        tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '*':
+      case '.':
+      case ';':
+      case '=':
+      case '<':
+      case '>':
+      case '-': {
+        Token t;
+        t.type = TokenType::kSymbol;
+        t.text = std::string(1, c);
+        t.offset = start;
+        tokens.push_back(std::move(t));
+        ++i;
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace prorp::sql

@@ -1,0 +1,36 @@
+#ifndef PRORP_SQL_LEXER_H_
+#define PRORP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace prorp::sql {
+
+enum class TokenType {
+  kIdentifier,   // table / column names (case preserved)
+  kKeyword,      // normalized to upper case
+  kInteger,      // 64-bit literal
+  kParameter,    // @name
+  kSymbol,       // ( ) , * . ; = < > <= >= != <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;     // keyword upper-cased; symbol text; identifier as-is
+  int64_t int_value = 0;
+  size_t offset = 0;    // byte offset in the input, for error messages
+};
+
+/// Tokenizes a single SQL statement.  Keywords are recognized
+/// case-insensitively.  Returns InvalidArgument on unknown characters or
+/// malformed literals.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace prorp::sql
+
+#endif  // PRORP_SQL_LEXER_H_

@@ -1,0 +1,352 @@
+#include "sql/parser.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace prorp::sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (AcceptKeyword("CREATE")) return ParseCreateTable();
+    if (AcceptKeyword("DROP")) return ParseDropTable();
+    if (AcceptKeyword("INSERT")) return ParseInsert();
+    if (AcceptKeyword("SELECT")) return ParseSelect();
+    if (AcceptKeyword("DELETE")) return ParseDelete();
+    if (AcceptKeyword("UPDATE")) return ParseUpdate();
+    return Err("expected a statement keyword");
+  }
+
+  Status ExpectEnd() {
+    AcceptSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " before '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + sym + "' before '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument(msg + " (at offset " +
+                                   std::to_string(Peek().offset) + ")");
+  }
+
+  /// Possibly qualified name: ident ('.' ident)*.
+  Result<std::string> ParseName() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    std::string name = Advance().text;
+    while (Peek().type == TokenType::kSymbol && Peek().text == ".") {
+      ++pos_;
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected identifier after '.'");
+      }
+      name += ".";
+      name += Advance().text;
+    }
+    return name;
+  }
+
+  Result<Operand> ParseOperand() {
+    Operand op;
+    bool negative = AcceptSymbol("-");
+    if (Peek().type == TokenType::kInteger) {
+      op.kind = Operand::Kind::kLiteral;
+      op.literal = Advance().int_value;
+      if (negative) op.literal = -op.literal;
+      return op;
+    }
+    if (Peek().type == TokenType::kParameter) {
+      if (negative) {
+        return Status::InvalidArgument("cannot negate a parameter");
+      }
+      op.kind = Operand::Kind::kParameter;
+      op.parameter = Advance().text;
+      return op;
+    }
+    return Status::InvalidArgument("expected integer literal or @parameter, "
+                                   "got '" + Peek().text + "'");
+  }
+
+  Result<std::vector<Comparison>> ParseWhere() {
+    std::vector<Comparison> conj;
+    do {
+      // A conjunct can also be written "<operand> <op> <column>", as in
+      // Algorithm 4's "@winStartPrevDay <= time_snapshot"; normalize to
+      // column-on-the-left form.
+      if (Peek().type == TokenType::kIdentifier) {
+        PRORP_ASSIGN_OR_RETURN(std::string column, ParseName());
+        PRORP_ASSIGN_OR_RETURN(Comparison cmp, ParseTail(column));
+        if (cmp.op == Comparison::Op::kEq &&
+            cmp.column == "__between_lo__") {
+          // ParseTail encoded BETWEEN as two conjuncts in pending_.
+          conj.push_back(pending_[0]);
+          conj.push_back(pending_[1]);
+          pending_.clear();
+        } else {
+          conj.push_back(std::move(cmp));
+        }
+      } else {
+        PRORP_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+        PRORP_ASSIGN_OR_RETURN(Comparison::Op op, ParseCompareOp());
+        PRORP_ASSIGN_OR_RETURN(std::string column, ParseName());
+        Comparison cmp;
+        cmp.column = std::move(column);
+        cmp.op = Mirror(op);
+        cmp.rhs = lhs;
+        conj.push_back(std::move(cmp));
+      }
+    } while (AcceptKeyword("AND"));
+    return conj;
+  }
+
+  /// After the column of a conjunct: either a comparison operator and an
+  /// operand, or BETWEEN lo AND hi (expanded into two conjuncts).
+  Result<Comparison> ParseTail(const std::string& column) {
+    if (AcceptKeyword("BETWEEN")) {
+      PRORP_ASSIGN_OR_RETURN(Operand lo, ParseOperand());
+      PRORP_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      PRORP_ASSIGN_OR_RETURN(Operand hi, ParseOperand());
+      Comparison a;
+      a.column = column;
+      a.op = Comparison::Op::kGe;
+      a.rhs = lo;
+      Comparison b;
+      b.column = column;
+      b.op = Comparison::Op::kLe;
+      b.rhs = hi;
+      pending_ = {a, b};
+      Comparison marker;
+      marker.column = "__between_lo__";
+      marker.op = Comparison::Op::kEq;
+      return marker;
+    }
+    PRORP_ASSIGN_OR_RETURN(Comparison::Op op, ParseCompareOp());
+    PRORP_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    Comparison cmp;
+    cmp.column = column;
+    cmp.op = op;
+    cmp.rhs = std::move(rhs);
+    return cmp;
+  }
+
+  Result<Comparison::Op> ParseCompareOp() {
+    if (Peek().type != TokenType::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator, got '" +
+                                     Peek().text + "'");
+    }
+    std::string sym = Advance().text;
+    if (sym == "=") return Comparison::Op::kEq;
+    if (sym == "!=") return Comparison::Op::kNe;
+    if (sym == "<") return Comparison::Op::kLt;
+    if (sym == "<=") return Comparison::Op::kLe;
+    if (sym == ">") return Comparison::Op::kGt;
+    if (sym == ">=") return Comparison::Op::kGe;
+    return Status::InvalidArgument("unknown comparison operator '" + sym +
+                                   "'");
+  }
+
+  static Comparison::Op Mirror(Comparison::Op op) {
+    switch (op) {
+      case Comparison::Op::kLt:
+        return Comparison::Op::kGt;
+      case Comparison::Op::kLe:
+        return Comparison::Op::kGe;
+      case Comparison::Op::kGt:
+        return Comparison::Op::kLt;
+      case Comparison::Op::kGe:
+        return Comparison::Op::kLe;
+      default:
+        return op;  // = and != are symmetric
+    }
+  }
+
+  Result<Statement> ParseCreateTable() {
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    PRORP_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      ColumnDef col;
+      PRORP_ASSIGN_OR_RETURN(col.name, ParseName());
+      if (!AcceptKeyword("BIGINT") && !AcceptKeyword("INT")) {
+        return Err("expected column type BIGINT or INT");
+      }
+      if (AcceptKeyword("PRIMARY")) {
+        PRORP_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        col.primary_key = true;
+      }
+      stmt.columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    PRORP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDropTable() {
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DropTableStmt stmt;
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    if (AcceptSymbol("(")) {
+      do {
+        PRORP_ASSIGN_OR_RETURN(std::string col, ParseName());
+        stmt.columns.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+      PRORP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    PRORP_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      PRORP_ASSIGN_OR_RETURN(Operand v, ParseOperand());
+      stmt.values.push_back(std::move(v));
+    } while (AcceptSymbol(","));
+    PRORP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    do {
+      SelectItem item;
+      if (AcceptSymbol("*")) {
+        item.kind = SelectItem::Kind::kStar;
+      } else if (AcceptKeyword("MIN") || AcceptKeyword("MAX")) {
+        bool is_min = tokens_[pos_ - 1].text == "MIN";
+        item.kind = is_min ? SelectItem::Kind::kMin : SelectItem::Kind::kMax;
+        PRORP_RETURN_IF_ERROR(ExpectSymbol("("));
+        PRORP_ASSIGN_OR_RETURN(item.column, ParseName());
+        PRORP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else if (AcceptKeyword("COUNT")) {
+        item.kind = SelectItem::Kind::kCountStar;
+        PRORP_RETURN_IF_ERROR(ExpectSymbol("("));
+        PRORP_RETURN_IF_ERROR(ExpectSymbol("*"));
+        PRORP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        item.kind = SelectItem::Kind::kColumn;
+        PRORP_ASSIGN_OR_RETURN(item.column, ParseName());
+      }
+      if (AcceptKeyword("AS")) {
+        PRORP_ASSIGN_OR_RETURN(item.alias, ParseName());
+      }
+      stmt.items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    if (AcceptKeyword("WHERE")) {
+      PRORP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    if (AcceptKeyword("ORDER")) {
+      PRORP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy ob;
+      PRORP_ASSIGN_OR_RETURN(ob.column, ParseName());
+      if (AcceptKeyword("DESC")) {
+        ob.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt.order_by = ob;
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Err("expected integer after LIMIT");
+      }
+      stmt.limit = Advance().int_value;
+    }
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    if (AcceptKeyword("WHERE")) {
+      PRORP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStmt stmt;
+    PRORP_ASSIGN_OR_RETURN(stmt.table, ParseName());
+    PRORP_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      PRORP_ASSIGN_OR_RETURN(std::string col, ParseName());
+      PRORP_RETURN_IF_ERROR(ExpectSymbol("="));
+      PRORP_ASSIGN_OR_RETURN(Operand v, ParseOperand());
+      stmt.assignments.emplace_back(std::move(col), std::move(v));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      PRORP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    }
+    PRORP_RETURN_IF_ERROR(ExpectEnd());
+    return Statement(std::move(stmt));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<Comparison> pending_;  // BETWEEN expansion buffer
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  PRORP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace prorp::sql

@@ -1,0 +1,26 @@
+#ifndef PRORP_SQL_PARSER_H_
+#define PRORP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace prorp::sql {
+
+/// Parses a single SQL statement of the ProRP subset:
+///   CREATE TABLE t (c1 BIGINT PRIMARY KEY, c2 INT, ...)
+///   DROP TABLE t
+///   INSERT INTO t [(cols)] VALUES (v, ...)
+///   SELECT {* | cols | MIN(c) | MAX(c) | COUNT(*)} FROM t
+///     [WHERE conj] [ORDER BY c [ASC|DESC]] [LIMIT n]
+///   DELETE FROM t [WHERE conj]
+///   UPDATE t SET c = v [, ...] [WHERE conj]
+/// where conj is an AND-list of comparisons (=, !=, <, <=, >, >=, BETWEEN)
+/// against integer literals or @parameters.  Table names may be qualified
+/// (sys.pause_resume_history).
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace prorp::sql
+
+#endif  // PRORP_SQL_PARSER_H_

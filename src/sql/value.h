@@ -1,0 +1,50 @@
+#ifndef PRORP_SQL_VALUE_H_
+#define PRORP_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prorp::sql {
+
+/// The SQL subset used by the ProRP stored procedures is integer-only:
+/// sys.pause_resume_history stores epoch timestamps and event types as
+/// 64-bit integers (paper Section 5), and sys.databases stores ids, state
+/// enums, and predicted-activity timestamps.
+using Value = int64_t;
+
+/// NULL is represented out-of-band: aggregate results over empty ranges
+/// carry a null flag (mirrors "IF @firstLogin IS NOT NULL" in Algorithm 4).
+struct NullableValue {
+  Value value = 0;
+  bool is_null = true;
+};
+
+using Row = std::vector<Value>;
+
+/// Result set of a SELECT (or the affected-row count of a mutation).
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  /// For aggregate queries, per-column null flags of the single result row.
+  std::vector<bool> nulls;
+  /// Rows affected by INSERT/DELETE/UPDATE.
+  uint64_t affected_rows = 0;
+
+  bool empty() const { return rows.empty(); }
+
+  /// Convenience accessor: single-cell result (aggregates).  The caller
+  /// must know the shape.
+  NullableValue Cell() const {
+    NullableValue v;
+    if (!rows.empty() && !rows[0].empty()) {
+      v.value = rows[0][0];
+      v.is_null = !nulls.empty() && nulls[0];
+    }
+    return v;
+  }
+};
+
+}  // namespace prorp::sql
+
+#endif  // PRORP_SQL_VALUE_H_

@@ -1,0 +1,15 @@
+#ifndef PRORP_STORAGE_CRC32_H_
+#define PRORP_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prorp::storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).  Used to checksum WAL records
+/// and snapshot files so torn writes are detected during recovery.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_CRC32_H_

@@ -1,0 +1,112 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prorp::storage {
+
+Result<PageId> InMemoryDiskManager::Allocate() {
+  if (pages_.size() >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  auto page = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryDiskManager::Read(PageId id, uint8_t* buf) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  std::memcpy(buf, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::Write(PageId id, const uint8_t* buf) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  std::memcpy(pages_[id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+uint32_t InMemoryDiskManager::num_pages() const {
+  return static_cast<uint32_t>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open failed: " + std::string(strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek failed");
+  }
+  if (size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("page file size is not a multiple of the page "
+                              "size: " + path);
+  }
+  uint32_t num_pages = static_cast<uint32_t>(size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(fd, num_pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> FileDiskManager::Allocate() {
+  if (num_pages_ >= kInvalidPageId) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  uint8_t zeros[kPageSize] = {};
+  off_t offset = static_cast<off_t>(num_pages_) * kPageSize;
+  ssize_t written = ::pwrite(fd_, zeros, kPageSize, offset);
+  if (written != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite failed while allocating page");
+  }
+  return num_pages_++;
+}
+
+Status FileDiskManager::Read(PageId id, uint8_t* buf) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page");
+  }
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t got = ::pread(fd_, buf, kPageSize, offset);
+  if (got != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pread failed");
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::Write(PageId id, const uint8_t* buf) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page");
+  }
+  off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t written = ::pwrite(fd_, buf, kPageSize, offset);
+  if (written != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite failed");
+  }
+  return Status::OK();
+}
+
+uint32_t FileDiskManager::num_pages() const { return num_pages_; }
+
+Status FileDiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace prorp::storage

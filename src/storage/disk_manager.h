@@ -1,0 +1,81 @@
+#ifndef PRORP_STORAGE_DISK_MANAGER_H_
+#define PRORP_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace prorp::storage {
+
+/// Abstraction over the page file.  The buffer pool is the only client.
+/// Pages are only ever appended; page recycling is handled above this layer
+/// by the B+tree's intra-file free list.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Appends a zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  virtual Status Read(PageId id, uint8_t* buf) = 0;
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  virtual Status Write(PageId id, const uint8_t* buf) = 0;
+
+  /// Number of allocated pages.
+  virtual uint32_t num_pages() const = 0;
+
+  /// Flushes OS buffers where applicable.
+  virtual Status Sync() = 0;
+};
+
+/// Heap-backed page store.  Used by unit tests and by the fleet simulator,
+/// where per-database histories are small (a few KiB, Figure 10(b)) and
+/// durability is provided by the WAL layered on top.
+class InMemoryDiskManager : public DiskManager {
+ public:
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  uint32_t num_pages() const override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/// File-backed page store using pread/pwrite on a single database file.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if necessary) the page file at `path`.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  ~FileDiskManager() override;
+
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, uint8_t* buf) override;
+  Status Write(PageId id, const uint8_t* buf) override;
+  uint32_t num_pages() const override;
+  Status Sync() override;
+
+ private:
+  FileDiskManager(int fd, uint32_t num_pages)
+      : fd_(fd), num_pages_(num_pages) {}
+
+  int fd_;
+  uint32_t num_pages_;
+};
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_DISK_MANAGER_H_

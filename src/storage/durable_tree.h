@@ -1,0 +1,117 @@
+#ifndef PRORP_STORAGE_DURABLE_TREE_H_
+#define PRORP_STORAGE_DURABLE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+
+namespace prorp::storage {
+
+/// A durable clustered B+tree: an in-memory BPlusTree made crash-safe by a
+/// logical write-ahead log plus periodic full snapshots.
+///
+/// This is the storage unit behind one database's sys.pause_resume_history
+/// table.  Per the paper (Section 3.3), the history must be durable and
+/// must travel with the database when it moves between nodes; `Backup` +
+/// `Open` on the destination directory model exactly that (and the Azure
+/// backup/restore mechanisms the paper reuses).
+///
+/// Opening a directory that already contains a snapshot and/or WAL recovers
+/// the tree: snapshot first, then WAL tail replay.  A torn trailing WAL
+/// record (crash mid-append) is discarded, matching write-ahead semantics.
+class DurableTree {
+ public:
+  struct Options {
+    /// Durability directory.  Empty => ephemeral (no WAL, no snapshot);
+    /// the fleet simulator uses ephemeral stores for speed.
+    std::string dir;
+
+    /// Fixed value width in bytes (the non-key columns).
+    uint32_t value_width = 8;
+
+    /// Buffer pool frames for the in-memory page store.
+    size_t buffer_pool_pages = 64;
+
+    /// Auto-checkpoint once the WAL exceeds this many bytes (0 = never;
+    /// call Checkpoint() manually).
+    uint64_t checkpoint_wal_bytes = 1 << 20;
+
+    /// fsync the WAL after every append.  Off by default: group commit is
+    /// modeled by the OS page cache, which is plenty for simulation and
+    /// unit-test use.
+    bool fsync_each_append = false;
+  };
+
+  /// Opens (and recovers, if durable state exists) a tree.
+  static Result<std::unique_ptr<DurableTree>> Open(const Options& options);
+
+  DurableTree(const DurableTree&) = delete;
+  DurableTree& operator=(const DurableTree&) = delete;
+
+  Status Insert(int64_t key, const uint8_t* value);
+  Status Update(int64_t key, const uint8_t* value);
+  Status Delete(int64_t key);
+  Result<uint64_t> DeleteRange(int64_t lo, int64_t hi);
+
+  Result<std::vector<uint8_t>> Find(int64_t key) const {
+    return tree_->Find(key);
+  }
+  bool Contains(int64_t key) const { return tree_->Contains(key); }
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const BPlusTree::ScanCallback& cb) const {
+    return tree_->ScanRange(lo, hi, cb);
+  }
+  Result<uint64_t> CountRange(int64_t lo, int64_t hi) const {
+    return tree_->CountRange(lo, hi);
+  }
+  Result<int64_t> MinKey() const { return tree_->MinKey(); }
+  Result<int64_t> MaxKey() const { return tree_->MaxKey(); }
+
+  uint64_t size() const { return tree_->size(); }
+  bool empty() const { return tree_->empty(); }
+  uint32_t value_width() const { return tree_->value_width(); }
+
+  /// Logical on-disk footprint in bytes: entries x (8 + value_width).
+  /// This is the "size of database history" metric of Figure 10(b).
+  uint64_t LogicalSizeBytes() const {
+    return size() * (8 + value_width());
+  }
+
+  /// Writes a full snapshot and truncates the WAL.
+  Status Checkpoint();
+
+  /// Checkpoints, then copies the snapshot into `dest_dir` (which must
+  /// exist).  `Open` on dest_dir restores the tree there: this models both
+  /// scheduled backups and a database move across nodes.
+  Status Backup(const std::string& dest_dir);
+
+  /// The underlying index (for invariant checks and stats).
+  const BPlusTree& tree() const { return *tree_; }
+  BPlusTree* mutable_tree() { return tree_.get(); }
+
+  bool durable() const { return wal_ != nullptr; }
+
+ private:
+  DurableTree() = default;
+
+  Status MaybeAutoCheckpoint();
+  Status LogAndMaybeSync(const WalRecord& rec);
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+  std::unique_ptr<WriteAheadLog> wal_;
+};
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_DURABLE_TREE_H_

@@ -1,0 +1,19 @@
+#ifndef PRORP_STORAGE_PAGE_H_
+#define PRORP_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace prorp::storage {
+
+/// Fixed database page size.  4 KiB matches the common unit of the SQL
+/// Server storage engine family the paper's history table lives in.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Pages are addressed by dense 32-bit ids starting at 0.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_PAGE_H_

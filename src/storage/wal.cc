@@ -1,0 +1,165 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace prorp::storage {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+void PutI64(std::vector<uint8_t>& out, int64_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out.insert(out.end(), p, p + 8);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+int64_t GetI64(const uint8_t* p) {
+  int64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+std::vector<uint8_t> EncodePayload(const WalRecord& r) {
+  std::vector<uint8_t> payload;
+  payload.push_back(static_cast<uint8_t>(r.type));
+  PutI64(payload, r.key);
+  if (r.type == WalRecord::Type::kDeleteRange) {
+    PutI64(payload, r.key2);
+  }
+  if (r.type == WalRecord::Type::kInsert ||
+      r.type == WalRecord::Type::kUpdate) {
+    PutU32(payload, static_cast<uint32_t>(r.value.size()));
+    payload.insert(payload.end(), r.value.begin(), r.value.end());
+  }
+  return payload;
+}
+
+Result<WalRecord> DecodePayload(const uint8_t* p, size_t len) {
+  if (len < 9) return Status::Corruption("WAL payload too short");
+  WalRecord r;
+  r.type = static_cast<WalRecord::Type>(p[0]);
+  r.key = GetI64(p + 1);
+  size_t off = 9;
+  switch (r.type) {
+    case WalRecord::Type::kDelete:
+      break;
+    case WalRecord::Type::kDeleteRange:
+      if (len < off + 8) return Status::Corruption("truncated range record");
+      r.key2 = GetI64(p + off);
+      off += 8;
+      break;
+    case WalRecord::Type::kInsert:
+    case WalRecord::Type::kUpdate: {
+      if (len < off + 4) return Status::Corruption("truncated value length");
+      uint32_t vlen = GetU32(p + off);
+      off += 4;
+      if (len < off + vlen) return Status::Corruption("truncated value");
+      r.value.assign(p + off, p + off + vlen);
+      off += vlen;
+      break;
+    }
+    default:
+      return Status::Corruption("unknown WAL record type");
+  }
+  if (off != len) return Status::Corruption("trailing bytes in WAL record");
+  return r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("open WAL failed: " +
+                           std::string(strerror(errno)));
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(fd, path));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  std::vector<uint8_t> payload = EncodePayload(record);
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  PutU32(frame, Crc32(payload.data(), payload.size()));
+  ssize_t written = ::write(fd_, frame.data(), frame.size());
+  if (written != static_cast<ssize_t>(frame.size())) {
+    return Status::IoError("WAL append failed");
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (::fsync(fd_) != 0) return Status::IoError("WAL fsync failed");
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("WAL truncate failed");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& apply) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return static_cast<uint64_t>(0);
+    return Status::IoError("open WAL for replay failed");
+  }
+  uint64_t replayed = 0;
+  std::vector<uint8_t> buf;
+  for (;;) {
+    uint8_t lenbuf[4];
+    ssize_t got = ::read(fd, lenbuf, 4);
+    if (got == 0) break;           // clean end
+    if (got != 4) break;           // torn tail
+    uint32_t len = GetU32(lenbuf);
+    if (len > (1u << 24)) break;   // implausible: treat as torn tail
+    buf.resize(len + 4);
+    got = ::read(fd, buf.data(), len + 4);
+    if (got != static_cast<ssize_t>(len + 4)) break;  // torn tail
+    uint32_t expect_crc = GetU32(buf.data() + len);
+    if (Crc32(buf.data(), len) != expect_crc) break;  // torn tail
+    Result<WalRecord> rec = DecodePayload(buf.data(), len);
+    if (!rec.ok()) break;
+    Status s = apply(*rec);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+    ++replayed;
+  }
+  ::close(fd);
+  return replayed;
+}
+
+Result<uint64_t> WriteAheadLog::SizeBytes() const {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Status::IoError("lseek failed");
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace prorp::storage

@@ -1,0 +1,74 @@
+#ifndef PRORP_STORAGE_WAL_H_
+#define PRORP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace prorp::storage {
+
+/// Logical write-ahead-log record.  ProRP's history store is single-writer
+/// and append-mostly, so logical redo logging (no undo, no pages in the
+/// log) is sufficient: recovery = load last snapshot + replay the tail.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kInsert = 1,       // key + value bytes
+    kDelete = 2,       // key
+    kDeleteRange = 3,  // [lo, hi]
+    kUpdate = 4,       // key + value bytes
+  };
+
+  Type type = Type::kInsert;
+  int64_t key = 0;        // kInsert/kDelete/kUpdate; lo for kDeleteRange
+  int64_t key2 = 0;       // hi for kDeleteRange
+  std::vector<uint8_t> value;  // kInsert/kUpdate payload
+};
+
+/// Append-only write-ahead log on a single file.  Record framing:
+///   [u32 payload_len][payload][u32 crc32(payload)]
+/// Replay stops cleanly at the first truncated or corrupt record, which is
+/// the expected state after a crash mid-append.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if necessary) the log file at `path` for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends a record and flushes it to the OS.
+  Status Append(const WalRecord& record);
+
+  /// Forces the log to stable storage.
+  Status Sync();
+
+  /// Truncates the log (after a checkpoint has captured its effects).
+  Status Truncate();
+
+  /// Replays all intact records in `path` in order.  Returns the number of
+  /// records replayed.  A trailing torn record is not an error.
+  static Result<uint64_t> Replay(
+      const std::string& path,
+      const std::function<Status(const WalRecord&)>& apply);
+
+  /// Current log size in bytes.
+  Result<uint64_t> SizeBytes() const;
+
+ private:
+  WriteAheadLog(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_WAL_H_

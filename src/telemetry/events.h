@@ -1,0 +1,62 @@
+#ifndef PRORP_TELEMETRY_EVENTS_H_
+#define PRORP_TELEMETRY_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_util.h"
+
+namespace prorp::telemetry {
+
+/// Identifier of a simulated serverless database within a region.
+using DbId = uint32_t;
+
+/// Telemetry event kinds emitted by the online components (Section 9.1:
+/// "telemetry is emitted by the customer activity tracking, the prediction
+/// of next activity, and the proactive resume operation").
+enum class EventKind : uint8_t {
+  kLoginAvailable,   // first login after idle, resources were allocated
+  kLoginReactive,    // first login after idle, reactive resume needed
+  kLogout,           // customer activity ended
+  kLogicalPause,     // resources logically paused (idle, unbilled)
+  kPhysicalPause,    // resources reclaimed
+  kProactiveResume,  // control plane pre-warmed the database
+  kForcedEviction,   // capacity pressure reclaimed a logical pause
+  kPrediction,       // next-activity prediction computed
+};
+
+std::string_view EventKindName(EventKind kind);
+
+struct FleetEvent {
+  EpochSeconds time = 0;
+  DbId db = 0;
+  EventKind kind = EventKind::kLogout;
+};
+
+/// Append-only in-memory event log standing in for the Cosmos long-term
+/// telemetry store; exportable to CSV for offline analysis.
+class Recorder {
+ public:
+  void Record(EpochSeconds time, DbId db, EventKind kind) {
+    events_.push_back({time, db, kind});
+  }
+
+  const std::vector<FleetEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  /// Number of events of `kind`.
+  uint64_t Count(EventKind kind) const;
+
+  /// Writes "time,db,kind" rows (with a header) to `path`.
+  Status ExportCsv(const std::string& path) const;
+
+ private:
+  std::vector<FleetEvent> events_;
+};
+
+}  // namespace prorp::telemetry
+
+#endif  // PRORP_TELEMETRY_EVENTS_H_

@@ -1,0 +1,75 @@
+#include "telemetry/region_report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace prorp::telemetry {
+namespace {
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderRegionReport(const RegionReportInput& input) {
+  std::string out;
+  Appendf(out, "# ProRP region report — %s (%s policy)\n\n",
+          input.region_name.c_str(), input.policy_name.c_str());
+  Appendf(out, "Window: %s .. %s UTC, %zu databases\n\n",
+          FormatTimestamp(input.from).c_str(),
+          FormatTimestamp(input.to).c_str(), input.num_databases);
+
+  const KpiReport& kpi = input.kpi;
+  Appendf(out, "## Quality of service\n\n");
+  Appendf(out,
+          "- first logins after idle: %llu, of which **%.1f%%** found "
+          "resources available\n",
+          static_cast<unsigned long long>(kpi.logins_total),
+          kpi.QosAvailablePct());
+  Appendf(out, "- reactive resumes (customer-visible delay): %llu\n\n",
+          static_cast<unsigned long long>(kpi.logins_reactive));
+
+  Appendf(out, "## Operational cost\n\n");
+  Appendf(out, "| phase | %% of database-time |\n|---|---|\n");
+  Appendf(out, "| active (billed) | %.1f |\n", kpi.active_pct);
+  Appendf(out, "| idle, logical pause | %.1f |\n", kpi.idle_logical_pct);
+  Appendf(out, "| idle, correct pre-warm | %.1f |\n",
+          kpi.idle_proactive_correct_pct);
+  Appendf(out, "| idle, wrong pre-warm | %.1f |\n",
+          kpi.idle_proactive_wrong_pct);
+  Appendf(out, "| reclaimed (saved) | %.1f |\n", kpi.reclaimed_pct);
+  Appendf(out, "| unavailable | %.2f |\n\n", kpi.unavailable_pct);
+
+  Appendf(out, "## Workflow volumes\n\n");
+  Appendf(out,
+          "logical pauses %llu · physical pauses %llu · proactive "
+          "resumes %llu · forced evictions %llu · predictions %llu\n",
+          static_cast<unsigned long long>(kpi.logical_pauses),
+          static_cast<unsigned long long>(kpi.physical_pauses),
+          static_cast<unsigned long long>(kpi.proactive_resumes),
+          static_cast<unsigned long long>(kpi.forced_evictions),
+          static_cast<unsigned long long>(kpi.predictions));
+
+  if (input.baseline != nullptr) {
+    const KpiReport& base = *input.baseline;
+    Appendf(out, "\n## vs %s\n\n", input.baseline_name.c_str());
+    Appendf(out, "| metric | %s | %s | delta |\n|---|---|---|---|\n",
+            input.policy_name.c_str(), input.baseline_name.c_str());
+    Appendf(out, "| QoS available %% | %.1f | %.1f | %+.1f |\n",
+            kpi.QosAvailablePct(), base.QosAvailablePct(),
+            kpi.QosAvailablePct() - base.QosAvailablePct());
+    Appendf(out, "| idle %% | %.1f | %.1f | %+.1f |\n", kpi.IdleTotalPct(),
+            base.IdleTotalPct(), kpi.IdleTotalPct() - base.IdleTotalPct());
+    Appendf(out, "| saved %% | %.1f | %.1f | %+.1f |\n", kpi.reclaimed_pct,
+            base.reclaimed_pct, kpi.reclaimed_pct - base.reclaimed_pct);
+  }
+  return out;
+}
+
+}  // namespace prorp::telemetry

@@ -1,0 +1,32 @@
+#ifndef PRORP_TELEMETRY_REGION_REPORT_H_
+#define PRORP_TELEMETRY_REGION_REPORT_H_
+
+#include <string>
+
+#include "telemetry/kpi.h"
+
+namespace prorp::telemetry {
+
+/// Inputs for the human-readable region report (the stand-in for the
+/// PowerBI monitoring dashboards the paper reuses, Section 3.1).
+struct RegionReportInput {
+  std::string region_name;
+  std::string policy_name;
+  EpochSeconds from = 0;
+  EpochSeconds to = 0;
+  size_t num_databases = 0;
+  KpiReport kpi;
+  /// Optional comparison baseline (e.g. the reactive policy on the same
+  /// fleet); pass nullptr to omit the comparison section.
+  const KpiReport* baseline = nullptr;
+  std::string baseline_name;
+};
+
+/// Renders a Markdown operations report: QoS, idle-time attribution,
+/// workflow volumes, and (when a baseline is given) the delta table an
+/// on-call engineer would scan first.
+std::string RenderRegionReport(const RegionReportInput& input);
+
+}  // namespace prorp::telemetry
+
+#endif  // PRORP_TELEMETRY_REGION_REPORT_H_

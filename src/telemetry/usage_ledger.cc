@@ -1,0 +1,68 @@
+#include "telemetry/usage_ledger.h"
+
+#include <cassert>
+
+namespace prorp::telemetry {
+
+TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
+  active += other.active;
+  idle_logical += other.idle_logical;
+  idle_proactive_correct += other.idle_proactive_correct;
+  idle_proactive_wrong += other.idle_proactive_wrong;
+  reclaimed += other.reclaimed;
+  unavailable += other.unavailable;
+  return *this;
+}
+
+UsageLedger::UsageLedger(size_t num_dbs, EpochSeconds start)
+    : open_(num_dbs), per_db_(num_dbs), start_(start) {}
+
+void UsageLedger::SetPhase(DbId db, Phase phase, EpochSeconds now) {
+  assert(db < open_.size());
+  CloseSegment(db, now, phase);
+  open_[db] = {phase, now, true};
+}
+
+void UsageLedger::CloseSegment(DbId db, EpochSeconds now, Phase next_phase) {
+  OpenSegment& seg = open_[db];
+  if (!seg.started) return;
+  double dur = static_cast<double>(now - seg.since);
+  if (dur < 0) dur = 0;
+  TimeBreakdown& t = per_db_[db];
+  switch (seg.phase) {
+    case Phase::kActive:
+      t.active += dur;
+      break;
+    case Phase::kIdleLogical:
+      t.idle_logical += dur;
+      break;
+    case Phase::kIdleProactive:
+      // Classified by what ends it: a login means the customer used the
+      // pre-warmed resources (correct); anything else means they did not.
+      if (next_phase == Phase::kActive) {
+        t.idle_proactive_correct += dur;
+      } else {
+        t.idle_proactive_wrong += dur;
+      }
+      break;
+    case Phase::kReclaimed:
+      t.reclaimed += dur;
+      break;
+    case Phase::kUnavailable:
+      t.unavailable += dur;
+      break;
+  }
+}
+
+void UsageLedger::Finish(EpochSeconds end) {
+  if (finished_) return;
+  finished_ = true;
+  for (DbId db = 0; db < open_.size(); ++db) {
+    // An unused pre-warm at window end counts as wrong; pass kReclaimed.
+    CloseSegment(db, end, Phase::kReclaimed);
+    open_[db].started = false;
+    fleet_total_ += per_db_[db];
+  }
+}
+
+}  // namespace prorp::telemetry

@@ -1,0 +1,85 @@
+#ifndef PRORP_TELEMETRY_USAGE_LEDGER_H_
+#define PRORP_TELEMETRY_USAGE_LEDGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_util.h"
+#include "telemetry/events.h"
+
+namespace prorp::telemetry {
+
+/// The mutually exclusive phases a database's resources can be in, refining
+/// Definition 2.2's four quadrants with the paper's idle-time attribution
+/// (Section 8): idle time is split into logical-pause idle and
+/// proactive-resume idle, and proactive resumes are classified correct
+/// (customer used the pre-warmed resources) or wrong (they were reclaimed
+/// unused).
+enum class Phase : uint8_t {
+  kActive,            // D=1, A=1: resources used, customer billed
+  kIdleLogical,       // D=0, A=1: ordinary logical pause
+  kIdleProactive,     // D=0, A=1: pre-warmed, awaiting predicted login
+  kReclaimed,         // D=0, A=0: resources saved
+  kUnavailable,       // D=1, A=0: reactive-resume latency window
+};
+
+/// Accumulated seconds per phase; proactive idle split by outcome.
+struct TimeBreakdown {
+  double active = 0;
+  double idle_logical = 0;
+  double idle_proactive_correct = 0;
+  double idle_proactive_wrong = 0;
+  double reclaimed = 0;
+  double unavailable = 0;
+
+  double IdleTotal() const {
+    return idle_logical + idle_proactive_correct + idle_proactive_wrong;
+  }
+  double Total() const {
+    return active + IdleTotal() + reclaimed + unavailable;
+  }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other);
+};
+
+/// Integrates per-database phase durations as the simulation progresses.
+/// A kIdleProactive segment is held pending until it closes: ending in
+/// kActive classifies it correct, anything else wrong (including the end
+/// of the observation window — the pre-warm was not used).
+class UsageLedger {
+ public:
+  UsageLedger(size_t num_dbs, EpochSeconds start);
+
+  /// Switches `db` to `phase` at `now`, closing the previous segment.
+  void SetPhase(DbId db, Phase phase, EpochSeconds now);
+
+  /// Closes all open segments at the end of the observation window.
+  void Finish(EpochSeconds end);
+
+  /// Fleet-wide totals (valid after Finish).
+  const TimeBreakdown& fleet_total() const { return fleet_total_; }
+
+  /// Per-database totals (valid after Finish).
+  const TimeBreakdown& db_total(DbId db) const { return per_db_[db]; }
+
+  size_t num_dbs() const { return per_db_.size(); }
+
+ private:
+  struct OpenSegment {
+    Phase phase = Phase::kActive;
+    EpochSeconds since = 0;
+    bool started = false;
+  };
+
+  void CloseSegment(DbId db, EpochSeconds now, Phase next_phase);
+
+  std::vector<OpenSegment> open_;
+  std::vector<TimeBreakdown> per_db_;
+  TimeBreakdown fleet_total_;
+  EpochSeconds start_;
+  bool finished_ = false;
+};
+
+}  // namespace prorp::telemetry
+
+#endif  // PRORP_TELEMETRY_USAGE_LEDGER_H_

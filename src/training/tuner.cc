@@ -1,0 +1,130 @@
+#include "training/tuner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace prorp::training {
+namespace {
+
+double Score(const telemetry::KpiReport& kpi, double idle_weight) {
+  return kpi.QosAvailablePct() - idle_weight * kpi.IdleTotalPct();
+}
+
+}  // namespace
+
+Result<TuningReport> RunTuningPipeline(
+    const std::vector<workload::DbTrace>& traces,
+    const TuningOptions& options) {
+  if (options.train_to <= options.train_from ||
+      options.test_to <= options.test_from) {
+    return Status::InvalidArgument("train/test intervals required");
+  }
+  const PredictionConfig base_pred = options.base.config.policy.prediction;
+  std::vector<DurationSeconds> windows = options.window_sizes;
+  if (windows.empty()) windows = {base_pred.window_size};
+  std::vector<double> confidences = options.confidence_thresholds;
+  if (confidences.empty()) confidences = {base_pred.confidence_threshold};
+  std::vector<DurationSeconds> histories = options.history_lengths;
+  if (histories.empty()) histories = {base_pred.history_length};
+  std::vector<DurationSeconds> seasons = options.seasonalities;
+  if (seasons.empty()) seasons = {base_pred.seasonality};
+
+  TuningReport report;
+  for (DurationSeconds w : windows) {
+    for (double c : confidences) {
+      for (DurationSeconds h : histories) {
+        for (DurationSeconds season : seasons) {
+          sim::SimOptions run = options.base;
+          run.mode = policy::PolicyMode::kProactive;
+          run.config.policy.prediction.window_size = w;
+          run.config.policy.prediction.confidence_threshold = c;
+          run.config.policy.prediction.history_length = h;
+          run.config.policy.prediction.seasonality = season;
+          if (season >= Weeks(1)) {
+            // The horizon may span up to one season.
+            run.config.policy.prediction.prediction_horizon =
+                std::min<DurationSeconds>(
+                    run.config.policy.prediction.prediction_horizon,
+                    season);
+          }
+          run.measure_from = options.train_from;
+          run.end = options.train_to;
+          Status valid = run.config.Validate();
+          if (!valid.ok()) continue;  // infeasible grid point
+          PRORP_ASSIGN_OR_RETURN(sim::SimReport sim_report,
+                                 sim::RunFleetSimulation(traces, run));
+          Trial trial;
+          trial.prediction = run.config.policy.prediction;
+          trial.kpi = sim_report.kpi;
+          trial.score = Score(sim_report.kpi, options.idle_weight);
+          report.trials.push_back(std::move(trial));
+        }
+      }
+    }
+  }
+  if (report.trials.empty()) {
+    return Status::InvalidArgument("grid produced no feasible trials");
+  }
+  std::stable_sort(report.trials.begin(), report.trials.end(),
+                   [](const Trial& a, const Trial& b) {
+                     return a.score > b.score;
+                   });
+  report.best = report.trials.front();
+
+  // Validate the winner on the held-out interval.
+  sim::SimOptions validation = options.base;
+  validation.mode = policy::PolicyMode::kProactive;
+  validation.config.policy.prediction = report.best.prediction;
+  validation.measure_from = options.test_from;
+  validation.end = options.test_to;
+  PRORP_ASSIGN_OR_RETURN(sim::SimReport test_report,
+                         sim::RunFleetSimulation(traces, validation));
+  report.test_kpi = test_report.kpi;
+  return report;
+}
+
+std::vector<KnobSensitivity> RankKnobSensitivity(
+    const TuningReport& report) {
+  // Mean score per value of each knob, then spread across values.
+  struct Acc {
+    double sum = 0;
+    int n = 0;
+  };
+  std::map<std::string, std::map<double, Acc>> by_knob;
+  for (const Trial& t : report.trials) {
+    double score = t.score;
+    auto add = [&](const std::string& knob, double value) {
+      Acc& acc = by_knob[knob][value];
+      acc.sum += score;
+      ++acc.n;
+    };
+    add("window_size", static_cast<double>(t.prediction.window_size));
+    add("confidence_threshold", t.prediction.confidence_threshold);
+    add("history_length", static_cast<double>(t.prediction.history_length));
+    add("seasonality", static_cast<double>(t.prediction.seasonality));
+  }
+  std::vector<KnobSensitivity> ranking;
+  for (const auto& [knob, values] : by_knob) {
+    if (values.size() < 2) continue;  // not varied in this grid
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const auto& [value, acc] : values) {
+      double mean = acc.sum / acc.n;
+      if (first) {
+        lo = hi = mean;
+        first = false;
+      } else {
+        lo = std::min(lo, mean);
+        hi = std::max(hi, mean);
+      }
+    }
+    ranking.push_back({knob, hi - lo});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const KnobSensitivity& a, const KnobSensitivity& b) {
+                     return a.score_spread > b.score_spread;
+                   });
+  return ranking;
+}
+
+}  // namespace prorp::training

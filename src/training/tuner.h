@@ -1,0 +1,78 @@
+#ifndef PRORP_TRAINING_TUNER_H_
+#define PRORP_TRAINING_TUNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sim/fleet_simulator.h"
+#include "workload/trace.h"
+
+namespace prorp::training {
+
+/// One evaluated configuration of the offline training pipeline.
+struct Trial {
+  PredictionConfig prediction;
+  telemetry::KpiReport kpi;
+  double score = 0;
+};
+
+/// The offline training pipeline of Section 8, standing in for the
+/// monthly Azure ML run: replay a training interval of per-database
+/// activity under every candidate (window size, confidence threshold,
+/// history length, seasonality), score the QoS/COGS trade-off, pick the
+/// best configuration, and validate it on a held-out test interval.
+struct TuningOptions {
+  /// Base simulation setup; mode is forced to proactive.  measure_from /
+  /// end are overridden per interval below.
+  sim::SimOptions base;
+
+  /// Training interval (parameter selection).
+  EpochSeconds train_from = 0;
+  EpochSeconds train_to = 0;
+  /// Held-out test interval (validation; Figure 7's role).
+  EpochSeconds test_from = 0;
+  EpochSeconds test_to = 0;
+
+  /// Grid axes; empty axes keep the base config's value.
+  std::vector<DurationSeconds> window_sizes;
+  std::vector<double> confidence_thresholds;
+  std::vector<DurationSeconds> history_lengths;
+  std::vector<DurationSeconds> seasonalities;
+
+  /// Score = QoS% - idle_weight * idle%.  The paper prioritizes quality
+  /// of service over operational costs (Section 9.2), i.e. weight <= 1.
+  double idle_weight = 1.0;
+};
+
+struct TuningReport {
+  /// All trials, best score first.
+  std::vector<Trial> trials;
+  /// Winner on the training interval.
+  Trial best;
+  /// The winner's KPIs on the held-out test interval.
+  telemetry::KpiReport test_kpi;
+};
+
+/// Runs the grid search.  Deterministic given options.base.seed.
+Result<TuningReport> RunTuningPipeline(
+    const std::vector<workload::DbTrace>& traces,
+    const TuningOptions& options);
+
+/// Impact of one configuration knob on the tuning score (paper Section 11,
+/// future work 2: automate knob selection).  Sensitivity is the spread
+/// (max - min) of the mean score across the knob's values, holding the
+/// grid's other axes marginalized — the knobs worth tuning are the ones
+/// with the largest spread.
+struct KnobSensitivity {
+  std::string knob;
+  double score_spread = 0;
+};
+
+/// Ranks the grid's knobs by score spread, most impactful first.
+/// Requires a report whose trials came from RunTuningPipeline.
+std::vector<KnobSensitivity> RankKnobSensitivity(
+    const TuningReport& report);
+
+}  // namespace prorp::training
+
+#endif  // PRORP_TRAINING_TUNER_H_

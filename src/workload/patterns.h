@@ -1,0 +1,18 @@
+#ifndef PRORP_WORKLOAD_PATTERNS_H_
+#define PRORP_WORKLOAD_PATTERNS_H_
+
+#include "common/random.h"
+#include "workload/trace.h"
+
+namespace prorp::workload {
+
+/// Generates the activity trace of one database of the given pattern over
+/// [from, to).  `rng` is the database's private stream; the same seed
+/// reproduces the same trace.  The trace's created_at is the first session
+/// start (>= from).
+DbTrace GenerateTrace(PatternType pattern, uint32_t db_id, EpochSeconds from,
+                      EpochSeconds to, Rng& rng);
+
+}  // namespace prorp::workload
+
+#endif  // PRORP_WORKLOAD_PATTERNS_H_

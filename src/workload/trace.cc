@@ -1,0 +1,89 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+namespace prorp::workload {
+
+std::string_view PatternTypeName(PatternType type) {
+  switch (type) {
+    case PatternType::kDailyBusiness:
+      return "daily_business";
+    case PatternType::kDaily:
+      return "daily";
+    case PatternType::kWeekly:
+      return "weekly";
+    case PatternType::kAlwaysBusy:
+      return "always_busy";
+    case PatternType::kSporadic:
+      return "sporadic";
+    case PatternType::kBursty:
+      return "bursty";
+    case PatternType::kDevTest:
+      return "dev_test";
+  }
+  return "unknown";
+}
+
+void NormalizeSessions(std::vector<Session>& sessions, EpochSeconds from,
+                       EpochSeconds to, DurationSeconds min_gap) {
+  // Clip and drop degenerate sessions.
+  std::vector<Session> clipped;
+  clipped.reserve(sessions.size());
+  for (Session s : sessions) {
+    s.start = std::max(s.start, from);
+    s.end = std::min(s.end, to);
+    if (s.end - s.start >= 1) clipped.push_back(s);
+  }
+  std::sort(clipped.begin(), clipped.end(),
+            [](const Session& a, const Session& b) {
+              return a.start < b.start;
+            });
+  // Merge sessions that overlap or are closer than min_gap.
+  std::vector<Session> merged;
+  for (const Session& s : clipped) {
+    if (!merged.empty() && s.start - merged.back().end < min_gap) {
+      merged.back().end = std::max(merged.back().end, s.end);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  sessions = std::move(merged);
+}
+
+GapStats ComputeGapStats(const std::vector<DbTrace>& traces,
+                         DurationSeconds short_gap, DurationSeconds l) {
+  GapStats stats;
+  uint64_t short_count = 0;
+  uint64_t within_l_count = 0;
+  double short_duration = 0;
+  for (const DbTrace& trace : traces) {
+    for (size_t i = 1; i < trace.sessions.size(); ++i) {
+      DurationSeconds gap =
+          trace.sessions[i].start - trace.sessions[i - 1].end;
+      if (gap <= 0) continue;
+      ++stats.gap_count;
+      stats.total_gap_seconds += static_cast<double>(gap);
+      stats.gap_durations.Add(static_cast<double>(gap));
+      if (gap < short_gap) {
+        ++short_count;
+        short_duration += static_cast<double>(gap);
+      }
+      if (gap < l) ++within_l_count;
+    }
+  }
+  if (stats.gap_count > 0) {
+    stats.short_gap_count_fraction =
+        static_cast<double>(short_count) /
+        static_cast<double>(stats.gap_count);
+    stats.within_l_count_fraction =
+        static_cast<double>(within_l_count) /
+        static_cast<double>(stats.gap_count);
+  }
+  if (stats.total_gap_seconds > 0) {
+    stats.short_gap_duration_fraction =
+        short_duration / stats.total_gap_seconds;
+  }
+  return stats;
+}
+
+}  // namespace prorp::workload

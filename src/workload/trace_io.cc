@@ -1,0 +1,102 @@
+#include "workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace prorp::workload {
+
+bool ParsePatternType(const std::string& name, PatternType* out) {
+  static const std::pair<const char*, PatternType> kNames[] = {
+      {"daily_business", PatternType::kDailyBusiness},
+      {"daily", PatternType::kDaily},
+      {"weekly", PatternType::kWeekly},
+      {"always_busy", PatternType::kAlwaysBusy},
+      {"sporadic", PatternType::kSporadic},
+      {"bursty", PatternType::kBursty},
+      {"dev_test", PatternType::kDevTest},
+  };
+  for (const auto& [candidate, type] : kNames) {
+    if (name == candidate) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SaveFleetCsv(const std::vector<DbTrace>& traces,
+                    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot create " + path);
+  std::fputs("db_id,pattern,session_start,session_end\n", f);
+  for (const DbTrace& trace : traces) {
+    for (const Session& s : trace.sessions) {
+      std::fprintf(f, "%u,%s,%lld,%lld\n", trace.db_id,
+                   std::string(PatternTypeName(trace.pattern)).c_str(),
+                   static_cast<long long>(s.start),
+                   static_cast<long long>(s.end));
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed");
+  return Status::OK();
+}
+
+Result<std::vector<DbTrace>> LoadFleetCsv(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  char line[512];
+  // Header.
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return Status::InvalidArgument("empty trace file");
+  }
+  if (std::string(line).rfind("db_id,pattern,", 0) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("unexpected CSV header");
+  }
+  // Group rows by original db id, preserving order.
+  std::map<uint32_t, DbTrace> by_id;
+  int line_no = 1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    unsigned db_id;
+    char pattern_buf[64];
+    long long start, end;
+    if (std::sscanf(line, "%u,%63[^,],%lld,%lld", &db_id, pattern_buf,
+                    &start, &end) != 4) {
+      std::fclose(f);
+      return Status::InvalidArgument("malformed row at line " +
+                                     std::to_string(line_no));
+    }
+    if (end <= start) {
+      std::fclose(f);
+      return Status::InvalidArgument("session end <= start at line " +
+                                     std::to_string(line_no));
+    }
+    DbTrace& trace = by_id[db_id];
+    PatternType pattern = PatternType::kSporadic;
+    (void)ParsePatternType(pattern_buf, &pattern);
+    trace.pattern = pattern;
+    if (!trace.sessions.empty() && start < trace.sessions.back().end) {
+      std::fclose(f);
+      return Status::InvalidArgument(
+          "overlapping or unsorted sessions at line " +
+          std::to_string(line_no));
+    }
+    trace.sessions.push_back({start, end});
+  }
+  std::fclose(f);
+
+  std::vector<DbTrace> fleet;
+  fleet.reserve(by_id.size());
+  for (auto& [original_id, trace] : by_id) {
+    trace.db_id = static_cast<uint32_t>(fleet.size());  // densify
+    trace.created_at =
+        trace.sessions.empty() ? 0 : trace.sessions.front().start;
+    fleet.push_back(std::move(trace));
+  }
+  return fleet;
+}
+
+}  // namespace prorp::workload

@@ -1,0 +1,34 @@
+#ifndef PRORP_WORKLOAD_TRACE_IO_H_
+#define PRORP_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "workload/trace.h"
+
+namespace prorp::workload {
+
+/// Writes a fleet of traces as CSV with header
+/// `db_id,pattern,session_start,session_end` — one row per session, rows
+/// grouped by database.  This is the interchange format for running the
+/// figure benches on real (anonymized) telemetry instead of the synthetic
+/// generators: export your sessions in this shape and load them with
+/// LoadFleetCsv.
+Status SaveFleetCsv(const std::vector<DbTrace>& traces,
+                    const std::string& path);
+
+/// Loads a fleet from the CSV format above.  Validates monotone,
+/// non-overlapping sessions per database; db_ids are compacted to a dense
+/// 0..n-1 range (the simulator requires dense ids).  Unknown pattern
+/// names map to `sporadic`.
+Result<std::vector<DbTrace>> LoadFleetCsv(const std::string& path);
+
+/// Parses a pattern name as produced by PatternTypeName; false if
+/// unknown.
+bool ParsePatternType(const std::string& name, PatternType* out);
+
+}  // namespace prorp::workload
+
+#endif  // PRORP_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,62 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prorp {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PRORP_ASSIGN_OR_RETURN(int h, Half(x));
+  PRORP_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  auto fail_outer = Quarter(7);
+  EXPECT_TRUE(fail_outer.status().IsInvalidArgument());
+
+  auto fail_inner = Quarter(6);  // 6/2 = 3 is odd
+  EXPECT_TRUE(fail_inner.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prorp

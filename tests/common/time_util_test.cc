@@ -1,0 +1,66 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace prorp {
+namespace {
+
+TEST(TimeUtilTest, UnitConstants) {
+  EXPECT_EQ(Minutes(5), 300);
+  EXPECT_EQ(Hours(7), 25200);
+  EXPECT_EQ(Days(1), 86400);
+  EXPECT_EQ(Weeks(1), 604800);
+}
+
+TEST(TimeUtilTest, StartOfDay) {
+  EXPECT_EQ(StartOfDay(0), 0);
+  EXPECT_EQ(StartOfDay(1), 0);
+  EXPECT_EQ(StartOfDay(86399), 0);
+  EXPECT_EQ(StartOfDay(86400), 86400);
+  EXPECT_EQ(StartOfDay(86401), 86400);
+}
+
+TEST(TimeUtilTest, SecondsIntoDay) {
+  EXPECT_EQ(SecondsIntoDay(0), 0);
+  EXPECT_EQ(SecondsIntoDay(Hours(7) + 30), Hours(7) + 30);
+  EXPECT_EQ(SecondsIntoDay(Days(3) + Hours(12)), Hours(12));
+}
+
+TEST(TimeUtilTest, WeekdayIndex) {
+  // 1970-01-01 was a Thursday => Monday-based index 3.
+  EXPECT_EQ(WeekdayIndex(0), 3);
+  EXPECT_EQ(WeekdayIndex(Days(1)), 4);   // Friday
+  EXPECT_EQ(WeekdayIndex(Days(2)), 5);   // Saturday
+  EXPECT_EQ(WeekdayIndex(Days(3)), 6);   // Sunday
+  EXPECT_EQ(WeekdayIndex(Days(4)), 0);   // Monday
+  EXPECT_TRUE(IsWeekend(Days(2)));
+  EXPECT_TRUE(IsWeekend(Days(3)));
+  EXPECT_FALSE(IsWeekend(Days(4)));
+}
+
+TEST(TimeUtilTest, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00");
+  // 2023-09-01 00:00:00 UTC == 1693526400 (a paper evaluation day).
+  EXPECT_EQ(FormatTimestamp(1693526400), "2023-09-01 00:00:00");
+  EXPECT_EQ(FormatTimestamp(1693526400 + Hours(13) + Minutes(5) + 9),
+            "2023-09-01 13:05:09");
+}
+
+TEST(TimeUtilTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(0), "00:00:00");
+  EXPECT_EQ(FormatDuration(Minutes(5)), "00:05:00");
+  EXPECT_EQ(FormatDuration(Hours(7)), "07:00:00");
+  EXPECT_EQ(FormatDuration(Days(2) + Hours(3) + Minutes(15) + 7),
+            "2d 03:15:07");
+  EXPECT_EQ(FormatDuration(-Minutes(1)), "-00:01:00");
+}
+
+TEST(TimeUtilTest, DayIndexMonotone) {
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(86399), 0);
+  EXPECT_EQ(DayIndex(86400), 1);
+  EXPECT_EQ(DayIndex(Days(100) + 5), 100);
+}
+
+}  // namespace
+}  // namespace prorp

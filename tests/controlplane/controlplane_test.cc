@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "controlplane/management_service.h"
+#include "controlplane/metadata_store.h"
+
+namespace prorp::controlplane {
+namespace {
+
+using policy::DbState;
+
+TEST(MetadataStoreTest, UpsertAndCount) {
+  auto store = MetadataStore::Open();
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->UpsertState(1, DbState::kResumed, 0).ok());
+  ASSERT_TRUE((*store)->UpsertState(2, DbState::kPhysicallyPaused, 500).ok());
+  ASSERT_TRUE((*store)->UpsertState(3, DbState::kLogicallyPaused, 0).ok());
+  EXPECT_EQ((*store)->size(), 3u);
+  EXPECT_EQ((*store)->CountInState(DbState::kPhysicallyPaused), 1u);
+  // Update in place.
+  ASSERT_TRUE((*store)->UpsertState(1, DbState::kPhysicallyPaused, 900).ok());
+  EXPECT_EQ((*store)->CountInState(DbState::kPhysicallyPaused), 2u);
+  EXPECT_EQ((*store)->size(), 3u);
+}
+
+TEST(MetadataStoreTest, SelectDueForResumeWindow) {
+  auto store = MetadataStore::Open();
+  ASSERT_TRUE(store.ok());
+  // Predictions at 1000, 1060, 1120; k=60, period=60.
+  ASSERT_TRUE((*store)->UpsertState(1, DbState::kPhysicallyPaused, 1000).ok());
+  ASSERT_TRUE((*store)->UpsertState(2, DbState::kPhysicallyPaused, 1060).ok());
+  ASSERT_TRUE((*store)->UpsertState(3, DbState::kPhysicallyPaused, 1120).ok());
+  // Not physically paused: never selected.
+  ASSERT_TRUE((*store)->UpsertState(4, DbState::kLogicallyPaused, 1000).ok());
+  // No prediction: never selected.
+  ASSERT_TRUE((*store)->UpsertState(5, DbState::kPhysicallyPaused, 0).ok());
+
+  auto due = (*store)->SelectDueForResume(/*now=*/940, /*k=*/60,
+                                          /*period=*/60);
+  ASSERT_TRUE(due.ok());
+  EXPECT_EQ(*due, (std::vector<telemetry::DbId>{1}));  // [1000, 1060)
+  auto due2 = (*store)->SelectDueForResume(1000, 60, 60);
+  ASSERT_TRUE(due2.ok());
+  EXPECT_EQ(*due2, (std::vector<telemetry::DbId>{2}));  // [1060, 1120)
+}
+
+TEST(MetadataStoreTest, ResumedDbLeavesResumeIndex) {
+  auto store = MetadataStore::Open();
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->UpsertState(1, DbState::kPhysicallyPaused, 1000).ok());
+  ASSERT_TRUE((*store)->UpsertState(1, DbState::kResumed, 0).ok());
+  auto due = (*store)->SelectDueForResume(940, 60, 60);
+  ASSERT_TRUE(due.ok());
+  EXPECT_TRUE(due->empty());
+}
+
+TEST(MetadataStoreTest, SqlScanMatchesIndexPath) {
+  auto store = MetadataStore::Open();
+  ASSERT_TRUE(store.ok());
+  Rng rng(2024);
+  for (telemetry::DbId db = 0; db < 500; ++db) {
+    DbState state = static_cast<DbState>(rng.NextInt(0, 2));
+    EpochSeconds pred = rng.NextBool(0.7) ? rng.NextInt(1000, 5000) : 0;
+    ASSERT_TRUE((*store)->UpsertState(db, state, pred).ok());
+  }
+  // Randomly update a third of them.
+  for (int i = 0; i < 150; ++i) {
+    telemetry::DbId db = static_cast<telemetry::DbId>(rng.NextInt(0, 499));
+    DbState state = static_cast<DbState>(rng.NextInt(0, 2));
+    ASSERT_TRUE(
+        (*store)->UpsertState(db, state, rng.NextInt(1000, 5000)).ok());
+  }
+  for (EpochSeconds now = 900; now <= 5000; now += 137) {
+    auto fast = (*store)->SelectDueForResume(now, 60, 300);
+    auto sql = (*store)->SelectDueForResumeSql(now, 60, 300);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(sql.ok());
+    std::set<telemetry::DbId> a(fast->begin(), fast->end());
+    std::set<telemetry::DbId> b(sql->begin(), sql->end());
+    EXPECT_EQ(a, b) << "at now=" << now;
+  }
+}
+
+class ManagementServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto store = MetadataStore::Open();
+    ASSERT_TRUE(store.ok());
+    metadata_ = std::move(*store);
+  }
+
+  ControlPlaneConfig Config() {
+    ControlPlaneConfig cfg;
+    cfg.prewarm_interval = Minutes(5);
+    cfg.resume_operation_period = Minutes(1);
+    return cfg;
+  }
+
+  std::unique_ptr<MetadataStore> metadata_;
+};
+
+TEST_F(ManagementServiceTest, ResumesDueDatabases) {
+  std::vector<telemetry::DbId> resumed;
+  ManagementService service(metadata_.get(), Config(),
+                            [&](telemetry::DbId db, EpochSeconds) {
+                              resumed.push_back(db);
+                              // Mirror the state change a real controller
+                              // performs.
+                              return metadata_->UpsertState(
+                                  db, DbState::kLogicallyPaused, 0);
+                            });
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(1, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 30)
+                  .ok());
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(2, DbState::kPhysicallyPaused,
+                                now + Minutes(30))
+                  .ok());
+  auto n = service.RunOnce(now);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(resumed, (std::vector<telemetry::DbId>{1}));
+  // The same database is not selected twice.
+  auto n2 = service.RunOnce(now + Minutes(1));
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);
+  EXPECT_EQ(service.total_resumed(), 1u);
+}
+
+TEST_F(ManagementServiceTest, SqlScanPathWorksToo) {
+  ManagementService service(metadata_.get(), Config(),
+                            [&](telemetry::DbId db, EpochSeconds) {
+                              return metadata_->UpsertState(
+                                  db, DbState::kLogicallyPaused, 0);
+                            });
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(9, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 10)
+                  .ok());
+  auto n = service.RunOnce(now, /*use_sql_scan=*/true);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST_F(ManagementServiceTest, StateChangedIsSkippedSilently) {
+  ManagementService service(
+      metadata_.get(), Config(), [&](telemetry::DbId, EpochSeconds) {
+        return Status::FailedPrecondition("already resumed");
+      });
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(1, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 10)
+                  .ok());
+  auto n = service.RunOnce(now);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  EXPECT_EQ(service.diagnostics().skipped_state_changed, 1u);
+  EXPECT_EQ(service.diagnostics().incidents, 0u);
+}
+
+TEST_F(ManagementServiceTest, StuckWorkflowIsMitigatedByRetry) {
+  int attempts = 0;
+  ManagementService service(metadata_.get(), Config(),
+                            [&](telemetry::DbId db, EpochSeconds) {
+                              if (++attempts == 1) {
+                                return Status::Unavailable("transient");
+                              }
+                              return metadata_->UpsertState(
+                                  db, DbState::kLogicallyPaused, 0);
+                            });
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(1, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 10)
+                  .ok());
+  auto n = service.RunOnce(now);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);  // resumed within the iteration after mitigation
+  EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+  EXPECT_EQ(service.diagnostics().mitigated, 1u);
+  EXPECT_EQ(service.diagnostics().incidents, 0u);
+}
+
+TEST_F(ManagementServiceTest, ExhaustedRetriesRaiseIncident) {
+  ManagementService service(
+      metadata_.get(), Config(),
+      [&](telemetry::DbId, EpochSeconds) {
+        return Status::Unavailable("permanently stuck");
+      },
+      /*max_attempts=*/2);
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(1, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 10)
+                  .ok());
+  auto n = service.RunOnce(now);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  EXPECT_EQ(service.diagnostics().incidents, 1u);
+  EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+}
+
+TEST_F(ManagementServiceTest, PerIterationStatsFeedFigure11) {
+  ManagementService service(metadata_.get(), Config(),
+                            [&](telemetry::DbId db, EpochSeconds) {
+                              return metadata_->UpsertState(
+                                  db, DbState::kLogicallyPaused, 0);
+                            });
+  EpochSeconds now = 10000;
+  // 3 due in the first window, 1 in the second, 0 in the third.
+  for (telemetry::DbId db = 0; db < 3; ++db) {
+    ASSERT_TRUE(metadata_
+                    ->UpsertState(db, DbState::kPhysicallyPaused,
+                                  now + Minutes(5) + 10 + db)
+                    .ok());
+  }
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(10, DbState::kPhysicallyPaused,
+                                now + Minutes(6) + 10)
+                  .ok());
+  ASSERT_TRUE(service.RunOnce(now).ok());
+  ASSERT_TRUE(service.RunOnce(now + Minutes(1)).ok());
+  ASSERT_TRUE(service.RunOnce(now + Minutes(2)).ok());
+  BoxPlot box = service.resumed_per_iteration().ToBoxPlot();
+  EXPECT_EQ(box.count, 3u);
+  EXPECT_DOUBLE_EQ(box.max, 3);
+  EXPECT_DOUBLE_EQ(box.min, 0);
+  EXPECT_DOUBLE_EQ(box.median, 1);
+}
+
+}  // namespace
+}  // namespace prorp::controlplane

@@ -1,0 +1,119 @@
+#include "forecast/window_selection.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace prorp::forecast {
+namespace {
+
+PredictionConfig SmallConfig() {
+  PredictionConfig cfg;
+  cfg.history_length = Days(10);
+  cfg.prediction_horizon = Hours(10);
+  cfg.window_size = Hours(1);
+  cfg.window_slide = Hours(1);  // 10 disjoint windows
+  cfg.confidence_threshold = 0.3;
+  return cfg;
+}
+
+/// Builds a stats function from per-window (seasons_with_activity,
+/// first_offset, last_offset) triples keyed by window index.
+auto StatsFromTable(const PredictionConfig& cfg, EpochSeconds now,
+                    std::map<int64_t, WindowStats> table) {
+  return [cfg, now, table = std::move(table)](
+             EpochSeconds win_start) -> Result<WindowStats> {
+    int64_t index = (win_start - now) / cfg.window_slide;
+    auto it = table.find(index);
+    if (it != table.end()) return it->second;
+    WindowStats empty;
+    empty.first_login_offset = cfg.window_size;
+    return empty;
+  };
+}
+
+TEST(WindowSelectionTest, NoQualifyingWindowYieldsNone) {
+  PredictionConfig cfg = SmallConfig();
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->HasPrediction());
+}
+
+TEST(WindowSelectionTest, SkipsSubThresholdWindowsThenSelects) {
+  PredictionConfig cfg = SmallConfig();
+  // Window 4 has confidence 5/10 = 0.5 >= 0.3; earlier windows are empty.
+  std::map<int64_t, WindowStats> table;
+  table[4] = {5, Minutes(10), Minutes(40)};
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, table));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->HasPrediction());
+  EXPECT_EQ(r->start, 4 * Hours(1) + Minutes(10));
+  EXPECT_EQ(r->end, 4 * Hours(1) + Minutes(40));
+  EXPECT_DOUBLE_EQ(r->confidence, 0.5);
+}
+
+TEST(WindowSelectionTest, KeepsSlidingWhileConfidenceIncreases) {
+  PredictionConfig cfg = SmallConfig();
+  std::map<int64_t, WindowStats> table;
+  table[2] = {4, Minutes(30), Minutes(50)};   // 0.4
+  table[3] = {7, Minutes(5), Minutes(45)};    // 0.7 — improves
+  table[4] = {7, Minutes(1), Minutes(59)};    // plateau — stops before
+  table[5] = {9, 0, Minutes(59)};             // never reached
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, table));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->start, 3 * Hours(1) + Minutes(5));
+  EXPECT_DOUBLE_EQ(r->confidence, 0.7);
+}
+
+TEST(WindowSelectionTest, LiteralBreakAbortsAtFirstNonQualifier) {
+  PredictionConfig cfg = SmallConfig();
+  cfg.literal_break = true;
+  std::map<int64_t, WindowStats> table;
+  table[4] = {9, Minutes(10), Minutes(40)};  // unreachable: window 0 fails
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, table));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->HasPrediction());
+  // But a qualifying window 0 is found and kept while improving.
+  table[0] = {4, Minutes(1), Minutes(2)};
+  auto r2 = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, table));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->HasPrediction());
+  EXPECT_DOUBLE_EQ(r2->confidence, 0.4);
+}
+
+TEST(WindowSelectionTest, ZeroConfidenceWindowsNeverSelectedEvenAtCZero) {
+  PredictionConfig cfg = SmallConfig();
+  cfg.confidence_threshold = 0.0;
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->HasPrediction());  // degenerate c=0 guard
+}
+
+TEST(WindowSelectionTest, StatsErrorPropagates) {
+  PredictionConfig cfg = SmallConfig();
+  auto r = SelectPrediction(cfg, 0, [](EpochSeconds) -> Result<WindowStats> {
+    return Status::Unavailable("store down");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+}
+
+TEST(WindowSelectionTest, InvalidConfigRejected) {
+  PredictionConfig cfg = SmallConfig();
+  cfg.window_slide = 0;
+  auto r = SelectPrediction(cfg, 0, StatsFromTable(cfg, 0, {}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WindowSelectionTest, PredictionToString) {
+  ActivityPrediction none;
+  EXPECT_EQ(none.ToString(), "no activity predicted");
+  ActivityPrediction p;
+  p.start = Days(1005) + Hours(9);
+  p.end = p.start + Hours(1);
+  p.confidence = 0.75;
+  EXPECT_NE(p.ToString().find("conf=0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prorp::forecast

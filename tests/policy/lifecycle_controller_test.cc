@@ -1,0 +1,419 @@
+#include "policy/lifecycle_controller.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "forecast/baseline_predictors.h"
+#include "forecast/fast_predictor.h"
+#include "history/mem_history_store.h"
+
+namespace prorp::policy {
+namespace {
+
+using forecast::ActivityPrediction;
+using forecast::FailingPredictor;
+using forecast::FastPredictor;
+using forecast::FixedDelayPredictor;
+using forecast::NeverPredictor;
+using history::MemHistoryStore;
+
+constexpr EpochSeconds kT0 = Days(1000);
+
+/// Test harness: drives a controller through scripted events, servicing
+/// requested timers in order, and records transitions.
+class ControllerHarness {
+ public:
+  ControllerHarness(PolicyMode mode, const forecast::Predictor* predictor,
+                    EpochSeconds created_at = kT0,
+                    PolicyConfig config = PolicyConfig{})
+      : controller_(config, mode, &history_, predictor, created_at,
+                    [this](const TransitionEvent& e) {
+                      transitions_.push_back(e);
+                    }) {}
+
+  /// Advances virtual time to `t`, firing due controller timers in order.
+  void AdvanceTo(EpochSeconds t) {
+    for (;;) {
+      EpochSeconds timer = controller_.NextTimerAt();
+      if (timer == 0 || timer > t) break;
+      ASSERT_TRUE(controller_.OnTimerCheck(timer).ok());
+      ASSERT_GT(controller_.NextTimerAt() == 0
+                    ? t + 1
+                    : controller_.NextTimerAt(),
+                timer)
+          << "timer must move forward";
+    }
+    now_ = t;
+  }
+
+  LoginOutcome Login(EpochSeconds t) {
+    AdvanceTo(t);
+    auto r = controller_.OnActivityStart(t);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : LoginOutcome::kAlreadyActive;
+  }
+
+  void Logout(EpochSeconds t) {
+    AdvanceTo(t);
+    auto s = controller_.OnActivityEnd(t);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+
+  MemHistoryStore history_;
+  LifecycleController controller_;
+  std::vector<TransitionEvent> transitions_;
+  EpochSeconds now_ = kT0;
+};
+
+PolicyConfig DefaultConfig() { return PolicyConfig{}; }
+
+TEST(ReactivePolicyTest, IdleGoesLogicalThenPhysicalAfterL) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_EQ(h.controller_.state(), DbState::kLogicallyPaused);
+  // Still logically paused just before l = 7h elapses.
+  h.AdvanceTo(kT0 + Hours(1) + Hours(7) - 1);
+  EXPECT_EQ(h.controller_.state(), DbState::kLogicallyPaused);
+  // Physically paused once the logical pause expires.
+  h.AdvanceTo(kT0 + Hours(1) + Hours(7) + 1);
+  EXPECT_EQ(h.controller_.state(), DbState::kPhysicallyPaused);
+  ASSERT_EQ(h.transitions_.size(), 2u);
+  EXPECT_EQ(h.transitions_[0].cause, TransitionCause::kActivityEndLogical);
+  EXPECT_EQ(h.transitions_[1].cause, TransitionCause::kLogicalPauseExpired);
+}
+
+TEST(ReactivePolicyTest, LoginDuringLogicalPauseIsAvailable) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_EQ(h.Login(kT0 + Hours(2)), LoginOutcome::kResourcesAvailable);
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+  EXPECT_EQ(h.controller_.stats().logins_available, 1u);
+  EXPECT_EQ(h.controller_.stats().logins_reactive, 0u);
+}
+
+TEST(ReactivePolicyTest, LoginAfterPhysicalPauseIsReactiveResume) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_EQ(h.Login(kT0 + Hours(20)), LoginOutcome::kReactiveResume);
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+  EXPECT_EQ(h.controller_.stats().logins_reactive, 1u);
+}
+
+TEST(ReactivePolicyTest, ActivityIsTrackedInHistory) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  h.Logout(kT0 + Hours(1));
+  h.Login(kT0 + Hours(2));
+  h.Logout(kT0 + Hours(3));
+  auto all = h.history_.ReadAll();
+  ASSERT_TRUE(all.ok());
+  // created_at login + 2 logouts + 1 login.
+  ASSERT_EQ(all->size(), 4u);
+  EXPECT_EQ((*all)[0].event_type, history::kEventLogin);
+  EXPECT_EQ((*all)[1].event_type, history::kEventLogout);
+}
+
+TEST(AlwaysOnPolicyTest, NeverPauses) {
+  ControllerHarness h(PolicyMode::kAlwaysOn, nullptr);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+  h.AdvanceTo(kT0 + Days(5));
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+  EXPECT_EQ(h.Login(kT0 + Days(5)), LoginOutcome::kResourcesAvailable);
+  EXPECT_TRUE(h.transitions_.empty());
+}
+
+TEST(ProactivePolicyTest, NewDatabaseDefaultsToReactiveBehaviour) {
+  // A database younger than h cannot be predicted: logical pause for l,
+  // then physical pause (Algorithm 1 lines 19, 26 with !old).
+  FastPredictor predictor(DefaultConfig().prediction);
+  ControllerHarness h(PolicyMode::kProactive, &predictor);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_EQ(h.controller_.state(), DbState::kLogicallyPaused);
+  EXPECT_FALSE(h.controller_.is_old());
+  h.AdvanceTo(kT0 + Hours(9));
+  EXPECT_EQ(h.controller_.state(), DbState::kPhysicallyPaused);
+}
+
+TEST(ProactivePolicyTest, NoPredictedActivitySkipsLogicalPause) {
+  // Old database with no predicted activity: Algorithm 1 line 10's
+  // (old & nextActivity.start = 0) goes straight to physical pause.
+  MemHistoryStore seeded;
+  NeverPredictor never;
+  PolicyConfig cfg = DefaultConfig();
+  LifecycleController controller(cfg, PolicyMode::kProactive, &seeded,
+                                 &never, kT0 - Days(40));
+  // Make the database old: a login 40 days ago plus the creation login.
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EXPECT_TRUE(controller.is_old());
+  EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused);
+  EXPECT_EQ(controller.stats().physical_pauses >= 1, true);
+}
+
+TEST(ProactivePolicyTest, ImminentPredictionKeepsLogicalPause) {
+  // Old database with activity predicted within l: logical pause.
+  MemHistoryStore seeded;
+  FixedDelayPredictor soon(Hours(2), Hours(1));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &seeded, &soon, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EXPECT_EQ(controller.state(), DbState::kLogicallyPaused);
+}
+
+TEST(ProactivePolicyTest, DistantPredictionPausesImmediately) {
+  // Activity predicted beyond l: reclaim immediately (line 10).
+  MemHistoryStore seeded;
+  FixedDelayPredictor distant(Hours(12), Hours(1));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &seeded, &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused);
+  // The prediction rides along for the metadata store (line 31).
+  EXPECT_EQ(controller.next_activity().start, kT0 + Hours(1) + Hours(12));
+}
+
+TEST(ProactivePolicyTest, ProactiveResumeAwaitsPredictedLogin) {
+  MemHistoryStore seeded;
+  FixedDelayPredictor distant(Hours(12), Hours(2));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &seeded, &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  ASSERT_EQ(controller.state(), DbState::kPhysicallyPaused);
+  // Control plane pre-warms 5 minutes ahead of the predicted start.
+  EpochSeconds prewarm = controller.next_activity().start - Minutes(5);
+  ASSERT_TRUE(controller.OnProactiveResume(prewarm).ok());
+  EXPECT_EQ(controller.state(), DbState::kLogicallyPaused);
+  EXPECT_EQ(controller.stats().proactive_resumes, 1u);
+  // Customer shows up: resources are available, no reactive resume.
+  auto outcome = controller.OnActivityStart(prewarm + Minutes(5));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, LoginOutcome::kResourcesAvailable);
+}
+
+TEST(ProactivePolicyTest, ProactiveResumeRequiresPhysicalPause) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  EXPECT_FALSE(h.controller_.OnProactiveResume(kT0 + 1).ok());
+}
+
+TEST(ProactivePolicyTest, PredictorFailureDefaultsToReactive) {
+  FailingPredictor failing;
+  ControllerHarness h(PolicyMode::kProactive, &failing);
+  h.Logout(kT0 + Hours(1));
+  // Despite proactive mode, the failure forces reactive behaviour:
+  // logical pause now, physical pause after l.
+  EXPECT_EQ(h.controller_.state(), DbState::kLogicallyPaused);
+  EXPECT_GE(h.controller_.stats().reactive_fallbacks, 1u);
+  h.AdvanceTo(kT0 + Hours(1) + Hours(8));
+  EXPECT_EQ(h.controller_.state(), DbState::kPhysicallyPaused);
+  EXPECT_FALSE(h.transitions_.back().used_prediction);
+}
+
+TEST(ProactivePolicyTest, ForcedEvictionReclaimsLogicalPause) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  h.Logout(kT0 + Hours(1));
+  ASSERT_EQ(h.controller_.state(), DbState::kLogicallyPaused);
+  ASSERT_TRUE(h.controller_.OnForcedEviction(kT0 + Hours(2)).ok());
+  EXPECT_EQ(h.controller_.state(), DbState::kPhysicallyPaused);
+  EXPECT_EQ(h.transitions_.back().cause, TransitionCause::kForcedEviction);
+  // A later login is a reactive resume: this is how capacity pressure
+  // erodes the reactive policy's QoS.
+  EXPECT_EQ(h.Login(kT0 + Hours(3)), LoginOutcome::kReactiveResume);
+}
+
+TEST(ProactivePolicyTest, ForcedEvictionInvalidWhenNotLogicallyPaused) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  EXPECT_FALSE(h.controller_.OnForcedEviction(kT0 + 1).ok());
+}
+
+TEST(ProactivePolicyTest, EndToEndDailyPatternProactiveCycle) {
+  // A database with a strict 9:00-17:00 daily pattern for 35 days, then
+  // one more simulated day driven through the controller with a real
+  // predictor: it must physically pause overnight and, once proactively
+  // resumed, serve the 9:00 login with resources available.
+  MemHistoryStore store;
+  PolicyConfig cfg = DefaultConfig();
+  FastPredictor predictor(cfg.prediction);
+  EpochSeconds start = kT0 - Days(35) + Hours(9);
+  LifecycleController controller(
+      cfg, PolicyMode::kProactive, &store, &predictor, start);
+  // Build up the daily history through the controller itself.
+  EpochSeconds day = StartOfDay(start);
+  ASSERT_TRUE(controller.OnActivityEnd(day + Hours(17)).ok());
+  for (int d = 1; d < 35; ++d) {
+    EpochSeconds t_login = day + Days(d) + Hours(9);
+    EpochSeconds t_logout = day + Days(d) + Hours(17);
+    // Fire any due timers first.
+    while (controller.NextTimerAt() != 0 &&
+           controller.NextTimerAt() <= t_login) {
+      ASSERT_TRUE(controller.OnTimerCheck(controller.NextTimerAt()).ok());
+    }
+    ASSERT_TRUE(controller.OnActivityStart(t_login).ok());
+    ASSERT_TRUE(controller.OnActivityEnd(t_logout).ok());
+  }
+  // After the 17:00 logout on the last day, no activity for 16 hours >
+  // l=7h: the proactive policy should physically pause immediately.
+  EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused)
+      << "prediction: " << controller.next_activity().ToString();
+  EXPECT_TRUE(controller.is_old());
+  // The stored prediction points at tomorrow ~9:00.
+  EpochSeconds next9 = day + Days(35) + Hours(9);
+  EXPECT_NEAR(static_cast<double>(controller.next_activity().start),
+              static_cast<double>(next9), Hours(1));
+  // Control plane pre-warms; the 9:00 login finds resources available.
+  ASSERT_TRUE(
+      controller.OnProactiveResume(controller.next_activity().start -
+                                   Minutes(5))
+          .ok());
+  auto outcome = controller.OnActivityStart(next9);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, LoginOutcome::kResourcesAvailable);
+}
+
+TEST(ProactivePolicyTest, Line7SkipsRepredictionDuringPredictedActivity) {
+  MemHistoryStore seeded;
+  FixedDelayPredictor pred(Hours(1), Hours(6));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &seeded, &pred, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  uint64_t preds = controller.stats().predictions_made;
+  // A short activity burst inside the predicted window: line 7 must skip
+  // re-prediction because nextActivity.end is still in the future.
+  ASSERT_TRUE(controller.OnActivityStart(kT0 + Hours(2)).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(2) + Minutes(10)).ok());
+  EXPECT_EQ(controller.stats().predictions_made, preds);
+}
+
+TEST(ProactivePolicyTest, DoubleLoginIsIdempotent) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  EXPECT_EQ(h.Login(kT0 + 10), LoginOutcome::kAlreadyActive);
+  EXPECT_EQ(h.controller_.state(), DbState::kResumed);
+}
+
+TEST(ProactivePolicyTest, ActivityEndWithoutActivityFails) {
+  ControllerHarness h(PolicyMode::kReactive, nullptr);
+  h.Logout(kT0 + Hours(1));
+  EXPECT_FALSE(h.controller_.OnActivityEnd(kT0 + Hours(2)).ok());
+}
+
+
+TEST(PrewarmRestoreTest, EvictedPrewarmIsRescheduled) {
+  // A pre-warm established by the control plane that gets evicted while
+  // the predicted window is still ahead re-enters the metadata store with
+  // a future start (the restore mechanism; see config.h).
+  MemHistoryStore seeded;
+  FixedDelayPredictor distant(Hours(12), Hours(14));  // long window
+  PolicyConfig cfg = DefaultConfig();
+  cfg.eviction_restore_delay = Minutes(10);
+  LifecycleController controller(cfg, PolicyMode::kProactive, &seeded,
+                                 &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  ASSERT_EQ(controller.state(), DbState::kPhysicallyPaused);
+  EpochSeconds predicted = controller.next_activity().start;
+  ASSERT_TRUE(controller.OnProactiveResume(predicted - Minutes(5)).ok());
+  // Capacity pressure reclaims the pre-warm mid-window.
+  EpochSeconds evict_at = predicted + Hours(1);
+  ASSERT_TRUE(controller.OnForcedEviction(evict_at).ok());
+  EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused);
+  // Restored: the stored prediction start moved at least restore_delay
+  // into the future so Algorithm 5 can act on it again.
+  EXPECT_GE(controller.next_activity().start, evict_at + Minutes(10));
+  EXPECT_GE(controller.next_activity().end, controller.next_activity().start);
+  // The control plane re-establishes the pre-warm and the login lands.
+  ASSERT_TRUE(
+      controller.OnProactiveResume(controller.next_activity().start).ok());
+  auto outcome =
+      controller.OnActivityStart(controller.next_activity().start + 60);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, LoginOutcome::kResourcesAvailable);
+}
+
+TEST(PrewarmRestoreTest, CooldownLimitsRestoreChurn) {
+  MemHistoryStore seeded;
+  FixedDelayPredictor distant(Hours(12), Hours(14));
+  PolicyConfig cfg = DefaultConfig();
+  cfg.eviction_restore_delay = Minutes(10);
+  LifecycleController controller(cfg, PolicyMode::kProactive, &seeded,
+                                 &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EpochSeconds predicted = controller.next_activity().start;
+  ASSERT_TRUE(controller.OnProactiveResume(predicted - Minutes(5)).ok());
+  ASSERT_TRUE(controller.OnForcedEviction(predicted + Hours(1)).ok());
+  EpochSeconds restored = controller.next_activity().start;
+  ASSERT_GE(restored, predicted + Hours(1) + Minutes(10));
+  // A second eviction within the cooldown window: the restore is denied
+  // and the prediction stays put (the pressure wins for a while).
+  ASSERT_TRUE(controller.OnProactiveResume(restored).ok());
+  ASSERT_TRUE(controller.OnForcedEviction(restored + Minutes(5)).ok());
+  EXPECT_EQ(controller.next_activity().start, restored);
+  // After the cooldown elapses, restores are granted again.
+  ASSERT_TRUE(controller.OnProactiveResume(restored + Minutes(6)).ok());
+  EpochSeconds late_evict = restored + Minutes(40);
+  ASSERT_TRUE(controller.OnForcedEviction(late_evict).ok());
+  EXPECT_GE(controller.next_activity().start, late_evict + Minutes(10));
+}
+
+TEST(PrewarmRestoreTest, OrdinaryCoveredPauseIsRestoredToo) {
+  // An ordinary (activity-end) logical pause that was protecting a still-
+  // ahead predicted window is also restored: the policy knows activity is
+  // imminent, which is exactly the edge it has over the reactive policy
+  // under capacity pressure.
+  MemHistoryStore seeded;
+  FixedDelayPredictor soon(Hours(2), Hours(10));
+  PolicyConfig cfg = DefaultConfig();
+  cfg.eviction_restore_delay = Minutes(10);
+  LifecycleController controller(cfg, PolicyMode::kProactive, &seeded,
+                                 &soon, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  ASSERT_EQ(controller.state(), DbState::kLogicallyPaused);  // start in 2h
+  EpochSeconds evict_at = kT0 + Hours(2);
+  ASSERT_TRUE(controller.OnForcedEviction(evict_at).ok());
+  // Prediction start pushed to at least evict + restore delay, so the
+  // control plane re-establishes coverage.
+  EXPECT_GE(controller.next_activity().start, evict_at + Minutes(10));
+}
+
+TEST(PrewarmRestoreTest, DisabledByZeroDelay) {
+  MemHistoryStore seeded;
+  FixedDelayPredictor distant(Hours(12), Hours(14));
+  PolicyConfig cfg = DefaultConfig();
+  cfg.eviction_restore_delay = 0;
+  LifecycleController controller(cfg, PolicyMode::kProactive, &seeded,
+                                 &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EpochSeconds predicted = controller.next_activity().start;
+  ASSERT_TRUE(controller.OnProactiveResume(predicted - Minutes(5)).ok());
+  ASSERT_TRUE(controller.OnForcedEviction(predicted + Hours(1)).ok());
+  EXPECT_EQ(controller.next_activity().start, predicted);  // unchanged
+}
+
+TEST(PolicyModeNameTest, Names) {
+  EXPECT_EQ(PolicyModeName(PolicyMode::kProactive), "proactive");
+  EXPECT_EQ(PolicyModeName(PolicyMode::kReactive), "reactive");
+  EXPECT_EQ(PolicyModeName(PolicyMode::kAlwaysOn), "always_on");
+  EXPECT_EQ(DbStateName(DbState::kLogicallyPaused), "logically_paused");
+  EXPECT_EQ(TransitionCauseName(TransitionCause::kProactiveResume),
+            "proactive_resume");
+}
+
+}  // namespace
+}  // namespace prorp::policy

@@ -1,0 +1,138 @@
+// Randomized invariant testing of the Algorithm 1 FSM: drive the
+// controller through long random (but legal) event sequences under every
+// mode/predictor combination and assert that the state machine never
+// wedges, never accepts an illegal transition, and keeps its bookkeeping
+// consistent.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "forecast/baseline_predictors.h"
+#include "forecast/fast_predictor.h"
+#include "history/mem_history_store.h"
+#include "policy/lifecycle_controller.h"
+
+namespace prorp::policy {
+namespace {
+
+using forecast::FastPredictor;
+using history::MemHistoryStore;
+
+struct FuzzCase {
+  PolicyMode mode;
+  bool with_predictor;
+  uint64_t seed;
+};
+
+class LifecycleFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(LifecycleFuzzTest, RandomEventSequencesKeepInvariants) {
+  const FuzzCase& fuzz = GetParam();
+  Rng rng(fuzz.seed);
+  MemHistoryStore store;
+  PredictionConfig pred_cfg;
+  FastPredictor predictor(pred_cfg);
+  PolicyConfig cfg;
+  EpochSeconds now = Days(1005);
+
+  uint64_t transitions = 0;
+  DbState last_state = DbState::kResumed;
+  LifecycleController controller(
+      cfg, fuzz.mode, &store,
+      fuzz.with_predictor ? &predictor : nullptr, now,
+      [&](const TransitionEvent& e) {
+        ++transitions;
+        // Transition continuity: `from` matches the previous `to`.
+        EXPECT_EQ(e.from, last_state);
+        EXPECT_NE(e.from, e.to) << "self-transitions are not emitted";
+        last_state = e.to;
+      });
+
+  for (int step = 0; step < 3000; ++step) {
+    now += rng.NextInt(1, Hours(3));
+    double dice = rng.NextDouble();
+    if (dice < 0.30) {
+      auto r = controller.OnActivityStart(now);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      if (*r != LoginOutcome::kAlreadyActive) {
+        EXPECT_TRUE(controller.active());
+        EXPECT_EQ(controller.state(), DbState::kResumed);
+      }
+    } else if (dice < 0.55) {
+      Status s = controller.OnActivityEnd(now);
+      if (controller.active()) {
+        ADD_FAILURE() << "still active after OnActivityEnd: "
+                      << s.ToString();
+      }
+      // Legal only when active; otherwise FailedPrecondition.
+      if (!s.ok()) {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      }
+    } else if (dice < 0.75) {
+      // Fire the requested timer if one is due.
+      EpochSeconds timer = controller.NextTimerAt();
+      if (timer != 0 && timer <= now) {
+        ASSERT_TRUE(controller.OnTimerCheck(timer).ok());
+      } else {
+        ASSERT_TRUE(controller.OnTimerCheck(now).ok());  // harmless
+      }
+    } else if (dice < 0.88) {
+      Status s = controller.OnProactiveResume(now);
+      if (s.ok()) {
+        EXPECT_EQ(controller.state(), DbState::kLogicallyPaused);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      }
+    } else {
+      Status s = controller.OnForcedEviction(now);
+      if (s.ok()) {
+        EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      }
+    }
+    // Global invariants after every event.
+    if (controller.active()) {
+      EXPECT_EQ(controller.state(), DbState::kResumed);
+    }
+    EpochSeconds timer = controller.NextTimerAt();
+    if (controller.state() == DbState::kLogicallyPaused &&
+        !controller.active()) {
+      EXPECT_NE(timer, 0) << "logically paused without a wake-up";
+    }
+    // Stats identities.
+    const auto& stats = controller.stats();
+    EXPECT_EQ(stats.logins_available + stats.logins_reactive +
+                  stats.logical_pauses + stats.physical_pauses +
+                  stats.proactive_resumes >=
+              transitions / 2,
+              true);
+  }
+  // The history only ever contains valid event types in sorted order.
+  auto all = store.ReadAll();
+  ASSERT_TRUE(all.ok());
+  for (size_t i = 0; i < all->size(); ++i) {
+    EXPECT_TRUE((*all)[i].event_type == history::kEventLogin ||
+                (*all)[i].event_type == history::kEventLogout);
+    if (i > 0) {
+      EXPECT_GT((*all)[i].time_snapshot, (*all)[i - 1].time_snapshot);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LifecycleFuzzTest,
+    ::testing::Values(FuzzCase{PolicyMode::kReactive, false, 1},
+                      FuzzCase{PolicyMode::kReactive, false, 2},
+                      FuzzCase{PolicyMode::kProactive, true, 3},
+                      FuzzCase{PolicyMode::kProactive, true, 4},
+                      FuzzCase{PolicyMode::kProactive, false, 5},
+                      FuzzCase{PolicyMode::kAlwaysOn, false, 6}),
+    [](const auto& info) {
+      return std::string(PolicyModeName(info.param.mode)) +
+             (info.param.with_predictor ? "_pred" : "_nopred") + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace prorp::policy

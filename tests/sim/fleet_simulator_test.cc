@@ -1,0 +1,239 @@
+#include "sim/fleet_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/region.h"
+
+namespace prorp::sim {
+namespace {
+
+using policy::PolicyMode;
+using workload::DbTrace;
+using workload::Session;
+
+constexpr EpochSeconds kT0 = Days(1004);  // a Monday
+constexpr EpochSeconds kMeasureFrom = kT0 + Days(30);
+constexpr EpochSeconds kEnd = kT0 + Days(35);
+
+/// A database with two sessions per working day: 9:00-12:00 and
+/// 13:00-17:00.  The 1 h lunch gap stays within any logical pause; the
+/// 16 h overnight gap exceeds l = 7 h.
+DbTrace DailyTwoSessionTrace(uint32_t id) {
+  DbTrace trace;
+  trace.db_id = id;
+  trace.pattern = workload::PatternType::kDaily;
+  for (EpochSeconds day = kT0; day < kEnd; day += Days(1)) {
+    trace.sessions.push_back({day + Hours(9), day + Hours(12)});
+    trace.sessions.push_back({day + Hours(13), day + Hours(17)});
+  }
+  trace.created_at = trace.sessions.front().start;
+  return trace;
+}
+
+SimOptions BaseOptions(PolicyMode mode) {
+  SimOptions options;
+  options.mode = mode;
+  options.measure_from = kMeasureFrom;
+  options.end = kEnd;
+  options.seed = 7;
+  return options;
+}
+
+TEST(FleetSimulatorTest, RequiresEndTime) {
+  SimOptions options;
+  options.end = 0;
+  auto r = RunFleetSimulation({}, options);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FleetSimulatorTest, ReactivePolicyOnDailyPattern) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  auto report = RunFleetSimulation(traces, BaseOptions(PolicyMode::kReactive));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& kpi = report->kpi;
+  // 5 measured days x 2 logins/day = 10 first-logins-after-idle.
+  EXPECT_EQ(kpi.logins_total, 10u);
+  // Lunch logins (5) find the logical pause; morning logins (5) hit a
+  // physically paused database.
+  EXPECT_EQ(kpi.logins_available, 5u);
+  EXPECT_EQ(kpi.logins_reactive, 5u);
+  EXPECT_DOUBLE_EQ(kpi.QosAvailablePct(), 50.0);
+  // Idle time: 1 h lunch + 7 h logical pause tail per day out of 24 h.
+  EXPECT_NEAR(kpi.IdleTotalPct(), 100.0 * 8.0 / 24.0, 1.5);
+  EXPECT_GT(kpi.unavailable_pct, 0.0);
+  EXPECT_EQ(kpi.proactive_resumes, 0u);
+}
+
+TEST(FleetSimulatorTest, ProactivePolicyOnDailyPattern) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  auto report =
+      RunFleetSimulation(traces, BaseOptions(PolicyMode::kProactive));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& kpi = report->kpi;
+  EXPECT_EQ(kpi.logins_total, 10u);
+  // The overnight pause ends with a control-plane pre-warm: all logins
+  // find resources available.
+  EXPECT_EQ(kpi.logins_available, 10u) << kpi.ToString();
+  EXPECT_GT(kpi.proactive_resumes, 0u);
+  // Proactively pre-warmed idle time exists but is small (5 min/day).
+  EXPECT_GT(kpi.idle_proactive_correct_pct, 0.0);
+  // The proactive policy reclaims the overnight idle the reactive policy
+  // burns: its idle total must be far below reactive's ~33%.
+  EXPECT_LT(kpi.IdleTotalPct(), 15.0);
+  EXPECT_DOUBLE_EQ(kpi.unavailable_pct, 0.0);
+}
+
+TEST(FleetSimulatorTest, AlwaysOnNeverReclaims) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  auto report =
+      RunFleetSimulation(traces, BaseOptions(PolicyMode::kAlwaysOn));
+  ASSERT_TRUE(report.ok());
+  const auto& kpi = report->kpi;
+  EXPECT_DOUBLE_EQ(kpi.QosAvailablePct(), 100.0);
+  EXPECT_DOUBLE_EQ(kpi.reclaimed_pct, 0.0);
+  // 24h/day allocated, 7h/day used => ~70% idle.
+  EXPECT_NEAR(kpi.IdleTotalPct(), 100.0 * 17.0 / 24.0, 1.5);
+  EXPECT_EQ(kpi.physical_pauses, 0u);
+}
+
+TEST(FleetSimulatorTest, EvictionPressureDegradesReactiveQos) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  SimOptions options = BaseOptions(PolicyMode::kReactive);
+  options.eviction_per_hour = 5.0;  // brutal pressure: ~12 min to eviction
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok());
+  // Even the 1 h lunch gap now mostly ends physically paused.
+  EXPECT_LT(report->kpi.QosAvailablePct(), 30.0);
+  EXPECT_GT(report->kpi.forced_evictions, 0u);
+}
+
+TEST(FleetSimulatorTest, ResumeFailureInjectionRaisesIncidents) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.resume_failure_probability = 1.0;  // every attempt fails
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kpi.proactive_resumes, 0u);
+  EXPECT_GT(report->diagnostics.incidents, 0u);
+  // Morning logins degrade to reactive resumes.
+  EXPECT_EQ(report->kpi.logins_reactive, 5u);
+}
+
+TEST(FleetSimulatorTest, TransientFailuresAreMitigated) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.resume_failure_probability = 0.5;
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok());
+  // Retries inside the iteration mitigate most transient failures; the
+  // customer experience stays intact.
+  EXPECT_GT(report->kpi.proactive_resumes, 0u);
+  EXPECT_GT(report->diagnostics.stuck_workflows, 0u);
+  EXPECT_GT(report->diagnostics.mitigated, 0u);
+}
+
+TEST(FleetSimulatorTest, DisablingProactiveResumeLosesQos) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.proactive_resume_enabled = false;  // ablation
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kpi.proactive_resumes, 0u);
+  EXPECT_EQ(report->kpi.logins_reactive, 5u);  // mornings unprotected
+}
+
+TEST(FleetSimulatorTest, SqlScanPathMatchesIndexPath) {
+  std::vector<DbTrace> traces;
+  for (uint32_t i = 0; i < 5; ++i) {
+    traces.push_back(DailyTwoSessionTrace(i));
+  }
+  SimOptions fast = BaseOptions(PolicyMode::kProactive);
+  SimOptions slow = fast;
+  slow.use_sql_scan_for_resume_op = true;
+  auto a = RunFleetSimulation(traces, fast);
+  auto b = RunFleetSimulation(traces, slow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.proactive_resumes, b->kpi.proactive_resumes);
+  EXPECT_EQ(a->kpi.physical_pauses, b->kpi.physical_pauses);
+  EXPECT_DOUBLE_EQ(a->kpi.IdleTotalPct(), b->kpi.IdleTotalPct());
+}
+
+TEST(FleetSimulatorTest, DeterministicInSeed) {
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 50, kT0,
+                                        kEnd, 11);
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.eviction_per_hour = 0.05;
+  auto a = RunFleetSimulation(traces, options);
+  auto b = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.logins_reactive, b->kpi.logins_reactive);
+  EXPECT_DOUBLE_EQ(a->kpi.IdleTotalPct(), b->kpi.IdleTotalPct());
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
+}
+
+TEST(FleetSimulatorTest, HistoryStaysCompact) {
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 60, kT0,
+                                        kEnd, 3);
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->history_tuples.count(), 0u);
+  // Histories are pruned to h = 28 days; even bursty databases stay within
+  // the paper's worst case of a few thousand tuples / under ~74 KB.
+  EXPECT_LT(report->history_bytes.Max(), 80.0 * 1024.0);
+}
+
+TEST(FleetSimulatorTest, AllocationCensusIsSane) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  auto report =
+      RunFleetSimulation(traces, BaseOptions(PolicyMode::kProactive));
+  ASSERT_TRUE(report.ok());
+  // Samples every 5 minutes across the 5-day measurement window.
+  EXPECT_GT(report->allocated_samples.count(), 1000u);
+  // One database: allocation count is always 0 or 1.
+  EXPECT_GE(report->allocated_samples.Min(), 0.0);
+  EXPECT_LE(report->allocated_samples.Max(), 1.0);
+  EXPECT_GT(report->allocated_samples.Mean(), 0.0);
+  // The always-on policy keeps it allocated the whole time.
+  auto always = RunFleetSimulation(
+      traces, BaseOptions(PolicyMode::kAlwaysOn));
+  ASSERT_TRUE(always.ok());
+  EXPECT_DOUBLE_EQ(always->allocated_samples.Min(), 1.0);
+}
+
+TEST(FleetSimulatorTest, PredictionsCountedInKpi) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  auto proactive =
+      RunFleetSimulation(traces, BaseOptions(PolicyMode::kProactive));
+  auto reactive =
+      RunFleetSimulation(traces, BaseOptions(PolicyMode::kReactive));
+  ASSERT_TRUE(proactive.ok());
+  ASSERT_TRUE(reactive.ok());
+  EXPECT_GT(proactive->kpi.predictions, 0u);
+  EXPECT_EQ(reactive->kpi.predictions, 0u);
+}
+
+TEST(FleetSimulatorTest, MixedFleetProactiveBeatsReactive) {
+  // The headline comparison on a realistic region mix.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 150, kT0,
+                                        kEnd, 5);
+  SimOptions reactive = BaseOptions(PolicyMode::kReactive);
+  reactive.eviction_per_hour = 0.05;
+  SimOptions proactive = BaseOptions(PolicyMode::kProactive);
+  proactive.eviction_per_hour = 0.05;
+  auto r = RunFleetSimulation(traces, reactive);
+  auto p = RunFleetSimulation(traces, proactive);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p->kpi.QosAvailablePct(), r->kpi.QosAvailablePct())
+      << "reactive: " << r->kpi.ToString()
+      << "\nproactive: " << p->kpi.ToString();
+  EXPECT_GT(p->kpi.proactive_resumes, 0u);
+}
+
+}  // namespace
+}  // namespace prorp::sim

@@ -1,0 +1,237 @@
+#include "sql/database.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prorp::sql {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (k BIGINT PRIMARY KEY, a INT, "
+                            "b INT)")
+                    .ok());
+    for (int64_t k = 0; k < 10; ++k) {
+      auto r = db_.Execute("INSERT INTO t VALUES (" + std::to_string(k) +
+                           ", " + std::to_string(k * 10) + ", " +
+                           std::to_string(k % 3) + ")");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, SelectStar) {
+  auto r = db_.Execute("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"k", "a", "b"}));
+  ASSERT_EQ(r->rows.size(), 10u);
+  EXPECT_EQ(r->rows[3], (Row{3, 30, 0}));
+}
+
+TEST_F(DatabaseTest, SelectWithKeyRange) {
+  auto r = db_.Execute("SELECT k FROM t WHERE k >= 3 AND k < 6");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0], 3);
+  EXPECT_EQ(r->rows[2][0], 5);
+}
+
+TEST_F(DatabaseTest, SelectWithResidualFilter) {
+  auto r = db_.Execute("SELECT k FROM t WHERE b = 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);  // k = 1, 4, 7
+  EXPECT_EQ(r->rows[0][0], 1);
+  EXPECT_EQ(r->rows[1][0], 4);
+  EXPECT_EQ(r->rows[2][0], 7);
+}
+
+TEST_F(DatabaseTest, SelectCombinedRangeAndResidual) {
+  auto r = db_.Execute("SELECT k FROM t WHERE k BETWEEN 2 AND 8 AND b = 0");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);  // k = 3, 6
+}
+
+TEST_F(DatabaseTest, NotEqualsOnKeyIsResidual) {
+  auto r = db_.Execute("SELECT k FROM t WHERE k != 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 9u);
+}
+
+TEST_F(DatabaseTest, Aggregates) {
+  auto r = db_.Execute(
+      "SELECT MIN(k), MAX(k), COUNT(*) FROM t WHERE k >= 4");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0], (Row{4, 9, 6}));
+  EXPECT_FALSE(r->nulls[0]);
+}
+
+TEST_F(DatabaseTest, AggregatesOverEmptyRangeAreNull) {
+  auto r = db_.Execute("SELECT MIN(k), COUNT(*) FROM t WHERE k > 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->nulls[0]);           // MIN over empty set is NULL
+  EXPECT_FALSE(r->nulls[1]);          // COUNT is 0, not NULL
+  EXPECT_EQ(r->rows[0][1], 0);
+  EXPECT_TRUE(r->Cell().is_null);
+}
+
+TEST_F(DatabaseTest, AggregateOfNonKeyColumn) {
+  auto r = db_.Execute("SELECT MAX(a) FROM t WHERE b = 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], 80);  // k=8 has b=2, a=80
+}
+
+TEST_F(DatabaseTest, OrderByAndLimit) {
+  auto r = db_.Execute("SELECT k FROM t ORDER BY a DESC LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0], 9);
+  EXPECT_EQ(r->rows[2][0], 7);
+}
+
+TEST_F(DatabaseTest, Parameters) {
+  Params params{{"lo", 2}, {"hi", 4}};
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM t WHERE @lo <= k AND k <= @hi", params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], 3);
+}
+
+TEST_F(DatabaseTest, UnboundParameterFails) {
+  auto r = db_.Execute("SELECT * FROM t WHERE k = @missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, DuplicateKeyRejected) {
+  auto r = db_.Execute("INSERT INTO t VALUES (5, 0, 0)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST_F(DatabaseTest, InsertWithColumnReordering) {
+  auto r = db_.Execute("INSERT INTO t (b, k, a) VALUES (1, 100, 2)");
+  ASSERT_TRUE(r.ok());
+  auto check = db_.Execute("SELECT * FROM t WHERE k = 100");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0], (Row{100, 2, 1}));
+}
+
+TEST_F(DatabaseTest, InsertMissingColumnFails) {
+  auto r = db_.Execute("INSERT INTO t (k, a) VALUES (200, 1)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DatabaseTest, DeleteRangeUsesKeyBounds) {
+  auto r = db_.Execute("DELETE FROM t WHERE 3 < k AND k < 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected_rows, 3u);  // 4, 5, 6
+  auto count = db_.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(count->rows[0][0], 7);
+}
+
+TEST_F(DatabaseTest, DeleteWithResidual) {
+  auto r = db_.Execute("DELETE FROM t WHERE b = 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected_rows, 4u);  // k = 0, 3, 6, 9
+}
+
+TEST_F(DatabaseTest, DeleteEverything) {
+  auto r = db_.Execute("DELETE FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected_rows, 10u);
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM t")->rows[0][0], 0);
+}
+
+TEST_F(DatabaseTest, UpdateNonKey) {
+  auto r = db_.Execute("UPDATE t SET a = 999 WHERE k >= 8");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->affected_rows, 2u);
+  EXPECT_EQ(db_.Execute("SELECT a FROM t WHERE k = 9")->rows[0][0], 999);
+}
+
+TEST_F(DatabaseTest, UpdateKeyMovesRow) {
+  auto r = db_.Execute("UPDATE t SET k = 500 WHERE k = 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM t WHERE k = 5")->rows.empty());
+  EXPECT_EQ(db_.Execute("SELECT a FROM t WHERE k = 500")->rows[0][0], 50);
+}
+
+TEST_F(DatabaseTest, MixedAggregatesAndColumnsRejected) {
+  auto r = db_.Execute("SELECT k, COUNT(*) FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(DatabaseTest, UnknownTableAndColumn) {
+  EXPECT_TRUE(db_.Execute("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_TRUE(
+      db_.Execute("SELECT nope FROM t").status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, CreateDuplicateTableFails) {
+  auto r = db_.Execute("CREATE TABLE t (x BIGINT PRIMARY KEY)");
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST_F(DatabaseTest, CreateWithoutPrimaryKeyFails) {
+  auto r = db_.Execute("CREATE TABLE u (x BIGINT, y INT)");
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, DropTable) {
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_TRUE(db_.Execute("SELECT * FROM t").status().IsNotFound());
+  EXPECT_TRUE(db_.Execute("DROP TABLE t").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, NonFirstColumnPrimaryKey) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE u (payload INT, id BIGINT PRIMARY "
+                          "KEY)")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO u VALUES (7, 1)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO u VALUES (8, 2)").ok());
+  auto r = db_.Execute("SELECT payload FROM u WHERE id = 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], 8);
+  // Duplicate pk in second position still rejected.
+  EXPECT_TRUE(
+      db_.Execute("INSERT INTO u VALUES (9, 2)").status().IsAlreadyExists());
+}
+
+TEST(DatabaseDurabilityTest, TablesRecoverAcrossReopen) {
+  std::string dir = testing::TempDir() + "/sql_db_recover";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    Database db(dir);
+    ASSERT_TRUE(
+        db.Execute("CREATE TABLE sys.history (ts BIGINT PRIMARY KEY, "
+                   "ev INT)")
+            .ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO sys.history VALUES (100, 1)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO sys.history VALUES (200, 0)").ok());
+  }
+  {
+    // "The database moved": re-attach by re-running CREATE TABLE.
+    Database db(dir);
+    ASSERT_TRUE(
+        db.Execute("CREATE TABLE sys.history (ts BIGINT PRIMARY KEY, "
+                   "ev INT)")
+            .ok());
+    auto r = db.Execute("SELECT COUNT(*) FROM sys.history");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0], 2);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace prorp::sql

@@ -1,0 +1,80 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace prorp::sql {
+namespace {
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select FROM WhErE");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 3 + end
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("time_snapshot Event_Type");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "time_snapshot");
+  EXPECT_EQ((*tokens)[1].text, "Event_Type");
+}
+
+TEST(LexerTest, IntegersAndParameters) {
+  auto tokens = Tokenize("@now 1693526400 @h");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kParameter);
+  EXPECT_EQ((*tokens)[0].text, "now");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].int_value, 1693526400);
+  EXPECT_EQ((*tokens)[2].text, "h");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("a <= b >= c != d <> e < f > g = h");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> ops;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kSymbol) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<=", ">=", "!=", "!=", "<", ">",
+                                           "="}));
+}
+
+TEST(LexerTest, QualifiedNameTokens) {
+  auto tokens = Tokenize("sys.pause_resume_history");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "sys");
+  EXPECT_EQ((*tokens)[1].text, ".");
+  EXPECT_EQ((*tokens)[2].text, "pause_resume_history");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT %").ok());
+  EXPECT_FALSE(Tokenize("a ~ b").ok());
+}
+
+TEST(LexerTest, RejectsDanglingAt) {
+  EXPECT_FALSE(Tokenize("WHERE @ now").ok());
+  EXPECT_FALSE(Tokenize("@1abc").ok());
+}
+
+TEST(LexerTest, RejectsMalformedNumber) {
+  EXPECT_FALSE(Tokenize("123abc").ok());
+  EXPECT_FALSE(Tokenize("1.5").ok());
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("   ");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace prorp::sql

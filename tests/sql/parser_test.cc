@@ -1,0 +1,139 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace prorp::sql {
+namespace {
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse(
+      "CREATE TABLE sys.pause_resume_history ("
+      "time_snapshot BIGINT PRIMARY KEY, event_type INT)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(create.table, "sys.pause_resume_history");
+  ASSERT_EQ(create.columns.size(), 2u);
+  EXPECT_EQ(create.columns[0].name, "time_snapshot");
+  EXPECT_TRUE(create.columns[0].primary_key);
+  EXPECT_EQ(create.columns[1].name, "event_type");
+  EXPECT_FALSE(create.columns[1].primary_key);
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  auto stmt = Parse(
+      "INSERT INTO t (time_snapshot, event_type) VALUES (@time, 1)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(ins.table, "t");
+  EXPECT_EQ(ins.columns,
+            (std::vector<std::string>{"time_snapshot", "event_type"}));
+  ASSERT_EQ(ins.values.size(), 2u);
+  EXPECT_EQ(ins.values[0].kind, Operand::Kind::kParameter);
+  EXPECT_EQ(ins.values[0].parameter, "time");
+  EXPECT_EQ(ins.values[1].kind, Operand::Kind::kLiteral);
+  EXPECT_EQ(ins.values[1].literal, 1);
+}
+
+TEST(ParserTest, InsertWithoutColumnsAndNegativeLiteral) {
+  auto stmt = Parse("INSERT INTO t VALUES (-5, 7)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ins = std::get<InsertStmt>(*stmt);
+  EXPECT_TRUE(ins.columns.empty());
+  EXPECT_EQ(ins.values[0].literal, -5);
+}
+
+TEST(ParserTest, SelectAggregates) {
+  auto stmt = Parse(
+      "SELECT MIN(time_snapshot) AS first_login, MAX(time_snapshot), "
+      "COUNT(*) FROM sys.pause_resume_history WHERE event_type = 1 AND "
+      "@winStart <= time_snapshot AND time_snapshot <= @winEnd");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_EQ(sel.items[0].kind, SelectItem::Kind::kMin);
+  EXPECT_EQ(sel.items[0].alias, "first_login");
+  EXPECT_EQ(sel.items[1].kind, SelectItem::Kind::kMax);
+  EXPECT_EQ(sel.items[2].kind, SelectItem::Kind::kCountStar);
+  ASSERT_EQ(sel.where.size(), 3u);
+  // "@winStart <= time_snapshot" must be normalized to
+  // "time_snapshot >= @winStart".
+  EXPECT_EQ(sel.where[1].column, "time_snapshot");
+  EXPECT_EQ(sel.where[1].op, Comparison::Op::kGe);
+  EXPECT_EQ(sel.where[1].rhs.parameter, "winStart");
+}
+
+TEST(ParserTest, SelectStarOrderLimit) {
+  auto stmt =
+      Parse("SELECT * FROM t WHERE a > 3 ORDER BY b DESC LIMIT 10;");
+  ASSERT_TRUE(stmt.ok());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_EQ(sel.items[0].kind, SelectItem::Kind::kStar);
+  ASSERT_TRUE(sel.order_by.has_value());
+  EXPECT_EQ(sel.order_by->column, "b");
+  EXPECT_FALSE(sel.order_by->ascending);
+  EXPECT_EQ(sel.limit, 10);
+}
+
+TEST(ParserTest, BetweenExpandsToTwoConjuncts) {
+  auto stmt = Parse("SELECT * FROM t WHERE k BETWEEN 5 AND 10 AND v = 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(sel.where.size(), 3u);
+  EXPECT_EQ(sel.where[0].op, Comparison::Op::kGe);
+  EXPECT_EQ(sel.where[0].rhs.literal, 5);
+  EXPECT_EQ(sel.where[1].op, Comparison::Op::kLe);
+  EXPECT_EQ(sel.where[1].rhs.literal, 10);
+  EXPECT_EQ(sel.where[2].column, "v");
+}
+
+TEST(ParserTest, DeleteWithRange) {
+  auto stmt = Parse(
+      "DELETE FROM sys.pause_resume_history "
+      "WHERE @minTimestamp < time_snapshot AND time_snapshot < "
+      "@historyStart");
+  ASSERT_TRUE(stmt.ok());
+  const auto& del = std::get<DeleteStmt>(*stmt);
+  ASSERT_EQ(del.where.size(), 2u);
+  EXPECT_EQ(del.where[0].op, Comparison::Op::kGt);  // normalized
+  EXPECT_EQ(del.where[1].op, Comparison::Op::kLt);
+}
+
+TEST(ParserTest, Update) {
+  auto stmt =
+      Parse("UPDATE sys.databases SET state = 2, start_of_pred_activity = "
+            "@pred WHERE database_id = 17");
+  ASSERT_TRUE(stmt.ok());
+  const auto& upd = std::get<UpdateStmt>(*stmt);
+  EXPECT_EQ(upd.table, "sys.databases");
+  ASSERT_EQ(upd.assignments.size(), 2u);
+  EXPECT_EQ(upd.assignments[0].first, "state");
+  EXPECT_EQ(upd.assignments[0].second.literal, 2);
+  EXPECT_EQ(upd.assignments[1].second.parameter, "pred");
+  ASSERT_EQ(upd.where.size(), 1u);
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = Parse("DROP TABLE t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(std::get<DropTableStmt>(*stmt).table, "t");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t").ok());
+  EXPECT_FALSE(Parse("DELETE t WHERE a = 1").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a = 1 extra_token").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(x) FROM t").ok());  // only COUNT(*)
+  EXPECT_FALSE(Parse("UPDATE t SET a WHERE b = 1").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t LIMIT x").ok());
+}
+
+TEST(ParserTest, CannotNegateParameter) {
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE a = -@p").ok());
+}
+
+}  // namespace
+}  // namespace prorp::sql

@@ -1,0 +1,401 @@
+#include "storage/bplus_tree.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace prorp::storage {
+namespace {
+
+std::vector<uint8_t> Value64(int64_t v) {
+  std::vector<uint8_t> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+int64_t AsI64(const std::vector<uint8_t>& v) {
+  int64_t out;
+  std::memcpy(&out, v.data(), 8);
+  return out;
+}
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void Make(uint32_t value_width = 8, size_t pool_pages = 64) {
+    disk_ = std::make_unique<InMemoryDiskManager>();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), pool_pages);
+    auto tree = BPlusTree::Create(pool_.get(), value_width);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    tree_ = std::move(tree).value();
+  }
+
+  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  Make();
+  EXPECT_TRUE(tree_->empty());
+  EXPECT_EQ(tree_->size(), 0u);
+  EXPECT_TRUE(tree_->Find(42).status().IsNotFound());
+  EXPECT_TRUE(tree_->MinKey().status().IsNotFound());
+  EXPECT_TRUE(tree_->MaxKey().status().IsNotFound());
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, InsertAndFind) {
+  Make();
+  ASSERT_TRUE(tree_->Insert(10, Value64(100).data()).ok());
+  ASSERT_TRUE(tree_->Insert(5, Value64(50).data()).ok());
+  ASSERT_TRUE(tree_->Insert(20, Value64(200).data()).ok());
+  EXPECT_EQ(tree_->size(), 3u);
+  auto v = tree_->Find(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(AsI64(*v), 50);
+  EXPECT_TRUE(tree_->Find(6).status().IsNotFound());
+  EXPECT_EQ(*tree_->MinKey(), 5);
+  EXPECT_EQ(*tree_->MaxKey(), 20);
+}
+
+TEST_F(BPlusTreeTest, DuplicateInsertRejected) {
+  Make();
+  ASSERT_TRUE(tree_->Insert(7, Value64(1).data()).ok());
+  Status s = tree_->Insert(7, Value64(2).data());
+  EXPECT_TRUE(s.IsAlreadyExists()) << s.ToString();
+  EXPECT_EQ(tree_->size(), 1u);
+  EXPECT_EQ(AsI64(*tree_->Find(7)), 1);
+}
+
+TEST_F(BPlusTreeTest, UpdateExisting) {
+  Make();
+  ASSERT_TRUE(tree_->Insert(7, Value64(1).data()).ok());
+  ASSERT_TRUE(tree_->Update(7, Value64(99).data()).ok());
+  EXPECT_EQ(AsI64(*tree_->Find(7)), 99);
+  EXPECT_TRUE(tree_->Update(8, Value64(1).data()).IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, DeleteSimple) {
+  Make();
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE(tree_->Delete(5).ok());
+  EXPECT_TRUE(tree_->Find(5).status().IsNotFound());
+  EXPECT_EQ(tree_->size(), 9u);
+  EXPECT_TRUE(tree_->Delete(5).IsNotFound());
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, SequentialInsertSplits) {
+  Make();
+  const int64_t n = 5000;  // forces multiple levels (leaf cap = 255)
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k * 2).data()).ok()) << k;
+  }
+  EXPECT_EQ(tree_->size(), static_cast<uint64_t>(n));
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_GE(*tree_->Height(), 2u);
+  for (int64_t k = 0; k < n; k += 97) {
+    auto v = tree_->Find(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(AsI64(*v), k * 2);
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseInsert) {
+  Make();
+  const int64_t n = 3000;
+  for (int64_t k = n; k > 0; --k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_EQ(*tree_->MinKey(), 1);
+  EXPECT_EQ(*tree_->MaxKey(), n);
+}
+
+TEST_F(BPlusTreeTest, ScanRangeInclusive) {
+  Make();
+  for (int64_t k = 0; k < 100; k += 2) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree_->ScanRange(10, 20, [&](int64_t k, const uint8_t*) {
+    seen.push_back(k);
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, (std::vector<int64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(BPlusTreeTest, ScanRangeEarlyStop) {
+  Make();
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(tree_->ScanRange(0, 99, [&](int64_t, const uint8_t*) {
+    return ++count < 5;
+  }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(BPlusTreeTest, ScanEmptyRange) {
+  Make();
+  ASSERT_TRUE(tree_->Insert(10, Value64(1).data()).ok());
+  int count = 0;
+  ASSERT_TRUE(tree_->ScanRange(20, 30, [&](int64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 0);
+  // Inverted range is a no-op, not an error.
+  ASSERT_TRUE(tree_->ScanRange(30, 20, [&](int64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(BPlusTreeTest, CountRange) {
+  Make();
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k * 10, Value64(k).data()).ok());
+  }
+  EXPECT_EQ(*tree_->CountRange(0, 9989), 999u);
+  EXPECT_EQ(*tree_->CountRange(0, 9990), 1000u);
+  EXPECT_EQ(*tree_->CountRange(5, 14), 1u);
+  EXPECT_EQ(*tree_->CountRange(10001, 20000), 0u);
+}
+
+TEST_F(BPlusTreeTest, DeleteRange) {
+  Make();
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  auto n = tree_->DeleteRange(500, 1499);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1000u);
+  EXPECT_EQ(tree_->size(), 1000u);
+  EXPECT_TRUE(tree_->Find(500).status().IsNotFound());
+  EXPECT_TRUE(tree_->Find(1499).status().IsNotFound());
+  EXPECT_TRUE(tree_->Find(499).ok());
+  EXPECT_TRUE(tree_->Find(1500).ok());
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, DeleteAllShrinksTree) {
+  Make();
+  const int64_t n = 4000;
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  EXPECT_GE(*tree_->Height(), 2u);
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Delete(k).ok()) << k;
+  }
+  EXPECT_TRUE(tree_->empty());
+  EXPECT_EQ(*tree_->Height(), 1u);
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  // Freed pages must be reusable: reinsert everything.
+  uint32_t pages_after_delete = disk_->num_pages();
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_LE(disk_->num_pages(), pages_after_delete + 2);
+}
+
+TEST_F(BPlusTreeTest, NegativeAndExtremeKeys) {
+  Make();
+  std::vector<int64_t> keys = {INT64_MIN, -1000, -1, 0, 1, 1000,
+                               INT64_MAX};
+  for (int64_t k : keys) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k ^ 0x55).data()).ok());
+  }
+  for (int64_t k : keys) {
+    auto v = tree_->Find(k);
+    ASSERT_TRUE(v.ok()) << k;
+    EXPECT_EQ(AsI64(*v), k ^ 0x55);
+  }
+  EXPECT_EQ(*tree_->MinKey(), INT64_MIN);
+  EXPECT_EQ(*tree_->MaxKey(), INT64_MAX);
+  std::vector<int64_t> scanned;
+  ASSERT_TRUE(tree_->ScanRange(INT64_MIN, INT64_MAX,
+                               [&](int64_t k, const uint8_t*) {
+                                 scanned.push_back(k);
+                                 return true;
+                               })
+                  .ok());
+  EXPECT_EQ(scanned, keys);
+}
+
+TEST_F(BPlusTreeTest, WiderValues) {
+  Make(/*value_width=*/64);
+  std::vector<uint8_t> value(64);
+  for (int64_t k = 0; k < 1000; ++k) {
+    for (size_t i = 0; i < 64; ++i) {
+      value[i] = static_cast<uint8_t>((k + i) & 0xFF);
+    }
+    ASSERT_TRUE(tree_->Insert(k, value.data()).ok());
+  }
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  auto v = tree_->Find(123);
+  ASSERT_TRUE(v.ok());
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ((*v)[i], static_cast<uint8_t>((123 + i) & 0xFF));
+  }
+}
+
+TEST_F(BPlusTreeTest, ZeroWidthValues) {
+  Make(/*value_width=*/0);
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, nullptr).ok());
+  }
+  EXPECT_TRUE(tree_->Contains(250));
+  EXPECT_FALSE(tree_->Contains(1000));
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, SmallBufferPoolStillCorrect) {
+  // With only 8 frames, nearly every access evicts; correctness must not
+  // depend on residency.
+  Make(/*value_width=*/8, /*pool_pages=*/8);
+  const int64_t n = 3000;
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_->Insert((k * 7919) % 100000, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_GT(pool_->stats().evictions, 0u);
+}
+
+TEST_F(BPlusTreeTest, OpenExistingTree) {
+  Make();
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, Value64(k + 7).data()).ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  // Reopen through a fresh buffer pool over the same disk.
+  BufferPool pool2(disk_.get(), 16);
+  auto reopened = BPlusTree::Open(&pool2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 1000u);
+  EXPECT_EQ(AsI64(*(*reopened)->Find(500)), 507);
+  ASSERT_TRUE((*reopened)->CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, CreateRequiresEmptyStore) {
+  Make();
+  auto second = BPlusTree::Create(pool_.get(), 8);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Randomized differential test against std::map across mixed operations.
+class BPlusTreeFuzzTest : public BPlusTreeTest,
+                          public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BPlusTreeFuzzTest, MatchesReferenceModel) {
+  Make(/*value_width=*/8, /*pool_pages=*/32);
+  Rng rng(GetParam());
+  std::map<int64_t, int64_t> model;
+  const int kOps = 20000;
+  for (int op = 0; op < kOps; ++op) {
+    int64_t key = rng.NextInt(0, 3000);
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      int64_t value = rng.NextInt(0, 1'000'000);
+      Status s = tree_->Insert(key, Value64(value).data());
+      if (model.count(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        model[key] = value;
+      }
+    } else if (dice < 0.85) {
+      Status s = tree_->Delete(key);
+      if (model.count(key)) {
+        EXPECT_TRUE(s.ok()) << s.ToString();
+        model.erase(key);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else if (dice < 0.95) {
+      auto v = tree_->Find(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(AsI64(*v), model[key]);
+      } else {
+        EXPECT_TRUE(v.status().IsNotFound());
+      }
+    } else {
+      int64_t lo = rng.NextInt(0, 3000);
+      int64_t hi = lo + rng.NextInt(0, 200);
+      std::vector<int64_t> got;
+      ASSERT_TRUE(tree_->ScanRange(lo, hi, [&](int64_t k, const uint8_t*) {
+        got.push_back(k);
+        return true;
+      }).ok());
+      std::vector<int64_t> expect;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi; ++it) {
+        expect.push_back(it->first);
+      }
+      EXPECT_EQ(got, expect);
+    }
+  }
+  EXPECT_EQ(tree_->size(), model.size());
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 42, 20240609));
+
+// Range deletion property sweep: delete random ranges until empty and keep
+// invariants at every step.
+class BPlusTreeRangeDeleteTest
+    : public BPlusTreeTest,
+      public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(BPlusTreeRangeDeleteTest, RepeatedRangeDeletes) {
+  Make();
+  Rng rng(GetParam());
+  std::map<int64_t, int64_t> model;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = rng.NextInt(0, 100000);
+    if (tree_->Insert(key, Value64(key).data()).ok()) model[key] = key;
+  }
+  while (!model.empty()) {
+    int64_t lo = rng.NextInt(0, 100000);
+    int64_t hi = lo + rng.NextInt(0, 20000);
+    auto n = tree_->DeleteRange(lo, hi);
+    ASSERT_TRUE(n.ok());
+    uint64_t expect = 0;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi;) {
+      it = model.erase(it);
+      ++expect;
+    }
+    EXPECT_EQ(*n, expect);
+    ASSERT_TRUE(tree_->CheckInvariants().ok());
+    // Guarantee termination.
+    if (expect == 0 && !model.empty()) {
+      int64_t k = model.begin()->first;
+      ASSERT_TRUE(tree_->Delete(k).ok());
+      model.erase(k);
+    }
+  }
+  EXPECT_TRUE(tree_->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRangeDeleteTest,
+                         ::testing::Values(7, 1234));
+
+}  // namespace
+}  // namespace prorp::storage

@@ -1,0 +1,92 @@
+#include "storage/disk_manager.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prorp::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(InMemoryDiskManagerTest, AllocateReadWrite) {
+  InMemoryDiskManager disk;
+  EXPECT_EQ(disk.num_pages(), 0u);
+  auto id = disk.Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(disk.num_pages(), 1u);
+
+  uint8_t out[kPageSize];
+  std::memset(out, 0xCD, kPageSize);
+  ASSERT_TRUE(disk.Write(*id, out).ok());
+  uint8_t in[kPageSize] = {};
+  ASSERT_TRUE(disk.Read(*id, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(InMemoryDiskManagerTest, FreshPageIsZeroed) {
+  InMemoryDiskManager disk;
+  auto id = disk.Allocate();
+  ASSERT_TRUE(id.ok());
+  uint8_t in[kPageSize];
+  std::memset(in, 0xFF, kPageSize);
+  ASSERT_TRUE(disk.Read(*id, in).ok());
+  for (uint32_t i = 0; i < kPageSize; ++i) ASSERT_EQ(in[i], 0);
+}
+
+TEST(InMemoryDiskManagerTest, OutOfRangeAccess) {
+  InMemoryDiskManager disk;
+  uint8_t buf[kPageSize];
+  EXPECT_EQ(disk.Read(0, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.Write(0, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FileDiskManagerTest, PersistsAcrossReopen) {
+  std::string path = TempPath("fdm_test.db");
+  std::remove(path.c_str());
+  {
+    auto disk = FileDiskManager::Open(path);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    auto id0 = (*disk)->Allocate();
+    auto id1 = (*disk)->Allocate();
+    ASSERT_TRUE(id0.ok());
+    ASSERT_TRUE(id1.ok());
+    uint8_t buf[kPageSize];
+    std::memset(buf, 0x11, kPageSize);
+    ASSERT_TRUE((*disk)->Write(*id0, buf).ok());
+    std::memset(buf, 0x22, kPageSize);
+    ASSERT_TRUE((*disk)->Write(*id1, buf).ok());
+    ASSERT_TRUE((*disk)->Sync().ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path);
+    ASSERT_TRUE(disk.ok());
+    EXPECT_EQ((*disk)->num_pages(), 2u);
+    uint8_t buf[kPageSize];
+    ASSERT_TRUE((*disk)->Read(0, buf).ok());
+    EXPECT_EQ(buf[100], 0x11);
+    ASSERT_TRUE((*disk)->Read(1, buf).ok());
+    EXPECT_EQ(buf[100], 0x22);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, RejectsNonPageAlignedFile) {
+  std::string path = TempPath("fdm_misaligned.db");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a page file", f);
+  std::fclose(f);
+  auto disk = FileDiskManager::Open(path);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_TRUE(disk.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prorp::storage

@@ -1,0 +1,193 @@
+#include "storage/durable_tree.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prorp::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> Value64(int64_t v) {
+  std::vector<uint8_t> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+class DurableTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/durable_tree_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DurableTree::Options Opts() {
+    DurableTree::Options o;
+    o.dir = dir_;
+    o.value_width = 8;
+    o.checkpoint_wal_bytes = 0;  // manual checkpoints in tests
+    return o;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableTreeTest, EphemeralModeWorksWithoutDir) {
+  DurableTree::Options o;
+  o.dir = "";
+  auto t = DurableTree::Open(o);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->durable());
+  ASSERT_TRUE((*t)->Insert(1, Value64(10).data()).ok());
+  EXPECT_TRUE((*t)->Contains(1));
+  EXPECT_TRUE((*t)->Checkpoint().code() == StatusCode::kFailedPrecondition);
+  EXPECT_TRUE((*t)->Backup("/tmp/x").code() ==
+              StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurableTreeTest, RecoversFromWalOnly) {
+  {
+    auto t = DurableTree::Open(Opts());
+    ASSERT_TRUE(t.ok());
+    for (int64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE((*t)->Insert(k, Value64(k * 3).data()).ok());
+    }
+    ASSERT_TRUE((*t)->Delete(50).ok());
+  }  // "crash" without checkpoint
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ((*t)->size(), 99u);
+  EXPECT_TRUE((*t)->Find(50).status().IsNotFound());
+  auto v = (*t)->Find(51);
+  ASSERT_TRUE(v.ok());
+  int64_t got;
+  std::memcpy(&got, v->data(), 8);
+  EXPECT_EQ(got, 153);
+}
+
+TEST_F(DurableTreeTest, RecoversFromSnapshotPlusWalTail) {
+  {
+    auto t = DurableTree::Open(Opts());
+    ASSERT_TRUE(t.ok());
+    for (int64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+    }
+    ASSERT_TRUE((*t)->Checkpoint().ok());
+    // Post-checkpoint mutations live only in the WAL.
+    for (int64_t k = 50; k < 80; ++k) {
+      ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+    }
+    ASSERT_TRUE((*t)->DeleteRange(0, 9).ok());
+  }
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->size(), 70u);
+  EXPECT_TRUE((*t)->Find(0).status().IsNotFound());
+  EXPECT_TRUE((*t)->Contains(79));
+  ASSERT_TRUE((*t)->tree().CheckInvariants().ok());
+}
+
+TEST_F(DurableTreeTest, CheckpointTruncatesWal) {
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE((*t)->Checkpoint().ok());
+  EXPECT_EQ(fs::file_size(dir_ + "/wal.log"), 0u);
+  EXPECT_GT(fs::file_size(dir_ + "/snapshot.db"), 0u);
+}
+
+TEST_F(DurableTreeTest, AutoCheckpointTriggersOnWalGrowth) {
+  DurableTree::Options o = Opts();
+  o.checkpoint_wal_bytes = 512;
+  auto t = DurableTree::Open(o);
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+  }
+  // 100 records x ~29 bytes >> 512, so at least one auto checkpoint ran.
+  EXPECT_LT(fs::file_size(dir_ + "/wal.log"), 600u);
+  EXPECT_TRUE(fs::exists(dir_ + "/snapshot.db"));
+}
+
+TEST_F(DurableTreeTest, BackupAndRestoreModelsDatabaseMove) {
+  std::string dest = dir_ + "_moved";
+  fs::remove_all(dest);
+  {
+    auto t = DurableTree::Open(Opts());
+    ASSERT_TRUE(t.ok());
+    for (int64_t k = 0; k < 30; ++k) {
+      ASSERT_TRUE((*t)->Insert(k * 100, Value64(k).data()).ok());
+    }
+    ASSERT_TRUE((*t)->Backup(dest).ok());
+  }
+  // "The database moves to another node": open the history at dest.
+  DurableTree::Options o = Opts();
+  o.dir = dest;
+  auto moved = DurableTree::Open(o);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ((*moved)->size(), 30u);
+  EXPECT_TRUE((*moved)->Contains(2900));
+  // History keeps working at the destination.
+  ASSERT_TRUE((*moved)->Insert(9999, Value64(1).data()).ok());
+  fs::remove_all(dest);
+}
+
+TEST_F(DurableTreeTest, LogicalSizeMatchesPaperArithmetic) {
+  // Each history tuple is two 64-bit integers = 16 bytes (Section 9.3):
+  // 500 tuples ~ the paper's "within 7 KB on average".
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k % 2).data()).ok());
+  }
+  EXPECT_EQ((*t)->LogicalSizeBytes(), 500u * 16u);
+  EXPECT_LT((*t)->LogicalSizeBytes() / 1024.0, 8.0);
+}
+
+TEST_F(DurableTreeTest, CorruptSnapshotIsRejected) {
+  {
+    auto t = DurableTree::Open(Opts());
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*t)->Insert(1, Value64(1).data()).ok());
+    ASSERT_TRUE((*t)->Checkpoint().ok());
+  }
+  // Flip a byte inside the snapshot body.
+  std::string snap = dir_ + "/snapshot.db";
+  FILE* f = std::fopen(snap.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 10, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 10, SEEK_SET);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+  auto t = DurableTree::Open(Opts());
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsCorruption());
+}
+
+TEST_F(DurableTreeTest, UpdateIsDurable) {
+  {
+    auto t = DurableTree::Open(Opts());
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE((*t)->Insert(5, Value64(1).data()).ok());
+    ASSERT_TRUE((*t)->Update(5, Value64(2).data()).ok());
+  }
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  auto v = (*t)->Find(5);
+  ASSERT_TRUE(v.ok());
+  int64_t got;
+  std::memcpy(&got, v->data(), 8);
+  EXPECT_EQ(got, 2);
+}
+
+}  // namespace
+}  // namespace prorp::storage

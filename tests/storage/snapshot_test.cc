@@ -1,0 +1,136 @@
+#include "storage/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "storage/crc32.h"
+
+namespace prorp::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard check value for "123456789".
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, Incremental) {
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  uint32_t part = Crc32(data, 4);
+  EXPECT_EQ(Crc32(data + 4, 5, part), Crc32(data, 9));
+}
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  uint8_t a[16] = {};
+  uint8_t b[16] = {};
+  uint32_t base = Crc32(a, 16);
+  for (int i = 0; i < 16; ++i) {
+    b[i] = 1;
+    EXPECT_NE(Crc32(b, 16), base) << "byte " << i;
+    b[i] = 0;
+  }
+}
+
+TEST(SnapshotTest, RoundTrip) {
+  std::string path = TempPath("snapshot_roundtrip.db");
+  std::remove(path.c_str());
+  std::vector<SnapshotEntry> entries;
+  for (int64_t k = 0; k < 100; ++k) {
+    std::vector<uint8_t> value(8);
+    std::memcpy(value.data(), &k, 8);
+    entries.push_back({k * 7, value});
+  }
+  ASSERT_TRUE(WriteSnapshot(path, 8, entries).ok());
+  std::vector<SnapshotEntry> read_back;
+  ASSERT_TRUE(ReadSnapshot(path, 8, [&](int64_t key, const uint8_t* value) {
+    read_back.push_back(
+        {key, std::vector<uint8_t>(value, value + 8)});
+    return Status::OK();
+  }).ok());
+  ASSERT_EQ(read_back.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(read_back[i].key, entries[i].key);
+    EXPECT_EQ(read_back[i].value, entries[i].value);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptySnapshot) {
+  std::string path = TempPath("snapshot_empty.db");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteSnapshot(path, 8, {}).ok());
+  int count = 0;
+  ASSERT_TRUE(ReadSnapshot(path, 8, [&](int64_t, const uint8_t*) {
+    ++count;
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(count, 0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadSnapshot(TempPath("no_such_snapshot.db"), 8,
+                           [](int64_t, const uint8_t*) {
+                             return Status::OK();
+                           })
+                  .IsNotFound());
+}
+
+TEST(SnapshotTest, WidthMismatchRejected) {
+  std::string path = TempPath("snapshot_width.db");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteSnapshot(path, 8, {{1, std::vector<uint8_t>(8)}}).ok());
+  EXPECT_TRUE(ReadSnapshot(path, 16, [](int64_t, const uint8_t*) {
+    return Status::OK();
+  }).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EntryWidthValidatedOnWrite) {
+  std::string path = TempPath("snapshot_badwidth.db");
+  EXPECT_TRUE(WriteSnapshot(path, 8, {{1, std::vector<uint8_t>(4)}})
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotTest, AtomicReplace) {
+  std::string path = TempPath("snapshot_atomic.db");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteSnapshot(path, 8, {{1, std::vector<uint8_t>(8)}}).ok());
+  ASSERT_TRUE(WriteSnapshot(path, 8, {{2, std::vector<uint8_t>(8)},
+                                      {3, std::vector<uint8_t>(8)}})
+                  .ok());
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(ReadSnapshot(path, 8, [&](int64_t key, const uint8_t*) {
+    keys.push_back(key);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(keys, (std::vector<int64_t>{2, 3}));
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CopyFileTest, CopiesBytes) {
+  std::string src = TempPath("copy_src.bin");
+  std::string dst = TempPath("copy_dst.bin");
+  FILE* f = std::fopen(src.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 1000; ++i) std::fputc(i & 0xFF, f);
+  std::fclose(f);
+  ASSERT_TRUE(CopyFile(src, dst).ok());
+  EXPECT_EQ(std::filesystem::file_size(dst), 1000u);
+  EXPECT_TRUE(CopyFile(TempPath("missing"), dst).IsNotFound());
+  std::remove(src.c_str());
+  std::remove(dst.c_str());
+}
+
+}  // namespace
+}  // namespace prorp::storage

@@ -1,0 +1,166 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prorp::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+WalRecord Insert(int64_t key, std::vector<uint8_t> value) {
+  WalRecord r;
+  r.type = WalRecord::Type::kInsert;
+  r.key = key;
+  r.value = std::move(value);
+  return r;
+}
+
+TEST(WalTest, AppendAndReplayRoundTrip) {
+  std::string path = TempPath("wal_roundtrip.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(1, {0xAA, 0xBB})).ok());
+    WalRecord del;
+    del.type = WalRecord::Type::kDelete;
+    del.key = 2;
+    ASSERT_TRUE((*wal)->Append(del).ok());
+    WalRecord range;
+    range.type = WalRecord::Type::kDeleteRange;
+    range.key = 10;
+    range.key2 = 20;
+    ASSERT_TRUE((*wal)->Append(range).ok());
+    WalRecord upd;
+    upd.type = WalRecord::Type::kUpdate;
+    upd.key = 3;
+    upd.value = {0x01};
+    ASSERT_TRUE((*wal)->Append(upd).ok());
+  }
+  std::vector<WalRecord> seen;
+  auto n = WriteAheadLog::Replay(path, [&](const WalRecord& r) {
+    seen.push_back(r);
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0].type, WalRecord::Type::kInsert);
+  EXPECT_EQ(seen[0].key, 1);
+  EXPECT_EQ(seen[0].value, (std::vector<uint8_t>{0xAA, 0xBB}));
+  EXPECT_EQ(seen[1].type, WalRecord::Type::kDelete);
+  EXPECT_EQ(seen[1].key, 2);
+  EXPECT_EQ(seen[2].type, WalRecord::Type::kDeleteRange);
+  EXPECT_EQ(seen[2].key, 10);
+  EXPECT_EQ(seen[2].key2, 20);
+  EXPECT_EQ(seen[3].type, WalRecord::Type::kUpdate);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ReplayMissingFileIsEmpty) {
+  auto n = WriteAheadLog::Replay(TempPath("no_such_wal.log"),
+                                 [](const WalRecord&) {
+                                   ADD_FAILURE() << "should not be called";
+                                   return Status::OK();
+                                 });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(WalTest, TornTailIsDiscarded) {
+  std::string path = TempPath("wal_torn.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(1, {0x01})).ok());
+    ASSERT_TRUE((*wal)->Append(Insert(2, {0x02})).ok());
+  }
+  // Truncate mid-record to simulate a crash during append.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  ASSERT_EQ(::truncate(path.c_str(), size - 3), 0);
+  std::fclose(f);
+
+  std::vector<int64_t> keys;
+  auto n = WriteAheadLog::Replay(path, [&](const WalRecord& r) {
+    keys.push_back(r.key);
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(keys, (std::vector<int64_t>{1}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  std::string path = TempPath("wal_corrupt.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(1, {0x01})).ok());
+    ASSERT_TRUE((*wal)->Append(Insert(2, {0x02})).ok());
+  }
+  // Flip a payload byte in the second record.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, size - 6, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, size - 6, SEEK_SET);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+
+  auto n = WriteAheadLog::Replay(path, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TruncateEmptiesLog) {
+  std::string path = TempPath("wal_truncate.log");
+  std::remove(path.c_str());
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Insert(1, {})).ok());
+  ASSERT_GT(*(*wal)->SizeBytes(), 0u);
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  EXPECT_EQ(*(*wal)->SizeBytes(), 0u);
+  auto n = WriteAheadLog::Replay(path, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ApplyErrorPropagates) {
+  std::string path = TempPath("wal_apply_err.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(1, {})).ok());
+  }
+  auto n = WriteAheadLog::Replay(path, [](const WalRecord&) {
+    return Status::Corruption("apply failed");
+  });
+  EXPECT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prorp::storage

@@ -1,0 +1,68 @@
+#include "telemetry/region_report.h"
+
+#include <gtest/gtest.h>
+
+namespace prorp::telemetry {
+namespace {
+
+KpiReport SampleKpi() {
+  KpiReport kpi;
+  kpi.logins_total = 1000;
+  kpi.logins_available = 820;
+  kpi.logins_reactive = 180;
+  kpi.active_pct = 12.5;
+  kpi.idle_logical_pct = 4.0;
+  kpi.idle_proactive_correct_pct = 1.2;
+  kpi.idle_proactive_wrong_pct = 5.0;
+  kpi.reclaimed_pct = 77.3;
+  kpi.unavailable_pct = 0.02;
+  kpi.logical_pauses = 5000;
+  kpi.physical_pauses = 6000;
+  kpi.proactive_resumes = 4000;
+  kpi.forced_evictions = 700;
+  kpi.predictions = 9000;
+  return kpi;
+}
+
+TEST(RegionReportTest, ContainsAllSections) {
+  RegionReportInput input;
+  input.region_name = "EU1";
+  input.policy_name = "proactive";
+  input.from = Days(1033);
+  input.to = Days(1037);
+  input.num_databases = 4000;
+  input.kpi = SampleKpi();
+  std::string report = RenderRegionReport(input);
+  EXPECT_NE(report.find("# ProRP region report — EU1 (proactive policy)"),
+            std::string::npos);
+  EXPECT_NE(report.find("**82.0%** found resources available"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("| active (billed) | 12.5 |"), std::string::npos);
+  EXPECT_NE(report.find("| idle, wrong pre-warm | 5.0 |"),
+            std::string::npos);
+  EXPECT_NE(report.find("proactive resumes 4000"), std::string::npos);
+  // No baseline section when none given.
+  EXPECT_EQ(report.find("## vs "), std::string::npos);
+}
+
+TEST(RegionReportTest, BaselineComparisonDeltas) {
+  RegionReportInput input;
+  input.region_name = "EU1";
+  input.policy_name = "proactive";
+  input.num_databases = 4000;
+  input.kpi = SampleKpi();
+  KpiReport base = SampleKpi();
+  base.logins_available = 640;  // 64.0% QoS
+  base.logins_reactive = 360;
+  input.baseline = &base;
+  input.baseline_name = "reactive";
+  std::string report = RenderRegionReport(input);
+  EXPECT_NE(report.find("## vs reactive"), std::string::npos);
+  EXPECT_NE(report.find("| QoS available % | 82.0 | 64.0 | +18.0 |"),
+            std::string::npos)
+      << report;
+}
+
+}  // namespace
+}  // namespace prorp::telemetry

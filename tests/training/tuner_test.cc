@@ -1,0 +1,138 @@
+#include "training/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/region.h"
+
+namespace prorp::training {
+namespace {
+
+constexpr EpochSeconds kT0 = Days(1005);
+constexpr EpochSeconds kTrainFrom = kT0 + Days(28);
+
+class TunerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    profile_ = workload::RegionEU1();
+    traces_ = workload::GenerateFleet(profile_, 250, kT0,
+                                      kTrainFrom + Days(4), 31);
+    options_.base.eviction_per_hour = profile_.eviction_per_hour;
+    options_.base.seed = 3;
+    options_.train_from = kTrainFrom;
+    options_.train_to = kTrainFrom + Days(2);
+    options_.test_from = kTrainFrom + Days(2);
+    options_.test_to = kTrainFrom + Days(4);
+  }
+
+  workload::RegionProfile profile_;
+  std::vector<workload::DbTrace> traces_;
+  TuningOptions options_;
+};
+
+TEST_F(TunerTest, GridCoversAllCombinations) {
+  options_.window_sizes = {Hours(2), Hours(7)};
+  options_.confidence_thresholds = {0.1, 0.5};
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->trials.size(), 4u);
+  // Trials sorted by score descending.
+  for (size_t i = 1; i < report->trials.size(); ++i) {
+    EXPECT_GE(report->trials[i - 1].score, report->trials[i].score);
+  }
+  EXPECT_EQ(report->best.score, report->trials[0].score);
+}
+
+TEST_F(TunerTest, HighConfidenceLosesQos) {
+  // The Figure 9 trend must be visible to the tuner: c = 0.8 serves fewer
+  // logins proactively than c = 0.1.
+  options_.confidence_thresholds = {0.1, 0.8};
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok());
+  const Trial* low = nullptr;
+  const Trial* high = nullptr;
+  for (const Trial& t : report->trials) {
+    if (t.prediction.confidence_threshold == 0.1) low = &t;
+    if (t.prediction.confidence_threshold == 0.8) high = &t;
+  }
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_GT(low->kpi.QosAvailablePct(), high->kpi.QosAvailablePct());
+  EXPECT_LT(high->kpi.IdleTotalPct(), low->kpi.IdleTotalPct());
+}
+
+TEST_F(TunerTest, ValidationRunsOnHeldOutInterval) {
+  options_.window_sizes = {Hours(7)};
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->test_kpi.logins_total, 0u);
+  // Winner generalizes: test QoS within a loose band of train QoS.
+  EXPECT_NEAR(report->test_kpi.QosAvailablePct(),
+              report->best.kpi.QosAvailablePct(), 20.0);
+}
+
+TEST_F(TunerTest, IdleWeightShiftsTheWinner) {
+  options_.confidence_thresholds = {0.1, 0.5};
+  TuningOptions qos_first = options_;
+  qos_first.idle_weight = 0.1;  // prioritize quality of service
+  TuningOptions cost_first = options_;
+  cost_first.idle_weight = 25.0;  // prioritize operational cost
+  auto a = RunTuningPipeline(traces_, qos_first);
+  auto b = RunTuningPipeline(traces_, cost_first);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Aggressive idle weighting must not pick a *lower* threshold than the
+  // QoS-first weighting (higher c = fewer resumes = less idle).
+  EXPECT_GE(b->best.prediction.confidence_threshold,
+            a->best.prediction.confidence_threshold);
+}
+
+TEST_F(TunerTest, InvalidIntervalsRejected) {
+  TuningOptions bad = options_;
+  bad.train_to = bad.train_from;
+  EXPECT_FALSE(RunTuningPipeline(traces_, bad).ok());
+  bad = options_;
+  bad.test_to = 0;
+  EXPECT_FALSE(RunTuningPipeline(traces_, bad).ok());
+}
+
+TEST_F(TunerTest, InfeasibleGridPointsAreSkipped) {
+  // Weekly seasonality with the default 28-day history is feasible;
+  // window > horizon is pruned by validation, leaving only valid trials.
+  options_.window_sizes = {Hours(7), Hours(30)};  // 30h > horizon 24h
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->trials.size(), 2u);  // both run; 30h yields no windows
+}
+
+TEST_F(TunerTest, KnobSensitivityRanksVariedKnobs) {
+  options_.window_sizes = {Hours(1), Hours(7)};
+  options_.confidence_thresholds = {0.1, 0.8};
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok());
+  auto ranking = RankKnobSensitivity(*report);
+  // Only the two varied knobs appear.
+  ASSERT_EQ(ranking.size(), 2u);
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].score_spread, ranking[i].score_spread);
+  }
+  // Figure 9 shows confidence dominating the trade-off; the ranking must
+  // reflect that on this grid.
+  EXPECT_EQ(ranking[0].knob, "confidence_threshold");
+  EXPECT_GT(ranking[0].score_spread, 0);
+}
+
+TEST_F(TunerTest, KnobSensitivityEmptyForSingleton) {
+  auto report = RunTuningPipeline(traces_, options_);  // no axes varied
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(RankKnobSensitivity(*report).empty());
+}
+
+TEST_F(TunerTest, SeasonalityAxis) {
+  options_.seasonalities = {Days(1), Weeks(1)};
+  auto report = RunTuningPipeline(traces_, options_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->trials.size(), 2u);
+}
+
+}  // namespace
+}  // namespace prorp::training

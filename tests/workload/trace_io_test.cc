@@ -1,0 +1,120 @@
+#include "workload/trace_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/region.h"
+
+namespace prorp::workload {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTripPreservesFleet) {
+  auto fleet = GenerateFleet(RegionEU1(), 50, Days(1005),
+                             Days(1005) + Days(7), 9);
+  std::string path = TempPath("fleet_roundtrip.csv");
+  ASSERT_TRUE(SaveFleetCsv(fleet, path).ok());
+  auto loaded = LoadFleetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Databases with no sessions do not round-trip (they have no rows).
+  std::vector<DbTrace> nonempty;
+  for (const DbTrace& t : fleet) {
+    if (!t.sessions.empty()) nonempty.push_back(t);
+  }
+  ASSERT_EQ(loaded->size(), nonempty.size());
+  for (size_t i = 0; i < nonempty.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].sessions, nonempty[i].sessions);
+    EXPECT_EQ((*loaded)[i].pattern, nonempty[i].pattern);
+    EXPECT_EQ((*loaded)[i].created_at, nonempty[i].created_at);
+    EXPECT_EQ((*loaded)[i].db_id, i);  // densified
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, DensifiesSparseIds) {
+  std::string path = TempPath("fleet_sparse.csv");
+  std::ofstream out(path);
+  out << "db_id,pattern,session_start,session_end\n";
+  out << "7,daily,100,200\n";
+  out << "42,sporadic,50,80\n";
+  out << "42,sporadic,300,400\n";
+  out.close();
+  auto loaded = LoadFleetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].db_id, 0u);
+  EXPECT_EQ((*loaded)[1].db_id, 1u);
+  EXPECT_EQ((*loaded)[1].sessions.size(), 2u);
+  EXPECT_EQ((*loaded)[0].pattern, PatternType::kDaily);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  std::string path = TempPath("fleet_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "wrong,header\n";
+  }
+  EXPECT_TRUE(LoadFleetCsv(path).status().IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << "db_id,pattern,session_start,session_end\n";
+    out << "1,daily,not_a_number,200\n";
+  }
+  EXPECT_TRUE(LoadFleetCsv(path).status().IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << "db_id,pattern,session_start,session_end\n";
+    out << "1,daily,200,100\n";  // end <= start
+  }
+  EXPECT_TRUE(LoadFleetCsv(path).status().IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << "db_id,pattern,session_start,session_end\n";
+    out << "1,daily,100,200\n";
+    out << "1,daily,150,300\n";  // overlap
+  }
+  EXPECT_TRUE(LoadFleetCsv(path).status().IsInvalidArgument());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadFleetCsv(TempPath("no_such_fleet.csv"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(TraceIoTest, UnknownPatternDefaultsToSporadic) {
+  std::string path = TempPath("fleet_unknown_pattern.csv");
+  std::ofstream out(path);
+  out << "db_id,pattern,session_start,session_end\n";
+  out << "1,mystery,100,200\n";
+  out.close();
+  auto loaded = LoadFleetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].pattern, PatternType::kSporadic);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, ParsePatternTypeCoversAllNames) {
+  for (PatternType type :
+       {PatternType::kDailyBusiness, PatternType::kDaily,
+        PatternType::kWeekly, PatternType::kAlwaysBusy,
+        PatternType::kSporadic, PatternType::kBursty,
+        PatternType::kDevTest}) {
+    PatternType parsed;
+    ASSERT_TRUE(
+        ParsePatternType(std::string(PatternTypeName(type)), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  PatternType parsed;
+  EXPECT_FALSE(ParsePatternType("nope", &parsed));
+}
+
+}  // namespace
+}  // namespace prorp::workload
