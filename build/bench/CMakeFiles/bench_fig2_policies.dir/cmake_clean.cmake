@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_policies.dir/bench_fig2_policies.cc.o"
+  "CMakeFiles/bench_fig2_policies.dir/bench_fig2_policies.cc.o.d"
+  "bench_fig2_policies"
+  "bench_fig2_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_days.dir/bench_fig7_days.cc.o"
+  "CMakeFiles/bench_fig7_days.dir/bench_fig7_days.cc.o.d"
+  "bench_fig7_days"
+  "bench_fig7_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

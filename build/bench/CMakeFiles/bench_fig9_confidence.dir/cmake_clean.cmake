@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_confidence.dir/bench_fig9_confidence.cc.o"
+  "CMakeFiles/bench_fig9_confidence.dir/bench_fig9_confidence.cc.o.d"
+  "bench_fig9_confidence"
+  "bench_fig9_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

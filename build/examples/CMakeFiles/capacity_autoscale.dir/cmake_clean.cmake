@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_autoscale.dir/capacity_autoscale.cpp.o"
+  "CMakeFiles/capacity_autoscale.dir/capacity_autoscale.cpp.o.d"
+  "capacity_autoscale"
+  "capacity_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fleet_simulation.cpp" "examples/CMakeFiles/fleet_simulation.dir/fleet_simulation.cpp.o" "gcc" "examples/CMakeFiles/fleet_simulation.dir/fleet_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prorp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/prorp_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/prorp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/prorp_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/prorp_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/prorp_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/prorp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prorp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/prorp_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/prorp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prorp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_activity.dir/predict_activity.cpp.o"
+  "CMakeFiles/predict_activity.dir/predict_activity.cpp.o.d"
+  "predict_activity"
+  "predict_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("sql")
+subdirs("history")
+subdirs("forecast")
+subdirs("policy")
+subdirs("controlplane")
+subdirs("workload")
+subdirs("telemetry")
+subdirs("sim")
+subdirs("training")
+subdirs("scaling")
+subdirs("maintenance")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_common.dir/clock.cc.o"
+  "CMakeFiles/prorp_common.dir/clock.cc.o.d"
+  "CMakeFiles/prorp_common.dir/config.cc.o"
+  "CMakeFiles/prorp_common.dir/config.cc.o.d"
+  "CMakeFiles/prorp_common.dir/random.cc.o"
+  "CMakeFiles/prorp_common.dir/random.cc.o.d"
+  "CMakeFiles/prorp_common.dir/stats.cc.o"
+  "CMakeFiles/prorp_common.dir/stats.cc.o.d"
+  "CMakeFiles/prorp_common.dir/status.cc.o"
+  "CMakeFiles/prorp_common.dir/status.cc.o.d"
+  "CMakeFiles/prorp_common.dir/time_util.cc.o"
+  "CMakeFiles/prorp_common.dir/time_util.cc.o.d"
+  "libprorp_common.a"
+  "libprorp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

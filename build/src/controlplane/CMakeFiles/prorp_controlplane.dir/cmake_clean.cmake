@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_controlplane.dir/management_service.cc.o"
+  "CMakeFiles/prorp_controlplane.dir/management_service.cc.o.d"
+  "CMakeFiles/prorp_controlplane.dir/metadata_store.cc.o"
+  "CMakeFiles/prorp_controlplane.dir/metadata_store.cc.o.d"
+  "libprorp_controlplane.a"
+  "libprorp_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

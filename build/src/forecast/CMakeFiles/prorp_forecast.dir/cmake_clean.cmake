@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_forecast.dir/fast_predictor.cc.o"
+  "CMakeFiles/prorp_forecast.dir/fast_predictor.cc.o.d"
+  "CMakeFiles/prorp_forecast.dir/sliding_window_predictor.cc.o"
+  "CMakeFiles/prorp_forecast.dir/sliding_window_predictor.cc.o.d"
+  "CMakeFiles/prorp_forecast.dir/window_selection.cc.o"
+  "CMakeFiles/prorp_forecast.dir/window_selection.cc.o.d"
+  "libprorp_forecast.a"
+  "libprorp_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_history.dir/mem_history_store.cc.o"
+  "CMakeFiles/prorp_history.dir/mem_history_store.cc.o.d"
+  "CMakeFiles/prorp_history.dir/sql_history_store.cc.o"
+  "CMakeFiles/prorp_history.dir/sql_history_store.cc.o.d"
+  "libprorp_history.a"
+  "libprorp_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

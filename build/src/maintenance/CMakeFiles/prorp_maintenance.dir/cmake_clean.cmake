@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_maintenance.dir/scheduler.cc.o"
+  "CMakeFiles/prorp_maintenance.dir/scheduler.cc.o.d"
+  "libprorp_maintenance.a"
+  "libprorp_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

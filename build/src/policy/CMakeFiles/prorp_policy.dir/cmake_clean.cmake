@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_policy.dir/lifecycle.cc.o"
+  "CMakeFiles/prorp_policy.dir/lifecycle.cc.o.d"
+  "CMakeFiles/prorp_policy.dir/lifecycle_controller.cc.o"
+  "CMakeFiles/prorp_policy.dir/lifecycle_controller.cc.o.d"
+  "libprorp_policy.a"
+  "libprorp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

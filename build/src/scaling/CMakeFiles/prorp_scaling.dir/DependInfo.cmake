@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/autoscaler.cc" "src/scaling/CMakeFiles/prorp_scaling.dir/autoscaler.cc.o" "gcc" "src/scaling/CMakeFiles/prorp_scaling.dir/autoscaler.cc.o.d"
+  "/root/repo/src/scaling/demand_history.cc" "src/scaling/CMakeFiles/prorp_scaling.dir/demand_history.cc.o" "gcc" "src/scaling/CMakeFiles/prorp_scaling.dir/demand_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prorp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_scaling.dir/autoscaler.cc.o"
+  "CMakeFiles/prorp_scaling.dir/autoscaler.cc.o.d"
+  "CMakeFiles/prorp_scaling.dir/demand_history.cc.o"
+  "CMakeFiles/prorp_scaling.dir/demand_history.cc.o.d"
+  "libprorp_scaling.a"
+  "libprorp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_sim.dir/fleet_simulator.cc.o"
+  "CMakeFiles/prorp_sim.dir/fleet_simulator.cc.o.d"
+  "libprorp_sim.a"
+  "libprorp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

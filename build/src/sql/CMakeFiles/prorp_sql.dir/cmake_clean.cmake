@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_sql.dir/database.cc.o"
+  "CMakeFiles/prorp_sql.dir/database.cc.o.d"
+  "CMakeFiles/prorp_sql.dir/lexer.cc.o"
+  "CMakeFiles/prorp_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/prorp_sql.dir/parser.cc.o"
+  "CMakeFiles/prorp_sql.dir/parser.cc.o.d"
+  "CMakeFiles/prorp_sql.dir/table.cc.o"
+  "CMakeFiles/prorp_sql.dir/table.cc.o.d"
+  "libprorp_sql.a"
+  "libprorp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

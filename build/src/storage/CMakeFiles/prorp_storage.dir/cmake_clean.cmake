@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/prorp_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/prorp_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/crc32.cc.o"
+  "CMakeFiles/prorp_storage.dir/crc32.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/prorp_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/durable_tree.cc.o"
+  "CMakeFiles/prorp_storage.dir/durable_tree.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/snapshot.cc.o"
+  "CMakeFiles/prorp_storage.dir/snapshot.cc.o.d"
+  "CMakeFiles/prorp_storage.dir/wal.cc.o"
+  "CMakeFiles/prorp_storage.dir/wal.cc.o.d"
+  "libprorp_storage.a"
+  "libprorp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

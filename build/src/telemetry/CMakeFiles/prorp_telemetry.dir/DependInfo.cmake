@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/events.cc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/events.cc.o" "gcc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/events.cc.o.d"
+  "/root/repo/src/telemetry/kpi.cc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/kpi.cc.o" "gcc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/kpi.cc.o.d"
+  "/root/repo/src/telemetry/region_report.cc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/region_report.cc.o" "gcc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/region_report.cc.o.d"
+  "/root/repo/src/telemetry/usage_ledger.cc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/usage_ledger.cc.o" "gcc" "src/telemetry/CMakeFiles/prorp_telemetry.dir/usage_ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prorp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_telemetry.dir/events.cc.o"
+  "CMakeFiles/prorp_telemetry.dir/events.cc.o.d"
+  "CMakeFiles/prorp_telemetry.dir/kpi.cc.o"
+  "CMakeFiles/prorp_telemetry.dir/kpi.cc.o.d"
+  "CMakeFiles/prorp_telemetry.dir/region_report.cc.o"
+  "CMakeFiles/prorp_telemetry.dir/region_report.cc.o.d"
+  "CMakeFiles/prorp_telemetry.dir/usage_ledger.cc.o"
+  "CMakeFiles/prorp_telemetry.dir/usage_ledger.cc.o.d"
+  "libprorp_telemetry.a"
+  "libprorp_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_training.dir/tuner.cc.o"
+  "CMakeFiles/prorp_training.dir/tuner.cc.o.d"
+  "libprorp_training.a"
+  "libprorp_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

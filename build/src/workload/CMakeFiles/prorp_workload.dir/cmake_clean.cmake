@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prorp_workload.dir/patterns.cc.o"
+  "CMakeFiles/prorp_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/prorp_workload.dir/region.cc.o"
+  "CMakeFiles/prorp_workload.dir/region.cc.o.d"
+  "CMakeFiles/prorp_workload.dir/trace.cc.o"
+  "CMakeFiles/prorp_workload.dir/trace.cc.o.d"
+  "CMakeFiles/prorp_workload.dir/trace_io.cc.o"
+  "CMakeFiles/prorp_workload.dir/trace_io.cc.o.d"
+  "libprorp_workload.a"
+  "libprorp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prorp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/bplus_tree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/bplus_tree_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/crash_recovery_test.cc" "tests/CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/crash_recovery_test.cc.o.d"
+  "/root/repo/tests/storage/disk_manager_test.cc" "tests/CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/disk_manager_test.cc.o.d"
+  "/root/repo/tests/storage/durable_tree_test.cc" "tests/CMakeFiles/storage_test.dir/storage/durable_tree_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/durable_tree_test.cc.o.d"
+  "/root/repo/tests/storage/snapshot_test.cc" "tests/CMakeFiles/storage_test.dir/storage/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/snapshot_test.cc.o.d"
+  "/root/repo/tests/storage/wal_test.cc" "tests/CMakeFiles/storage_test.dir/storage/wal_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/prorp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prorp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
