@@ -53,18 +53,27 @@ int main() {
 
   std::printf("%-40s %7s %7s %7s %9s\n", "variant", "QoS%", "idle%",
               "wrong%", "resumes");
+  std::vector<Arm> arms;
   for (const Variant& v : variants) {
-    auto report = sim::RunFleetSimulation(setup.traces, v.options);
-    if (!report.ok()) {
-      std::printf("%-40s FAILED: %s\n", v.name.c_str(),
-                  report.status().ToString().c_str());
+    Arm arm;
+    arm.label = v.name;
+    arm.traces = &setup.traces;
+    arm.options = v.options;
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("%-40s FAILED: %s\n", arms[i].label.c_str(),
+                  reports[i].status().ToString().c_str());
       continue;
     }
-    std::printf("%-40s %7.1f %7.1f %7.1f %9llu\n", v.name.c_str(),
-                report->kpi.QosAvailablePct(), report->kpi.IdleTotalPct(),
-                report->kpi.idle_proactive_wrong_pct,
+    std::printf("%-40s %7.1f %7.1f %7.1f %9llu\n", arms[i].label.c_str(),
+                reports[i]->kpi.QosAvailablePct(),
+                reports[i]->kpi.IdleTotalPct(),
+                reports[i]->kpi.idle_proactive_wrong_pct,
                 static_cast<unsigned long long>(
-                    report->kpi.proactive_resumes));
+                    reports[i]->kpi.proactive_resumes));
   }
   return 0;
 }

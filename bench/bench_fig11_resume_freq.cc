@@ -19,24 +19,39 @@ int main() {
               "roughly doubles the reactive workflow rate");
   FleetSetup setup = MakeFleet(workload::RegionEU1(), 4000, 2);
 
-  // Reactive baseline: reactive resumes bucketed per interval.
-  auto reactive = sim::RunFleetSimulation(
-      setup.traces, MakeOptions(setup, policy::PolicyMode::kReactive));
-  if (!reactive.ok()) return 1;
+  const std::vector<int> periods = {1, 2, 5, 10, 15};
+  // Arm 0 is the reactive baseline (reactive resumes bucketed per
+  // interval); arms 1..N sweep the proactive operation period.
+  std::vector<Arm> arms;
+  {
+    Arm arm;
+    arm.label = "reactive";
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, policy::PolicyMode::kReactive);
+    arms.push_back(std::move(arm));
+  }
+  for (int minutes : periods) {
+    Arm arm;
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, policy::PolicyMode::kProactive);
+    arm.options.config.control_plane.resume_operation_period =
+        Minutes(minutes);
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (const auto& r : reports) {
+    if (!r.ok()) return 1;
+  }
+  const auto& reactive = reports[0];
 
   std::printf("%-8s | %-52s | %s\n", "period", "proactive resumes/iteration",
               "reactive resumes/interval (white)");
-  for (int minutes : {1, 2, 5, 10, 15}) {
-    sim::SimOptions options =
-        MakeOptions(setup, policy::PolicyMode::kProactive);
-    options.config.control_plane.resume_operation_period = Minutes(minutes);
-    auto report = sim::RunFleetSimulation(setup.traces, options);
-    if (!report.ok()) return 1;
-    BoxPlot gray = report->resumed_per_iteration.ToBoxPlot();
+  for (size_t i = 0; i < periods.size(); ++i) {
+    BoxPlot gray = reports[i + 1]->resumed_per_iteration.ToBoxPlot();
     BoxPlot white = telemetry::WorkflowFrequency(
         reactive->recorder, telemetry::EventKind::kLoginReactive,
-        Minutes(minutes), setup.measure_from, setup.end);
-    std::printf("%3d min  | %-52s | %s\n", minutes,
+        Minutes(periods[i]), setup.measure_from, setup.end);
+    std::printf("%3d min  | %-52s | %s\n", periods[i],
                 gray.ToString().c_str(), white.ToString().c_str());
   }
   return 0;

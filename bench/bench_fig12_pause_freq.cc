@@ -16,10 +16,14 @@ int main() {
               "interval (paper: 31 -> 458 for 1 -> 15 min); proactive "
               "~2x reactive");
   FleetSetup setup = MakeFleet(workload::RegionEU1(), 4000, 2);
-  auto proactive = sim::RunFleetSimulation(
-      setup.traces, MakeOptions(setup, policy::PolicyMode::kProactive));
-  auto reactive = sim::RunFleetSimulation(
-      setup.traces, MakeOptions(setup, policy::PolicyMode::kReactive));
+  std::vector<Arm> arms(2);
+  arms[0].traces = &setup.traces;
+  arms[0].options = MakeOptions(setup, policy::PolicyMode::kProactive);
+  arms[1].traces = &setup.traces;
+  arms[1].options = MakeOptions(setup, policy::PolicyMode::kReactive);
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  const auto& proactive = reports[0];
+  const auto& reactive = reports[1];
   if (!proactive.ok() || !reactive.ok()) return 1;
 
   std::printf("total physical pauses: proactive=%llu reactive=%llu "

@@ -39,23 +39,29 @@ int main() {
 
   std::printf("%-10s %9s %9s %9s %12s\n", "policy", "used%", "idle%",
               "saved%", "unavailable%");
-  double active_pct = 0;
+  std::vector<Arm> arms;
   for (auto mode :
        {policy::PolicyMode::kAlwaysOn, policy::PolicyMode::kReactive,
         policy::PolicyMode::kProactive}) {
-    sim::SimOptions options = MakeOptions(setup, mode);
-    options.eviction_per_hour = 0;
-    auto report = sim::RunFleetSimulation(setup.traces, options);
-    if (!report.ok()) {
-      std::printf("FAILED: %s\n", report.status().ToString().c_str());
+    Arm arm;
+    arm.label = mode == policy::PolicyMode::kAlwaysOn
+                    ? "fixed"
+                    : std::string(policy::PolicyModeName(mode));
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, mode);
+    arm.options.eviction_per_hour = 0;
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  double active_pct = 0;
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("FAILED: %s\n", reports[i].status().ToString().c_str());
       return 1;
     }
-    const auto& kpi = report->kpi;
+    const auto& kpi = reports[i]->kpi;
     active_pct = kpi.active_pct + kpi.unavailable_pct;
-    std::string label = mode == policy::PolicyMode::kAlwaysOn
-                            ? "fixed"
-                            : std::string(policy::PolicyModeName(mode));
-    std::printf("%-10s %9.1f %9.1f %9.1f %12.2f\n", label.c_str(),
+    std::printf("%-10s %9.1f %9.1f %9.1f %12.2f\n", arms[i].label.c_str(),
                 kpi.active_pct,
                 kpi.IdleTotalPct(), kpi.reclaimed_pct, kpi.unavailable_pct);
   }

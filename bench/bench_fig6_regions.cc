@@ -17,24 +17,40 @@ int main() {
               "+ 1-5 correct)");
   std::printf("%-4s %-9s %7s | %7s %7s %7s %7s\n", "reg", "policy",
               "QoS%", "idle%", "logic%", "wrong%", "corr%");
+  // All region fleets are generated up front so every region x mode arm
+  // can run concurrently; arms hold pointers into `setups`.
+  std::vector<FleetSetup> setups;
   for (const auto& region : workload::AllRegions()) {
-    FleetSetup setup = MakeFleet(region, 4000, /*eval_days=*/4);
+    setups.push_back(MakeFleet(region, 4000, /*eval_days=*/4));
+  }
+  std::vector<Arm> arms;
+  for (const FleetSetup& setup : setups) {
     for (auto mode :
          {policy::PolicyMode::kReactive, policy::PolicyMode::kProactive}) {
-      auto report =
-          sim::RunFleetSimulation(setup.traces, MakeOptions(setup, mode));
-      if (!report.ok()) {
-        std::printf("FAILED: %s\n", report.status().ToString().c_str());
-        return 1;
-      }
-      const auto& kpi = report->kpi;
-      std::printf("%-4s %-9s %7.1f | %7.1f %7.1f %7.1f %7.1f\n",
-                  region.name.c_str(),
-                  std::string(policy::PolicyModeName(mode)).c_str(),
-                  kpi.QosAvailablePct(), kpi.IdleTotalPct(),
-                  kpi.idle_logical_pct, kpi.idle_proactive_wrong_pct,
-                  kpi.idle_proactive_correct_pct);
+      Arm arm;
+      arm.label = setup.profile.name + " " +
+                  std::string(policy::PolicyModeName(mode));
+      arm.traces = &setup.traces;
+      arm.options = MakeOptions(setup, mode);
+      arms.push_back(std::move(arm));
     }
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("FAILED: %s\n", reports[i].status().ToString().c_str());
+      return 1;
+    }
+    const auto& kpi = reports[i]->kpi;
+    const FleetSetup& setup = setups[i / 2];
+    auto mode = i % 2 == 0 ? policy::PolicyMode::kReactive
+                           : policy::PolicyMode::kProactive;
+    std::printf("%-4s %-9s %7.1f | %7.1f %7.1f %7.1f %7.1f\n",
+                setup.profile.name.c_str(),
+                std::string(policy::PolicyModeName(mode)).c_str(),
+                kpi.QosAvailablePct(), kpi.IdleTotalPct(),
+                kpi.idle_logical_pct, kpi.idle_proactive_wrong_pct,
+                kpi.idle_proactive_correct_pct);
   }
   return 0;
 }

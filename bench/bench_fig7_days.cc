@@ -16,25 +16,33 @@ int main() {
   FleetSetup setup = MakeFleet(region, 4000, /*eval_days=*/4);
   std::printf("%-6s %-9s %7s | %7s %7s %7s %7s\n", "day", "policy",
               "QoS%", "idle%", "logic%", "wrong%", "corr%");
+  std::vector<Arm> arms;
   for (int day = 0; day < 4; ++day) {
     for (auto mode :
          {policy::PolicyMode::kReactive, policy::PolicyMode::kProactive}) {
-      sim::SimOptions options = MakeOptions(setup, mode);
-      options.measure_from = kMeasureFrom + Days(day);
-      options.end = kMeasureFrom + Days(day + 1);
-      auto report = sim::RunFleetSimulation(setup.traces, options);
-      if (!report.ok()) {
-        std::printf("FAILED: %s\n", report.status().ToString().c_str());
-        return 1;
-      }
-      const auto& kpi = report->kpi;
-      std::printf("day %-2d %-9s %7.1f | %7.1f %7.1f %7.1f %7.1f\n",
-                  day + 1,
-                  std::string(policy::PolicyModeName(mode)).c_str(),
-                  kpi.QosAvailablePct(), kpi.IdleTotalPct(),
-                  kpi.idle_logical_pct, kpi.idle_proactive_wrong_pct,
-                  kpi.idle_proactive_correct_pct);
+      Arm arm;
+      arm.traces = &setup.traces;
+      arm.options = MakeOptions(setup, mode);
+      arm.options.measure_from = kMeasureFrom + Days(day);
+      arm.options.end = kMeasureFrom + Days(day + 1);
+      arms.push_back(std::move(arm));
     }
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("FAILED: %s\n", reports[i].status().ToString().c_str());
+      return 1;
+    }
+    const auto& kpi = reports[i]->kpi;
+    auto mode = i % 2 == 0 ? policy::PolicyMode::kReactive
+                           : policy::PolicyMode::kProactive;
+    std::printf("day %-2d %-9s %7.1f | %7.1f %7.1f %7.1f %7.1f\n",
+                static_cast<int>(i / 2) + 1,
+                std::string(policy::PolicyModeName(mode)).c_str(),
+                kpi.QosAvailablePct(), kpi.IdleTotalPct(),
+                kpi.idle_logical_pct, kpi.idle_proactive_wrong_pct,
+                kpi.idle_proactive_correct_pct);
   }
   return 0;
 }

@@ -16,20 +16,26 @@ int main() {
   FleetSetup setup = MakeFleet(workload::RegionEU1(), 4000, 4);
   std::printf("%-6s %8s %8s %8s %8s\n", "w(h)", "QoS%", "idle%",
               "wrong%", "resumes");
+  std::vector<Arm> arms;
   for (int w = 1; w <= 8; ++w) {
-    sim::SimOptions options =
-        MakeOptions(setup, policy::PolicyMode::kProactive);
-    options.config.policy.prediction.window_size = Hours(w);
-    auto report = sim::RunFleetSimulation(setup.traces, options);
-    if (!report.ok()) {
-      std::printf("FAILED: %s\n", report.status().ToString().c_str());
+    Arm arm;
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, policy::PolicyMode::kProactive);
+    arm.options.config.policy.prediction.window_size = Hours(w);
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("FAILED: %s\n", reports[i].status().ToString().c_str());
       return 1;
     }
-    std::printf("%-6d %8.1f %8.1f %8.1f %8llu\n", w,
-                report->kpi.QosAvailablePct(), report->kpi.IdleTotalPct(),
-                report->kpi.idle_proactive_wrong_pct,
+    std::printf("%-6d %8.1f %8.1f %8.1f %8llu\n", static_cast<int>(i) + 1,
+                reports[i]->kpi.QosAvailablePct(),
+                reports[i]->kpi.IdleTotalPct(),
+                reports[i]->kpi.idle_proactive_wrong_pct,
                 static_cast<unsigned long long>(
-                    report->kpi.proactive_resumes));
+                    reports[i]->kpi.proactive_resumes));
   }
   return 0;
 }

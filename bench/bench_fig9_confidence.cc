@@ -15,20 +15,28 @@ int main() {
   FleetSetup setup = MakeFleet(workload::RegionEU1(), 4000, 4);
   std::printf("%-6s %8s %8s %8s %8s\n", "c", "QoS%", "idle%", "wrong%",
               "resumes");
-  for (double c : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
-    sim::SimOptions options =
-        MakeOptions(setup, policy::PolicyMode::kProactive);
-    options.config.policy.prediction.confidence_threshold = c;
-    auto report = sim::RunFleetSimulation(setup.traces, options);
-    if (!report.ok()) {
-      std::printf("FAILED: %s\n", report.status().ToString().c_str());
+  const std::vector<double> thresholds = {0.1, 0.2, 0.3, 0.4,
+                                          0.5, 0.6, 0.7, 0.8};
+  std::vector<Arm> arms;
+  for (double c : thresholds) {
+    Arm arm;
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, policy::PolicyMode::kProactive);
+    arm.options.config.policy.prediction.confidence_threshold = c;
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) {
+      std::printf("FAILED: %s\n", reports[i].status().ToString().c_str());
       return 1;
     }
-    std::printf("%-6.1f %8.1f %8.1f %8.1f %8llu\n", c,
-                report->kpi.QosAvailablePct(), report->kpi.IdleTotalPct(),
-                report->kpi.idle_proactive_wrong_pct,
+    std::printf("%-6.1f %8.1f %8.1f %8.1f %8llu\n", thresholds[i],
+                reports[i]->kpi.QosAvailablePct(),
+                reports[i]->kpi.IdleTotalPct(),
+                reports[i]->kpi.idle_proactive_wrong_pct,
                 static_cast<unsigned long long>(
-                    report->kpi.proactive_resumes));
+                    reports[i]->kpi.proactive_resumes));
   }
   return 0;
 }

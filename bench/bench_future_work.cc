@@ -139,17 +139,23 @@ void RunMachineSavings() {
   const double kDbsPerNode = 50;  // packing density
   std::printf("%-10s %18s %18s %16s\n", "policy", "mean allocated",
               "peak allocated", "machines (peak)");
+  std::vector<Arm> arms;
   for (auto mode :
        {policy::PolicyMode::kAlwaysOn, policy::PolicyMode::kReactive,
         policy::PolicyMode::kProactive}) {
-    auto report =
-        sim::RunFleetSimulation(setup.traces, MakeOptions(setup, mode));
-    if (!report.ok()) return;
-    double mean = report->allocated_samples.Mean();
-    double peak = report->allocated_samples.Max();
-    std::printf("%-10s %18.0f %18.0f %16.0f\n",
-                std::string(policy::PolicyModeName(mode)).c_str(), mean,
-                peak, std::ceil(peak / kDbsPerNode));
+    Arm arm;
+    arm.label = std::string(policy::PolicyModeName(mode));
+    arm.traces = &setup.traces;
+    arm.options = MakeOptions(setup, mode);
+    arms.push_back(std::move(arm));
+  }
+  std::vector<Result<sim::SimReport>> reports = RunArms(arms);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    if (!reports[i].ok()) return;
+    double mean = reports[i]->allocated_samples.Mean();
+    double peak = reports[i]->allocated_samples.Max();
+    std::printf("%-10s %18.0f %18.0f %16.0f\n", arms[i].label.c_str(),
+                mean, peak, std::ceil(peak / kDbsPerNode));
   }
   std::printf("\nThe proactive policy's extra pre-warms raise allocation "
               "slightly above\nreactive; both are far below fixed "

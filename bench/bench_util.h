@@ -6,9 +6,12 @@
 // paper's expected band so the shape comparison is one glance.
 
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sim/fleet_simulator.h"
 #include "workload/region.h"
 
@@ -47,7 +50,43 @@ inline sim::SimOptions MakeOptions(const FleetSetup& setup,
   options.end = setup.end;
   options.eviction_per_hour = setup.profile.eviction_per_hour;
   options.seed = seed;
+  // Reactive / always-on databases share no cross-database state, so those
+  // arms additionally shard the fleet across workers (the simulator clamps
+  // and falls back to the serial loop for proactive mode).  Sharded output
+  // is bit-identical to serial, so this only changes wall-clock time.
+  if (mode != policy::PolicyMode::kProactive) {
+    options.num_threads =
+        static_cast<int>(common::ThreadPool::DefaultThreads());
+  }
   return options;
+}
+
+/// One independent experiment arm of a figure harness: a label plus the
+/// traces and options of a RunFleetSimulation call.  Arms share nothing —
+/// each run builds its own history stores, controllers, metadata store and
+/// RNG streams from `options.seed` — so they can execute concurrently with
+/// results identical to a serial loop.
+struct Arm {
+  std::string label;
+  const std::vector<workload::DbTrace>* traces = nullptr;
+  sim::SimOptions options;
+};
+
+/// Runs the arms on a thread pool sized by PRORP_NUM_THREADS (default:
+/// hardware concurrency) and returns the reports in arm order, so the
+/// printed figure is byte-identical whether the arms ran serially
+/// (PRORP_NUM_THREADS=1) or concurrently.
+inline std::vector<Result<sim::SimReport>> RunArms(
+    const std::vector<Arm>& arms) {
+  std::vector<std::function<Result<sim::SimReport>()>> jobs;
+  jobs.reserve(arms.size());
+  for (const Arm& arm : arms) {
+    jobs.emplace_back([&arm] {
+      return sim::RunFleetSimulation(*arm.traces, arm.options);
+    });
+  }
+  return common::RunOnPool<Result<sim::SimReport>>(
+      std::move(jobs), common::ThreadPool::DefaultThreads());
 }
 
 inline void PrintHeader(const char* figure, const char* claim) {

@@ -30,13 +30,15 @@ Result<ActivityPrediction> FastPredictor::PredictNextActivity(
     PRORP_ASSIGN_OR_RETURN(std::vector<EpochSeconds> logins,
                            history.CollectLogins(base, span_end));
     size_t lo = 0;  // first login >= window start
-    size_t hi = 0;  // first login >  window end
+    size_t hi = 0;  // first login >= window end
     for (int64_t i = 0; i < num_windows; ++i) {
       EpochSeconds win_start = base + i * cfg.window_slide;
       EpochSeconds win_end = win_start + cfg.window_size;
       while (lo < logins.size() && logins[lo] < win_start) ++lo;
       if (hi < lo) hi = lo;
-      while (hi < logins.size() && logins[hi] <= win_end) ++hi;
+      // Window ranges are half-open [win_start, win_end), matching the
+      // stores' LoginMinMax bounds.
+      while (hi < logins.size() && logins[hi] < win_end) ++hi;
       if (lo < hi) {
         WindowStats& s = stats[static_cast<size_t>(i)];
         ++s.seasons_with_activity;

@@ -21,6 +21,8 @@ Result<ActivityPrediction> SlidingWindowPredictor::PredictNextActivity(
         for (int64_t season = 1; season <= num_seasons; ++season) {
           EpochSeconds prev_start = win_start - season * cfg.seasonality;
           EpochSeconds prev_end = prev_start + cfg.window_size;
+          // Half-open [prev_start, prev_end): a login exactly at the
+          // boundary counts toward the next window only.
           PRORP_ASSIGN_OR_RETURN(
               history::LoginRangeAgg agg,
               history.LoginMinMax(prev_start, prev_end));

@@ -63,11 +63,14 @@ class HistoryStore {
                                         EpochSeconds now) = 0;
 
   /// Algorithm 4's inner range query: MIN/MAX login timestamps with
-  /// event_type = 1 and lo <= time_snapshot <= hi.
+  /// event_type = 1 in the half-open range [lo, hi).  The upper bound is
+  /// exclusive so a login exactly on a sliding-window boundary belongs
+  /// to exactly one window — an inclusive bound double-counts it in two
+  /// adjacent windows and inflates seasons_with_activity.
   virtual Result<LoginRangeAgg> LoginMinMax(EpochSeconds lo,
                                             EpochSeconds hi) const = 0;
 
-  /// All login timestamps in [lo, hi], ascending (the fast predictor's
+  /// All login timestamps in [lo, hi), ascending (the fast predictor's
   /// bulk read; one range scan instead of one query per window).
   virtual Result<std::vector<EpochSeconds>> CollectLogins(
       EpochSeconds lo, EpochSeconds hi) const = 0;

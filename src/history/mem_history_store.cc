@@ -49,7 +49,7 @@ Result<LoginRangeAgg> MemHistoryStore::LoginMinMax(EpochSeconds lo,
   LoginRangeAgg agg;
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), lo,
                              TupleTimeLess);
-  for (; it != tuples_.end() && it->time_snapshot <= hi; ++it) {
+  for (; it != tuples_.end() && it->time_snapshot < hi; ++it) {
     if (it->event_type != kEventLogin) continue;
     if (!agg.any) {
       agg.any = true;
@@ -65,7 +65,7 @@ Result<std::vector<EpochSeconds>> MemHistoryStore::CollectLogins(
   std::vector<EpochSeconds> out;
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), lo,
                              TupleTimeLess);
-  for (; it != tuples_.end() && it->time_snapshot <= hi; ++it) {
+  for (; it != tuples_.end() && it->time_snapshot < hi; ++it) {
     if (it->event_type == kEventLogin) out.push_back(it->time_snapshot);
   }
   return out;

@@ -48,12 +48,12 @@ Status SqlHistoryStore::Prepare() {
                  "FROM sys.pause_resume_history "
                  "WHERE event_type = 1 AND "
                  "@winStartPrevDay <= time_snapshot AND "
-                 "time_snapshot <= @winEndPrevDay"));
+                 "time_snapshot < @winEndPrevDay"));
   PRORP_ASSIGN_OR_RETURN(
       collect_logins_stmt_,
       sql::Parse("SELECT time_snapshot FROM sys.pause_resume_history "
                  "WHERE event_type = 1 AND "
-                 "@lo <= time_snapshot AND time_snapshot <= @hi"));
+                 "@lo <= time_snapshot AND time_snapshot < @hi"));
   PRORP_ASSIGN_OR_RETURN(
       read_all_stmt_,
       sql::Parse("SELECT time_snapshot, event_type FROM "

@@ -1,9 +1,12 @@
 #include "sim/fleet_simulator.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <queue>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
 #include "telemetry/usage_ledger.h"
@@ -50,17 +53,30 @@ struct DbRuntime {
   const workload::DbTrace* trace = nullptr;
   std::unique_ptr<MemHistoryStore> history;
   std::unique_ptr<LifecycleController> controller;
-  /// Bumped on every lifecycle transition; stamps scheduled eviction and
-  /// resume-latency events so stale ones are dropped.
+  /// Bumped on every lifecycle transition; stamps scheduled timer,
+  /// eviction, and resume-latency events so stale ones are dropped.
   uint64_t generation = 0;
   EpochSeconds scheduled_timer = 0;
+  uint64_t scheduled_timer_gen = 0;
+  /// Capacity-pressure hazard stream, seeded from the run seed and the
+  /// database's fleet-global id so the draws are identical whether the
+  /// fleet runs in one piece or sharded across workers.
+  Rng eviction_rng{0};
 };
 
+/// One discrete-event simulation over a contiguous slice of the fleet.
+/// `db_offset` is the fleet-global id of the slice's first trace; all
+/// externally visible ids (telemetry events, RNG seeding) are global, so
+/// a sharded run merges into the same report a whole-fleet run produces.
 class FleetSimulation {
  public:
-  FleetSimulation(const std::vector<workload::DbTrace>& traces,
-                  const SimOptions& options)
-      : traces_(traces), options_(options), rng_(options.seed) {}
+  FleetSimulation(const workload::DbTrace* traces, size_t num_traces,
+                  const SimOptions& options, DbId db_offset)
+      : traces_(traces),
+        num_traces_(num_traces),
+        options_(options),
+        db_offset_(db_offset),
+        rng_(options.seed) {}
 
   Result<SimReport> Run();
 
@@ -69,18 +85,28 @@ class FleetSimulation {
     queue_.push({time, seq_++, type, db, aux});
   }
 
-  /// Re-schedules the controller's requested timer if it changed.
+  /// Re-schedules the controller's requested timer if it changed.  A
+  /// cancelled timer (NextTimerAt() == 0, e.g. on physical pause) clears
+  /// the bookkeeping so the already-queued event is recognized as stale:
+  /// otherwise a later legitimate timer at the same timestamp would be
+  /// silently consumed by HandleTimer's staleness check.
   void SyncTimer(DbId db) {
     DbRuntime& rt = dbs_[db];
     EpochSeconds t = rt.controller->NextTimerAt();
-    if (t != 0 && t != rt.scheduled_timer) {
+    if (t == 0) {
+      rt.scheduled_timer = 0;
+      return;
+    }
+    if (t != rt.scheduled_timer ||
+        rt.scheduled_timer_gen != rt.generation) {
       rt.scheduled_timer = t;
-      Push(t, SimEventType::kTimer, db, 0);
+      rt.scheduled_timer_gen = rt.generation;
+      Push(t, SimEventType::kTimer, db, rt.generation);
     }
   }
 
   void RecordEvent(EpochSeconds time, DbId db, EventKind kind) {
-    recorder_->Record(time, db, kind);
+    recorder_->Record(time, db_offset_ + db, kind);
   }
 
   void SetPhase(DbId db, Phase phase, EpochSeconds time) {
@@ -107,8 +133,10 @@ class FleetSimulation {
   Status HandleResumeLatencyDone(const SimEvent& ev);
   void HandleMeasureStart(const SimEvent& ev);
 
-  const std::vector<workload::DbTrace>& traces_;
+  const workload::DbTrace* traces_;
+  size_t num_traces_;
   SimOptions options_;
+  DbId db_offset_;
   Rng rng_;
 
   std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>>
@@ -158,8 +186,9 @@ void FleetSimulation::OnTransition(DbId db,
       }
       if (options_.eviction_per_hour > 0) {
         double mean_seconds = 3600.0 / options_.eviction_per_hour;
-        EpochSeconds at = e.time + static_cast<DurationSeconds>(
-                                       rng_.NextExponential(mean_seconds));
+        EpochSeconds at =
+            e.time + static_cast<DurationSeconds>(
+                         rt.eviction_rng.NextExponential(mean_seconds));
         if (at < options_.end) {
           Push(at, SimEventType::kEviction, db, rt.generation);
         }
@@ -178,6 +207,9 @@ void FleetSimulation::OnTransition(DbId db,
 Status FleetSimulation::HandleDbCreated(const SimEvent& ev) {
   DbRuntime& rt = dbs_[ev.db];
   rt.history = std::make_unique<MemHistoryStore>();
+  rt.eviction_rng.Seed(options_.seed ^
+                       (0x9E3779B97F4A7C15ULL *
+                        (static_cast<uint64_t>(db_offset_ + ev.db) + 1)));
   const forecast::Predictor* predictor =
       options_.mode == PolicyMode::kProactive ? predictor_.get() : nullptr;
   DbId db = ev.db;
@@ -233,8 +265,8 @@ Status FleetSimulation::HandleSessionEnd(const SimEvent& ev) {
 Status FleetSimulation::HandleTimer(const SimEvent& ev) {
   DbRuntime& rt = dbs_[ev.db];
   if (rt.controller == nullptr) return Status::OK();
-  if (rt.scheduled_timer != ev.time) {
-    return Status::OK();  // superseded: a newer timer event exists
+  if (rt.scheduled_timer != ev.time || rt.scheduled_timer_gen != ev.aux) {
+    return Status::OK();  // superseded or cancelled: this event is stale
   }
   rt.scheduled_timer = 0;  // this event is consumed either way
   if (rt.controller->NextTimerAt() == ev.time) {
@@ -299,7 +331,7 @@ Result<SimReport> FleetSimulation::Run() {
   if (options_.end <= 0) {
     return Status::InvalidArgument("SimOptions.end is required");
   }
-  size_t n = traces_.size();
+  size_t n = num_traces_;
   dbs_.resize(n);
   current_phase_.assign(n, Phase::kReclaimed);
   phase_known_.assign(n, false);
@@ -341,9 +373,9 @@ Result<SimReport> FleetSimulation::Run() {
     // The operation starts with the earliest database; earlier ticks
     // would only scan an empty metadata store.
     EpochSeconds first_tick = options_.end;
-    for (const workload::DbTrace& t : traces_) {
-      if (!t.sessions.empty()) {
-        first_tick = std::min(first_tick, t.sessions[0].start + 1);
+    for (size_t i = 0; i < num_traces_; ++i) {
+      if (!traces_[i].sessions.empty()) {
+        first_tick = std::min(first_tick, traces_[i].sessions[0].start + 1);
       }
     }
     if (first_tick < options_.end) {
@@ -398,7 +430,8 @@ Result<SimReport> FleetSimulation::Run() {
   ledger_->Finish(options_.end);
 
   SimReport report;
-  report.kpi = telemetry::ComputeKpi(*recorder_, *ledger_);
+  report.usage = ledger_->fleet_total();
+  report.kpi = telemetry::ComputeKpi(*recorder_, report.usage);
   // Predictions are counted inside the controllers (the event stream only
   // carries lifecycle transitions).
   for (const DbRuntime& rt : dbs_) {
@@ -423,13 +456,101 @@ Result<SimReport> FleetSimulation::Run() {
   return report;
 }
 
+/// Merges per-shard reports into the report a whole-fleet serial run
+/// would have produced.  Everything a KPI is computed from is a sum
+/// (event counts, integer-second phase durations), so the merge is
+/// exact, not approximate.
+SimReport MergeShardReports(std::vector<SimReport> shards) {
+  SimReport merged;
+  merged.measure_from = shards.front().measure_from;
+  merged.measure_end = shards.front().measure_end;
+
+  std::vector<telemetry::FleetEvent> events;
+  std::vector<double> allocated_sums;
+  uint64_t predictions = 0;
+  for (SimReport& s : shards) {
+    merged.usage += s.usage;
+    predictions += s.kpi.predictions;
+    events.insert(events.end(), s.recorder.events().begin(),
+                  s.recorder.events().end());
+    merged.resumed_per_iteration.Merge(s.resumed_per_iteration);
+    merged.history_tuples.Merge(s.history_tuples);
+    merged.history_bytes.Merge(s.history_bytes);
+    // Every shard samples on the same 5-minute schedule, so the fleet's
+    // concurrent-allocation census is the element-wise sum.
+    const std::vector<double>& samples = s.allocated_samples.values();
+    if (allocated_sums.size() < samples.size()) {
+      allocated_sums.resize(samples.size(), 0);
+    }
+    for (size_t i = 0; i < samples.size(); ++i) {
+      allocated_sums[i] += samples[i];
+    }
+    merged.diagnostics.observed_iterations +=
+        s.diagnostics.observed_iterations;
+    merged.diagnostics.max_queue_depth = std::max(
+        merged.diagnostics.max_queue_depth, s.diagnostics.max_queue_depth);
+    merged.diagnostics.stuck_workflows += s.diagnostics.stuck_workflows;
+    merged.diagnostics.mitigated += s.diagnostics.mitigated;
+    merged.diagnostics.skipped_state_changed +=
+        s.diagnostics.skipped_state_changed;
+    merged.diagnostics.incidents += s.diagnostics.incidents;
+  }
+  merged.allocated_samples.AddAll(allocated_sums);
+  // Restore global time order (shard concatenation is db-grouped).  All
+  // KPI consumers are order-independent; this is for readable exports.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const telemetry::FleetEvent& a,
+                      const telemetry::FleetEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (const telemetry::FleetEvent& e : events) {
+    merged.recorder.Record(e.time, e.db, e.kind);
+  }
+  merged.kpi = telemetry::ComputeKpi(merged.recorder, merged.usage);
+  merged.kpi.predictions = predictions;
+  return merged;
+}
+
 }  // namespace
 
 Result<SimReport> RunFleetSimulation(
     const std::vector<workload::DbTrace>& traces,
     const SimOptions& options) {
-  FleetSimulation simulation(traces, options);
-  return simulation.Run();
+  size_t num_shards =
+      options.num_threads > 1
+          ? std::min<size_t>(static_cast<size_t>(options.num_threads),
+                             traces.size())
+          : 1;
+  // Proactive mode couples databases through the shared metadata store
+  // and management service; it always runs as one event loop.
+  if (options.mode == PolicyMode::kProactive || num_shards <= 1) {
+    FleetSimulation simulation(traces.data(), traces.size(), options, 0);
+    return simulation.Run();
+  }
+
+  std::vector<std::function<Result<SimReport>()>> jobs;
+  jobs.reserve(num_shards);
+  size_t base = 0;
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    size_t count = traces.size() / num_shards +
+                   (shard < traces.size() % num_shards ? 1 : 0);
+    const workload::DbTrace* begin = traces.data() + base;
+    DbId offset = static_cast<DbId>(base);
+    jobs.emplace_back([begin, count, offset, &options] {
+      FleetSimulation simulation(begin, count, options, offset);
+      return simulation.Run();
+    });
+    base += count;
+  }
+  std::vector<Result<SimReport>> results =
+      common::RunOnPool<Result<SimReport>>(std::move(jobs), num_shards);
+  std::vector<SimReport> shards;
+  shards.reserve(results.size());
+  for (Result<SimReport>& r : results) {
+    PRORP_RETURN_IF_ERROR(r.status());
+    shards.push_back(std::move(r.value()));
+  }
+  return MergeShardReports(std::move(shards));
 }
 
 }  // namespace prorp::sim

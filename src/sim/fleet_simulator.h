@@ -47,12 +47,25 @@ struct SimOptions {
   bool use_sql_scan_for_resume_op = false;
 
   uint64_t seed = 42;
+
+  /// Workers for the sharded fleet mode.  Reactive and always-on
+  /// databases share no ManagementService/MetadataStore state, so the
+  /// fleet is partitioned into contiguous shards simulated concurrently
+  /// and the per-shard reports merged; per-database RNG streams make the
+  /// result bit-identical to the serial run.  Proactive mode couples the
+  /// fleet through the metadata store and always runs serially,
+  /// whatever this is set to.  <= 1 disables sharding.
+  int num_threads = 1;
 };
 
 /// Everything a bench needs from one run.
 struct SimReport {
   telemetry::KpiReport kpi;
   telemetry::Recorder recorder;  // events within the measurement window
+  /// Fleet-total seconds per phase over the measurement window.  Kept in
+  /// raw form (not just the KPI percentages) so per-shard reports can be
+  /// summed exactly when merging.
+  telemetry::TimeBreakdown usage;
   controlplane::DiagnosticsReport diagnostics;
   /// Databases proactively resumed per operation iteration (Figure 11).
   Summary resumed_per_iteration;

@@ -61,7 +61,13 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 
 Result<PageGuard> BufferPool::New() {
   PRORP_ASSIGN_OR_RETURN(PageId id, disk_->Allocate());
-  PRORP_ASSIGN_OR_RETURN(size_t frame_idx, AcquireFrame());
+  Result<size_t> frame = AcquireFrame();
+  if (!frame.ok()) {
+    // All frames pinned: hand the fresh id back so it is not leaked.
+    (void)disk_->Release(id);
+    return frame.status();
+  }
+  size_t frame_idx = frame.value();
   Frame& f = frames_[frame_idx];
   std::memset(f.data.get(), 0, kPageSize);
   f.id = id;

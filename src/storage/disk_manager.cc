@@ -9,6 +9,12 @@
 namespace prorp::storage {
 
 Result<PageId> InMemoryDiskManager::Allocate() {
+  if (!free_ids_.empty()) {
+    PageId id = free_ids_.back();
+    free_ids_.pop_back();
+    std::memset(pages_[id].get(), 0, kPageSize);
+    return id;
+  }
   if (pages_.size() >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
@@ -16,6 +22,14 @@ Result<PageId> InMemoryDiskManager::Allocate() {
   std::memset(page.get(), 0, kPageSize);
   pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryDiskManager::Release(PageId id) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("release of unallocated page");
+  }
+  free_ids_.push_back(id);
+  return Status::OK();
 }
 
 Status InMemoryDiskManager::Read(PageId id, uint8_t* buf) {
@@ -64,16 +78,34 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Result<PageId> FileDiskManager::Allocate() {
+  uint8_t zeros[kPageSize] = {};
+  if (!free_ids_.empty()) {
+    PageId id = free_ids_.back();
+    off_t offset = static_cast<off_t>(id) * kPageSize;
+    ssize_t written = ::pwrite(fd_, zeros, kPageSize, offset);
+    if (written != static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("pwrite failed while recycling page");
+    }
+    free_ids_.pop_back();
+    return id;
+  }
   if (num_pages_ >= kInvalidPageId) {
     return Status::ResourceExhausted("page id space exhausted");
   }
-  uint8_t zeros[kPageSize] = {};
   off_t offset = static_cast<off_t>(num_pages_) * kPageSize;
   ssize_t written = ::pwrite(fd_, zeros, kPageSize, offset);
   if (written != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("pwrite failed while allocating page");
   }
   return num_pages_++;
+}
+
+Status FileDiskManager::Release(PageId id) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("release of unallocated page");
+  }
+  free_ids_.push_back(id);
+  return Status::OK();
 }
 
 Status FileDiskManager::Read(PageId id, uint8_t* buf) {

@@ -13,14 +13,21 @@
 namespace prorp::storage {
 
 /// Abstraction over the page file.  The buffer pool is the only client.
-/// Pages are only ever appended; page recycling is handled above this layer
-/// by the B+tree's intra-file free list.
+/// Pages are appended, except that ids handed back via Release() are
+/// reused first; structural page recycling is handled above this layer by
+/// the B+tree's intra-file free list.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
 
-  /// Appends a zeroed page and returns its id.
+  /// Returns a zeroed page id: a recycled id from the free list when one
+  /// is available, otherwise a freshly appended page.
   virtual Result<PageId> Allocate() = 0;
+
+  /// Returns `id` to the free list so a later Allocate() can reuse it.
+  /// Used by the buffer pool to undo an allocation it could not frame
+  /// (all frames pinned); the caller must no longer touch the page.
+  virtual Status Release(PageId id) = 0;
 
   /// Reads page `id` into `buf` (kPageSize bytes).
   virtual Status Read(PageId id, uint8_t* buf) = 0;
@@ -41,6 +48,7 @@ class DiskManager {
 class InMemoryDiskManager : public DiskManager {
  public:
   Result<PageId> Allocate() override;
+  Status Release(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
   uint32_t num_pages() const override;
@@ -48,6 +56,7 @@ class InMemoryDiskManager : public DiskManager {
 
  private:
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::vector<PageId> free_ids_;
 };
 
 /// File-backed page store using pread/pwrite on a single database file.
@@ -63,6 +72,7 @@ class FileDiskManager : public DiskManager {
   FileDiskManager& operator=(const FileDiskManager&) = delete;
 
   Result<PageId> Allocate() override;
+  Status Release(PageId id) override;
   Status Read(PageId id, uint8_t* buf) override;
   Status Write(PageId id, const uint8_t* buf) override;
   uint32_t num_pages() const override;
@@ -74,6 +84,7 @@ class FileDiskManager : public DiskManager {
 
   int fd_;
   uint32_t num_pages_;
+  std::vector<PageId> free_ids_;
 };
 
 }  // namespace prorp::storage

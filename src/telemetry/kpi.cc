@@ -20,6 +20,10 @@ std::string KpiReport::ToString() const {
 }
 
 KpiReport ComputeKpi(const Recorder& recorder, const UsageLedger& ledger) {
+  return ComputeKpi(recorder, ledger.fleet_total());
+}
+
+KpiReport ComputeKpi(const Recorder& recorder, const TimeBreakdown& t) {
   KpiReport report;
   for (const FleetEvent& e : recorder.events()) {
     switch (e.kind) {
@@ -50,7 +54,6 @@ KpiReport ComputeKpi(const Recorder& recorder, const UsageLedger& ledger) {
   }
   report.logins_total = report.logins_available + report.logins_reactive;
 
-  const TimeBreakdown& t = ledger.fleet_total();
   double total = t.Total();
   if (total > 0) {
     report.idle_logical_pct = 100.0 * t.idle_logical / total;

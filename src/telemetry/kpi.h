@@ -55,6 +55,12 @@ struct KpiReport {
 /// Computes the KPI report from the event log and a finished ledger.
 KpiReport ComputeKpi(const Recorder& recorder, const UsageLedger& ledger);
 
+/// Same, from a pre-summed fleet time breakdown.  Used when merging
+/// per-shard simulation reports: shard breakdowns are integer-second
+/// sums, so adding them and recomputing the percentages here reproduces
+/// the single-ledger result exactly.
+KpiReport ComputeKpi(const Recorder& recorder, const TimeBreakdown& total);
+
 /// Figures 11-12: five-number summary of the number of events of `kind`
 /// per `interval`-second bucket across [start, end).  Buckets with zero
 /// events count.

@@ -158,14 +158,14 @@ TEST(SlidingWindowPredictorTest, Figure5Example) {
   EpochSeconds today = StartOfDay(now);
   // Days 1-5 (1 = yesterday ... 5): logins around 10:00; day 3 has two
   // separate logins inside the window (as in the figure); day 2 has none
-  // early but one at 11:30 (so narrow early windows have confidence 4/5).
+  // early but one at 11:15 (so narrow early windows have confidence 4/5).
   struct DayLogins {
     int day;
     std::vector<DurationSeconds> logins;
   };
   std::vector<DayLogins> days = {
       {1, {Hours(10)}},
-      {2, {Hours(11) + Minutes(30)}},
+      {2, {Hours(11) + Minutes(15)}},
       {3, {Hours(9) + Minutes(30), Hours(12)}},
       {4, {Hours(10) + Minutes(15)}},
       {5, {Hours(10) + Minutes(45)}},
@@ -191,7 +191,42 @@ TEST(SlidingWindowPredictorTest, Figure5Example) {
   // Predicted interval spans the earliest and latest observed login
   // offsets of the winning window.
   EXPECT_LE(pred->start, now + Hours(9) + Minutes(30) + Hours(1));
-  EXPECT_GE(pred->end, now + Hours(11) + Minutes(30));
+  EXPECT_GE(pred->end, now + Hours(11) + Minutes(15));
+}
+
+TEST(SlidingWindowPredictorTest, BoundaryLoginNotDoubleCounted) {
+  // Regression for the inclusive season-window bound: a login exactly at
+  // prev_start + window_size used to be counted in two adjacent sliding
+  // windows, inflating seasons_with_activity past the confidence
+  // threshold.
+  MemHistoryStore store;
+  EpochSeconds now = kAnchor;
+  EpochSeconds today = StartOfDay(now);
+  // Three logins exactly window_size (2 h) apart: no half-open 2 h window
+  // can contain more than one of them.
+  ASSERT_TRUE(
+      store.InsertHistory(today - Days(1) + Hours(8), kEventLogin).ok());
+  ASSERT_TRUE(
+      store.InsertHistory(today - Days(2) + Hours(10), kEventLogin).ok());
+  ASSERT_TRUE(
+      store.InsertHistory(today - Days(3) + Hours(12), kEventLogin).ok());
+  PredictionConfig cfg;
+  cfg.history_length = Days(5);
+  cfg.window_size = Hours(2);
+  cfg.window_slide = Minutes(30);
+  cfg.confidence_threshold = 0.4;  // 2 of 5 seasons
+  SlidingWindowPredictor faithful(cfg);
+  FastPredictor fast(cfg);
+  auto a = faithful.PredictNextActivity(store, now);
+  auto b = fast.PredictNextActivity(store, now);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // With the inclusive bound, window [8:00, 10:00] counted both the 8:00
+  // and the boundary 10:00 login (2 of 5 seasons) and emitted a spurious
+  // prediction; with half-open windows every window sees at most one
+  // active season, below the threshold.
+  EXPECT_FALSE(a->HasPrediction());
+  EXPECT_EQ(*a, *b);
 }
 
 TEST(FastPredictorTest, MatchesFaithfulOnDailyPattern) {

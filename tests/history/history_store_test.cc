@@ -134,15 +134,39 @@ TEST_P(HistoryStoreTest, LoginMinMaxFiltersEventType) {
   EXPECT_FALSE(none->any);
 }
 
-TEST_P(HistoryStoreTest, LoginMinMaxInclusiveBounds) {
+TEST_P(HistoryStoreTest, LoginMinMaxHalfOpenBounds) {
   ASSERT_TRUE(store_->InsertHistory(100, kEventLogin).ok());
   ASSERT_TRUE(store_->InsertHistory(200, kEventLogin).ok());
+  // Lower bound inclusive, upper bound exclusive: [100, 200) sees only
+  // the login at 100.
   auto agg = store_->LoginMinMax(100, 200);
   ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg->any);
   EXPECT_EQ(agg->first_login, 100);
-  EXPECT_EQ(agg->last_login, 200);
-  auto excl = store_->LoginMinMax(101, 199);
+  EXPECT_EQ(agg->last_login, 100);
+  auto next = store_->LoginMinMax(200, 300);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->any);
+  EXPECT_EQ(next->first_login, 200);
+  auto excl = store_->LoginMinMax(101, 200);
+  ASSERT_TRUE(excl.ok());
   EXPECT_FALSE(excl->any);
+}
+
+TEST_P(HistoryStoreTest, BoundaryLoginCountedInExactlyOneWindow) {
+  // Regression: a login exactly at prev_start + window_size belongs to
+  // the next window only.  The old inclusive upper bound counted it in
+  // both adjacent sliding windows, inflating seasons_with_activity.
+  const DurationSeconds window = Hours(7);
+  ASSERT_TRUE(store_->InsertHistory(Days(10) + window, kEventLogin).ok());
+  auto first = store_->LoginMinMax(Days(10), Days(10) + window);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->any);
+  auto second =
+      store_->LoginMinMax(Days(10) + window, Days(10) + 2 * window);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->any);
+  EXPECT_EQ(second->first_login, Days(10) + window);
 }
 
 TEST_P(HistoryStoreTest, CollectLoginsSortedAndFiltered) {
@@ -153,6 +177,10 @@ TEST_P(HistoryStoreTest, CollectLoginsSortedAndFiltered) {
   auto logins = store_->CollectLogins(100, 250);
   ASSERT_TRUE(logins.ok());
   EXPECT_EQ(*logins, (std::vector<EpochSeconds>{100, 200}));
+  // Upper bound is exclusive, matching LoginMinMax.
+  auto half_open = store_->CollectLogins(100, 200);
+  ASSERT_TRUE(half_open.ok());
+  EXPECT_EQ(*half_open, (std::vector<EpochSeconds>{100}));
 }
 
 TEST_P(HistoryStoreTest, DeleteOldRejectsNonPositiveH) {

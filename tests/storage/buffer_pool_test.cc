@@ -71,6 +71,28 @@ TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
   EXPECT_TRUE(d.ok());
 }
 
+TEST(BufferPoolTest, FailedNewReturnsPageIdToDiskManager) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 2);
+  auto a = pool.New();
+  auto b = pool.New();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(disk.num_pages(), 2u);
+  // Every frame is pinned, so New() cannot place the page it allocated.
+  auto c = pool.New();
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  // The id allocated for the failed New() must go back to the disk
+  // manager's free list, not leak: the next successful New() reuses it
+  // instead of growing the page file again.
+  a->Release();
+  auto d = pool.New();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->id(), 2u);
+  EXPECT_EQ(disk.num_pages(), 3u);
+}
+
 TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
   InMemoryDiskManager disk;
   BufferPool pool(&disk, 3);
