@@ -64,6 +64,32 @@ Status ControlPlaneConfig::Validate() const {
     return Status::InvalidArgument(
         "resume_operation_period must be positive");
   }
+  if (retry_backoff_base <= 0) {
+    return Status::InvalidArgument("retry_backoff_base must be positive");
+  }
+  if (retry_backoff_cap < retry_backoff_base) {
+    return Status::InvalidArgument(
+        "retry_backoff_cap must be >= retry_backoff_base");
+  }
+  if (retry_jitter_fraction < 0.0 || retry_jitter_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "retry_jitter_fraction must be in [0, 1]");
+  }
+  if (breaker_window == 0) {
+    return Status::InvalidArgument("breaker_window must be positive");
+  }
+  if (breaker_failure_ratio <= 0.0 || breaker_failure_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "breaker_failure_ratio must be in (0, 1]");
+  }
+  if (breaker_open_duration <= 0) {
+    return Status::InvalidArgument(
+        "breaker_open_duration must be positive");
+  }
+  if (breaker_half_open_probes <= 0) {
+    return Status::InvalidArgument(
+        "breaker_half_open_probes must be positive");
+  }
   return Status::OK();
 }
 

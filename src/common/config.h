@@ -74,7 +74,12 @@ struct PolicyConfig {
   Status Validate() const;
 };
 
-/// Configuration of the control-plane management service (Algorithm 5).
+/// Configuration of the control-plane management service (Algorithm 5),
+/// including the graceful-degradation machinery of its diagnostics and
+/// mitigation runner (Section 7): capped exponential backoff between
+/// retry attempts of a stuck resume workflow, and a circuit breaker that
+/// sheds proactive resumes while the resume path is systematically
+/// failing.
 struct ControlPlaneConfig {
   /// k: pre-warm interval; resources are proactively resumed k time units
   /// ahead of predicted customer activity (default 5 minutes).
@@ -83,6 +88,32 @@ struct ControlPlaneConfig {
   /// Period of the periodic proactive-resume operation (default 1 minute;
   /// Figure 11 tunes this between 1 and 15 minutes).
   DurationSeconds resume_operation_period = Minutes(1);
+
+  /// Backoff before retry attempt n (1-based) of a failed resume
+  /// workflow: min(retry_backoff_cap, retry_backoff_base * 2^(n-1)),
+  /// plus a deterministic jitter in [0, retry_jitter_fraction * delay]
+  /// hashed from (database, attempt) so that a burst of simultaneous
+  /// failures does not retry in lockstep.  All delays are virtual-clock
+  /// relative: a retry becomes eligible at the first RunOnce whose `now`
+  /// has passed its deadline.
+  DurationSeconds retry_backoff_base = Minutes(1);
+  DurationSeconds retry_backoff_cap = Minutes(8);
+  double retry_jitter_fraction = 0.25;
+
+  /// Circuit breaker over resume-workflow outcomes.  When the last
+  /// `breaker_window` attempts contain at least `breaker_failure_ratio`
+  /// failures, the breaker opens: fresh proactive resumes are shed (the
+  /// databases stay physically paused and fall back to reactive resume on
+  /// the customer's login) and queued retries are held.  After
+  /// `breaker_open_duration` the breaker half-opens and allows
+  /// `breaker_half_open_probes` probe attempts per iteration; a probe
+  /// failure re-opens it, `breaker_half_open_probes` consecutive
+  /// successes close it.  FailedPrecondition outcomes (the database
+  /// resumed on its own) are breaker-neutral.
+  size_t breaker_window = 20;
+  double breaker_failure_ratio = 0.5;
+  DurationSeconds breaker_open_duration = Minutes(5);
+  int breaker_half_open_probes = 3;
 
   Status Validate() const;
 };

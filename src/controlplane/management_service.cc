@@ -1,6 +1,35 @@
 #include "controlplane/management_service.h"
 
+#include <algorithm>
+
 namespace prorp::controlplane {
+namespace {
+
+/// SplitMix64 finalizer: deterministic jitter hash over (db, attempt).
+uint64_t JitterHash(DbId db, int attempt) {
+  uint64_t h = static_cast<uint64_t>(db) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
 
 ManagementService::ManagementService(MetadataStore* metadata,
                                      ControlPlaneConfig config,
@@ -11,8 +40,78 @@ ManagementService::ManagementService(MetadataStore* metadata,
       resume_(std::move(resume)),
       max_attempts_(max_attempts) {}
 
+size_t ManagementService::pending_failed() const {
+  size_t n = 0;
+  for (const WorkItem& item : queue_) {
+    if (item.attempts > 0) ++n;
+  }
+  return n;
+}
+
+DurationSeconds ManagementService::BackoffDelay(DbId db, int attempt) const {
+  int exp = std::max(0, attempt - 1);
+  DurationSeconds delay = config_.retry_backoff_cap;
+  // base * 2^exp, saturating at the cap (62 guards the shift overflow).
+  if (exp < 62 &&
+      config_.retry_backoff_base <= (config_.retry_backoff_cap >> exp)) {
+    delay = config_.retry_backoff_base << exp;
+  }
+  auto jitter_range =
+      static_cast<DurationSeconds>(config_.retry_jitter_fraction *
+                                   static_cast<double>(delay));
+  if (jitter_range > 0) {
+    delay += static_cast<DurationSeconds>(
+        JitterHash(db, attempt) % static_cast<uint64_t>(jitter_range + 1));
+  }
+  return delay;
+}
+
+void ManagementService::SetBreaker(BreakerState next, EpochSeconds now) {
+  if (next == breaker_) return;
+  breaker_ = next;
+  ++diagnostics_.breaker_state_changes;
+  switch (next) {
+    case BreakerState::kOpen:
+      ++diagnostics_.breaker_opens;
+      breaker_opened_at_ = now;
+      outcomes_.clear();
+      window_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      half_open_successes_ = 0;
+      break;
+    case BreakerState::kClosed:
+      outcomes_.clear();
+      window_failures_ = 0;
+      break;
+  }
+}
+
+void ManagementService::RecordOutcome(bool success, EpochSeconds now) {
+  outcomes_.push_back(!success);
+  if (!success) ++window_failures_;
+  while (outcomes_.size() > config_.breaker_window) {
+    if (outcomes_.front()) --window_failures_;
+    outcomes_.pop_front();
+  }
+  if (breaker_ == BreakerState::kClosed &&
+      outcomes_.size() == config_.breaker_window &&
+      static_cast<double>(window_failures_) >=
+          config_.breaker_failure_ratio *
+              static_cast<double>(config_.breaker_window)) {
+    SetBreaker(BreakerState::kOpen, now);
+  }
+}
+
 Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
                                             bool use_sql_scan) {
+  // Breaker cool-down is virtual-clock based, like everything else here.
+  if (breaker_ == BreakerState::kOpen &&
+      now >= breaker_opened_at_ + config_.breaker_open_duration) {
+    SetBreaker(BreakerState::kHalfOpen, now);
+  }
+  half_open_probes_issued_ = 0;
+
   // Step 1: Algorithm 5's selection.
   std::vector<DbId> due;
   if (use_sql_scan) {
@@ -26,59 +125,89 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
                  now, config_.prewarm_interval,
                  config_.resume_operation_period));
   }
-  // Step 2: enqueue one resume workflow per database.
-  for (DbId db : due) queue_.push_back({db, 0});
+  // Step 2: enqueue one resume workflow per database — unless the breaker
+  // is open, in which case fresh work is shed: the database simply stays
+  // physically paused and the customer's own login resumes it reactively.
+  // Shedding fresh work (rather than queueing it) keeps an outage from
+  // building an unbounded backlog of stale pre-warms.
+  for (DbId db : due) {
+    if (queued_dbs_.count(db) != 0) continue;  // already queued/backing off
+    if (breaker_ == BreakerState::kOpen) {
+      ++diagnostics_.shed_resumes;
+      continue;
+    }
+    queued_dbs_.insert(db);
+    queue_.push_back({db, 0, now});
+  }
   ++diagnostics_.observed_iterations;
   diagnostics_.max_queue_depth =
       std::max(diagnostics_.max_queue_depth, queue_.size());
 
-  // Step 3: drain the queue (Algorithm 5 lines 7-8 with mitigation).
+  // Step 3: drain eligible queue entries (Algorithm 5 lines 7-8 with
+  // mitigation).  Each queued item is examined at most once per
+  // iteration; retries land behind the fixed budget.
   uint64_t resumed = 0;
   size_t budget = queue_.size();
   for (size_t i = 0; i < budget; ++i) {
     WorkItem item = queue_.front();
     queue_.pop_front();
+    if (item.not_before > now) {
+      queue_.push_back(item);  // still backing off
+      continue;
+    }
+    if (breaker_ == BreakerState::kOpen) {
+      queue_.push_back(item);  // held until the breaker half-opens
+      continue;
+    }
+    if (breaker_ == BreakerState::kHalfOpen &&
+        half_open_probes_issued_ >= config_.breaker_half_open_probes) {
+      queue_.push_back(item);  // probe budget exhausted this iteration
+      continue;
+    }
+    if (breaker_ == BreakerState::kHalfOpen) ++half_open_probes_issued_;
+
     Status s = resume_(item.db, now);
     if (s.ok()) {
+      queued_dbs_.erase(item.db);
       ++resumed;
+      if (item.attempts > 0) ++diagnostics_.mitigated;
+      if (breaker_ == BreakerState::kHalfOpen) {
+        ++half_open_successes_;
+        if (half_open_successes_ >= config_.breaker_half_open_probes) {
+          SetBreaker(BreakerState::kClosed, now);
+        }
+      } else {
+        RecordOutcome(/*success=*/true, now);
+      }
       continue;
     }
     if (s.code() == StatusCode::kFailedPrecondition) {
       // The database is no longer physically paused (it resumed on its
-      // own or was already handled): nothing to do.
+      // own or was already handled): nothing to do.  Breaker-neutral.
+      queued_dbs_.erase(item.db);
       ++diagnostics_.skipped_state_changed;
+      if (item.attempts > 0) ++diagnostics_.failed_then_skipped;
       continue;
     }
-    // Transient workflow failure: the diagnostics runner retries.
+    // Transient workflow failure: the diagnostics runner mitigates by
+    // retrying after a capped exponential backoff.
     ++item.attempts;
     if (item.attempts == 1) ++diagnostics_.stuck_workflows;
+    if (breaker_ == BreakerState::kHalfOpen) {
+      SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
+    } else {
+      RecordOutcome(/*success=*/false, now);
+    }
     if (item.attempts < max_attempts_) {
+      DurationSeconds delay = BackoffDelay(item.db, item.attempts);
+      item.not_before = now + delay;
+      ++diagnostics_.backoff_retries_scheduled;
+      diagnostics_.backoff_delay_seconds_total +=
+          static_cast<uint64_t>(delay);
       queue_.push_back(item);
     } else {
+      queued_dbs_.erase(item.db);
       ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
-    }
-  }
-  // Items requeued above get a second chance within the same iteration —
-  // the runner "makes sure that these queues drain" (Section 7).
-  size_t retry_budget = queue_.size();
-  for (size_t i = 0; i < retry_budget; ++i) {
-    WorkItem item = queue_.front();
-    queue_.pop_front();
-    Status s = resume_(item.db, now);
-    if (s.ok()) {
-      ++resumed;
-      ++diagnostics_.mitigated;
-      continue;
-    }
-    if (s.code() == StatusCode::kFailedPrecondition) {
-      ++diagnostics_.skipped_state_changed;
-      continue;
-    }
-    ++item.attempts;
-    if (item.attempts < max_attempts_) {
-      queue_.push_back(item);  // tried again next iteration
-    } else {
-      ++diagnostics_.incidents;
     }
   }
 

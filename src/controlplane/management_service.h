@@ -3,6 +3,8 @@
 
 #include <deque>
 #include <functional>
+#include <string_view>
+#include <unordered_set>
 
 #include "common/config.h"
 #include "common/stats.h"
@@ -10,16 +12,40 @@
 
 namespace prorp::controlplane {
 
+/// Circuit-breaker state of the resume-workflow path.
+enum class BreakerState {
+  kClosed,    // normal operation
+  kOpen,      // shedding: fresh resumes dropped, retries held
+  kHalfOpen,  // probing: a few attempts allowed to test recovery
+};
+
+std::string_view BreakerStateName(BreakerState state);
+
 /// Outcome counters of the diagnostics and mitigation runner (Section 7):
-/// it monitors the proactive-resume queue, retries stuck workflows, and
-/// raises an incident when mitigation fails.
+/// it monitors the proactive-resume queue, retries stuck workflows with
+/// capped exponential backoff, sheds load through a circuit breaker when
+/// the resume path is systematically failing, and raises an incident when
+/// mitigation fails.
+///
+/// Accounting invariant (checked by tests): every workflow that failed at
+/// least once is eventually accounted for exactly once —
+///   stuck_workflows == mitigated + incidents + failed_then_skipped
+///                      + (queued items with attempts > 0).
 struct DiagnosticsReport {
   uint64_t observed_iterations = 0;
   size_t max_queue_depth = 0;
   uint64_t stuck_workflows = 0;      // required at least one retry
   uint64_t mitigated = 0;            // succeeded on retry
   uint64_t skipped_state_changed = 0;  // database resumed on its own
+  uint64_t failed_then_skipped = 0;  // failed first, then state changed
   uint64_t incidents = 0;            // retries exhausted -> on-call
+
+  // Graceful-degradation telemetry.
+  uint64_t backoff_retries_scheduled = 0;
+  uint64_t backoff_delay_seconds_total = 0;  // sum of scheduled delays
+  uint64_t shed_resumes = 0;          // dropped while the breaker was open
+  uint64_t breaker_opens = 0;         // transitions into kOpen
+  uint64_t breaker_state_changes = 0;  // all transitions
 };
 
 /// The periodic proactive resume operation of the Management Service
@@ -28,9 +54,17 @@ struct DiagnosticsReport {
 /// Each RunOnce(now):
 ///  1. selects physically paused databases whose predicted activity starts
 ///     within [now + k, now + k + period) from the metadata store,
-///  2. enqueues a resume workflow per database, and
-///  3. drains the queue by invoking the resume callback, retrying
-///     transient failures up to `max_attempts` before raising an incident.
+///  2. enqueues a resume workflow per database (unless the circuit
+///     breaker is open, in which case fresh work is shed — the database
+///     simply stays physically paused and resumes reactively), and
+///  3. drains the eligible queue entries by invoking the resume callback.
+///     A failed workflow is retried at a later iteration after a capped
+///     exponential backoff with deterministic jitter; `max_attempts`
+///     total attempts, then an incident is raised.
+///
+/// All scheduling is virtual-clock based: backoff deadlines and breaker
+/// cool-downs compare against the `now` passed to RunOnce, never against
+/// wall clock, so behavior is deterministic and simulation-friendly.
 ///
 /// The resume callback returns:
 ///   OK                  — resources allocated (LogicalPause entered),
@@ -58,20 +92,51 @@ class ManagementService {
   uint64_t total_resumed() const { return total_resumed_; }
   const ControlPlaneConfig& config() const { return config_; }
 
+  BreakerState breaker_state() const { return breaker_; }
+
+  /// Queue depth right now (items awaiting attempt or backing off).
+  size_t pending_workflows() const { return queue_.size(); }
+
+  /// Queued items that have failed at least once (the open term of the
+  /// accounting invariant).
+  size_t pending_failed() const;
+
+  /// Backoff before retry attempt `attempt` (1-based) of `db`:
+  /// min(cap, base * 2^(attempt-1)) plus deterministic jitter.  Exposed
+  /// for tests asserting the schedule.
+  DurationSeconds BackoffDelay(DbId db, int attempt) const;
+
  private:
   struct WorkItem {
     DbId db;
     int attempts = 0;
+    EpochSeconds not_before = 0;  // backoff deadline (virtual clock)
   };
+
+  /// Records a success/failure outcome in the breaker window and opens
+  /// the breaker when the failure ratio crosses the threshold.
+  void RecordOutcome(bool success, EpochSeconds now);
+  void SetBreaker(BreakerState next, EpochSeconds now);
 
   MetadataStore* metadata_;
   ControlPlaneConfig config_;
   ResumeCallback resume_;
   int max_attempts_;
   std::deque<WorkItem> queue_;
+  // Databases currently in queue_: selection windows of consecutive
+  // iterations overlap, so a database backing off after a failure would
+  // otherwise be re-enqueued as a duplicate fresh workflow.
+  std::unordered_set<DbId> queued_dbs_;
   Summary resumed_per_iteration_;
   DiagnosticsReport diagnostics_;
   uint64_t total_resumed_ = 0;
+
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::deque<bool> outcomes_;       // sliding window, true = failure
+  size_t window_failures_ = 0;
+  EpochSeconds breaker_opened_at_ = 0;
+  int half_open_probes_issued_ = 0;
+  int half_open_successes_ = 0;
 };
 
 }  // namespace prorp::controlplane

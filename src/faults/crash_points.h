@@ -1,0 +1,95 @@
+#ifndef PRORP_FAULTS_CRASH_POINTS_H_
+#define PRORP_FAULTS_CRASH_POINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prorp::faults {
+
+/// Named crash points instrumented in the storage engine.  Each simulates
+/// dying at a specific vulnerable instant; the component leaves whatever
+/// partial on-medium state a real crash would and returns Status::Aborted,
+/// which the torture harness treats as process death (no further writes,
+/// reopen from the directory).
+inline constexpr std::string_view kWalAppendPartial = "wal_append_partial";
+inline constexpr std::string_view kWalPreSync = "wal_pre_sync";
+inline constexpr std::string_view kBtreeMidSplit = "btree_mid_split";
+inline constexpr std::string_view kSnapshotMidCopy = "snapshot_mid_copy";
+
+/// All compiled-in crash points (for harness enumeration and docs).
+std::vector<std::string_view> AllCrashPoints();
+
+/// Process-global registry of crash points.  Instrumented code adds a
+/// one-line hook (PRORP_CRASH_POINT) per point; the torture harness arms
+/// one point at a time and replays a workload until it fires.
+///
+/// Disarmed cost is one relaxed atomic load, so hooks are safe on hot
+/// paths (B+tree splits, WAL appends).  Arming and hit accounting are
+/// mutex-protected; production code never arms, tests arm from a single
+/// thread.
+class CrashPointRegistry {
+ public:
+  static CrashPointRegistry& Global();
+
+  /// Arms `point` to fire on its `nth` (1-based) future hit.  `payload`
+  /// parameterizes the crash effect at the site (e.g. how many bytes of a
+  /// torn WAL frame reach the file).  Re-arming replaces the previous arm
+  /// and resets hit counters.
+  void Arm(std::string_view point, uint64_t nth, uint64_t payload = 0);
+
+  /// Disarms everything and clears all counters and the fired flag.
+  void Reset();
+
+  /// Starts/stops pure hit counting (no firing).  The torture harness
+  /// uses a counting pass to discover which points a workload reaches and
+  /// how often, before choosing where to crash.
+  void SetCounting(bool on);
+
+  /// Called by instrumented code via PRORP_CRASH_POINT.  Returns
+  /// Status::Aborted when this hit is the armed one, OK otherwise.
+  Status Hit(std::string_view point);
+
+  /// Hits recorded at `point` since the last Reset()/Arm().
+  uint64_t hits(std::string_view point) const;
+
+  /// Whether the armed point has fired.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+  /// Payload of the armed point (valid after Arm).
+  uint64_t payload() const { return payload_; }
+
+  /// Points hit at least once since the last Reset()/Arm().
+  std::vector<std::string> observed_points() const;
+
+ private:
+  CrashPointRegistry() = default;
+
+  std::atomic<bool> active_{false};  // armed or counting
+  std::atomic<bool> fired_{false};
+  mutable std::mutex mu_;
+  bool counting_ = false;
+  std::string armed_point_;
+  uint64_t armed_nth_ = 0;
+  uint64_t payload_ = 0;
+  std::map<std::string, uint64_t, std::less<>> hit_counts_;
+};
+
+/// Convenience hook against the global registry.
+inline Status HitCrashPoint(std::string_view point) {
+  return CrashPointRegistry::Global().Hit(point);
+}
+
+/// One-line crash-point hook for instrumented code.
+#define PRORP_CRASH_POINT(point) \
+  PRORP_RETURN_IF_ERROR(::prorp::faults::HitCrashPoint(point))
+
+}  // namespace prorp::faults
+
+#endif  // PRORP_FAULTS_CRASH_POINTS_H_

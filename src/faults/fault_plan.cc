@@ -1,0 +1,65 @@
+#include "faults/fault_plan.h"
+
+namespace prorp::faults {
+
+std::string_view FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kDiskRead:
+      return "disk_read";
+    case FaultOp::kDiskWrite:
+      return "disk_write";
+    case FaultOp::kDiskAllocate:
+      return "disk_allocate";
+    case FaultOp::kDiskSync:
+      return "disk_sync";
+    case FaultOp::kWalAppend:
+      return "wal_append";
+    case FaultOp::kWalSync:
+      return "wal_sync";
+  }
+  return "unknown";
+}
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIoError:
+      return "io_error";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+void FaultPlan::FailNth(FaultOp op, uint64_t nth, FaultKind kind) {
+  scripted_[static_cast<size_t>(op)].push_back({nth, kind});
+}
+
+void FaultPlan::FailWithProbability(FaultOp op, double p, FaultKind kind) {
+  probabilistic_[static_cast<size_t>(op)] = ProbabilisticTrigger{p, kind};
+}
+
+std::optional<FaultDecision> FaultPlan::Next(FaultOp op) {
+  size_t i = static_cast<size_t>(op);
+  uint64_t n = ++counters_[i];
+  for (const ScriptedTrigger& t : scripted_[i]) {
+    if (t.nth == n) {
+      ++injected_;
+      return FaultDecision{t.kind, rng_.NextU64()};
+    }
+  }
+  if (probabilistic_[i].has_value()) {
+    // Always consume one draw so the stream position depends only on the
+    // op sequence, not on which draws happened to fire.
+    uint64_t draw = rng_.NextU64();
+    double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u < probabilistic_[i]->p) {
+      ++injected_;
+      return FaultDecision{probabilistic_[i]->kind, rng_.NextU64()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace prorp::faults

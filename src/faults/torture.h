@@ -1,0 +1,93 @@
+#ifndef PRORP_FAULTS_TORTURE_H_
+#define PRORP_FAULTS_TORTURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace prorp::faults {
+
+/// Crash-torture harness: replays a deterministic recorded workload
+/// against a DurableTree (or the full SQL history-store stack), crashes
+/// at an armed crash point, reopens the directory, and verifies that
+///   (a) recovery succeeds,
+///   (b) the recovered contents equal the reference model of every
+///       acknowledged operation — plus at most the single in-flight
+///       operation the crash interrupted (standard redo-log semantics:
+///       an unacknowledged write may be either lost or durable, but an
+///       acknowledged one must never be lost), and
+///   (c) the recovered B+tree satisfies its structural invariants.
+///
+/// The harness is two-pass.  A counting pass (ObserveCrashPoints) runs
+/// the workload once with hit counting enabled to learn which points the
+/// workload reaches and how often; the torture pass then arms one
+/// (point, nth-hit) pair at a time.  Both passes derive everything from
+/// TortureOptions::seed, so a failure reproduces from its seed alone.
+struct TortureOptions {
+  uint64_t seed = 42;
+
+  /// Operations in the recorded workload.  Leaves hold ~255 entries at
+  /// value_width 8, so anything comfortably past that forces leaf splits
+  /// (and thus reaches the btree_mid_split point).
+  uint64_t num_ops = 600;
+
+  /// fsync after every append — required to reach wal_pre_sync.
+  bool fsync_each_append = false;
+
+  /// Auto-checkpoint threshold in WAL bytes (0 = never).  A small value
+  /// forces checkpoints during the workload, reaching snapshot_mid_copy.
+  uint64_t checkpoint_wal_bytes = 0;
+
+  /// Fraction of delete / update / delete-range operations mixed into the
+  /// raw-tree workload (the SQL workload derives its own op mix).
+  double delete_fraction = 0.10;
+  double update_fraction = 0.10;
+};
+
+/// Outcome of one torture run.
+struct TortureResult {
+  std::string crash_point;
+  /// Whether the armed point actually fired (false = the workload did not
+  /// reach its nth hit; the run degenerates to a clean-shutdown check).
+  bool crashed = false;
+  /// Operations acknowledged (returned OK) before the crash.
+  uint64_t acked_ops = 0;
+  /// Entries in the recovered tree.
+  uint64_t recovered_entries = 0;
+};
+
+/// Counting pass: runs the raw DurableTree workload in `dir` with hit
+/// counting enabled and returns hits per crash point.  `dir` must be a
+/// fresh (empty or nonexistent) directory.
+Result<std::map<std::string, uint64_t>> ObserveCrashPoints(
+    const TortureOptions& options, const std::string& dir);
+
+/// Same counting pass over the full SQL history-store stack.
+Result<std::map<std::string, uint64_t>> ObserveSqlCrashPoints(
+    const TortureOptions& options, const std::string& dir);
+
+/// Torture pass against a raw DurableTree: arms `point` to fire on its
+/// `nth` hit, replays the workload until the crash, reopens, verifies.
+/// Any Status error is a torture failure (lost acked op, failed recovery,
+/// broken invariant).  `dir` must be fresh.
+Result<TortureResult> RunCrashTorture(const TortureOptions& options,
+                                      const std::string& dir,
+                                      std::string_view point, uint64_t nth);
+
+/// Torture pass against SqlHistoryStore: the workload is a stream of
+/// InsertHistory calls with strictly increasing timestamps plus periodic
+/// DeleteOldHistory retention sweeps, mirrored into a MemHistoryStore
+/// reference.  Verification compares ReadAll() of the recovered store
+/// against the reference over acknowledged operations.
+Result<TortureResult> RunSqlCrashTorture(const TortureOptions& options,
+                                         const std::string& dir,
+                                         std::string_view point,
+                                         uint64_t nth);
+
+}  // namespace prorp::faults
+
+#endif  // PRORP_FAULTS_TORTURE_H_

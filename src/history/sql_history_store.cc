@@ -5,9 +5,10 @@
 namespace prorp::history {
 
 Result<std::unique_ptr<SqlHistoryStore>> SqlHistoryStore::Open(
-    const std::string& dir) {
+    const std::string& dir, const storage::DurableTree::Options* tuning) {
   std::unique_ptr<SqlHistoryStore> store(new SqlHistoryStore());
   store->db_ = std::make_unique<sql::Database>(dir);
+  if (tuning != nullptr) store->db_->set_storage_tuning(*tuning);
   PRORP_RETURN_IF_ERROR(store->Prepare());
   return store;
 }

@@ -21,9 +21,13 @@ namespace prorp::history {
 class SqlHistoryStore : public HistoryStore {
  public:
   /// `dir` empty => ephemeral (unit tests / simulation).  Otherwise the
-  /// table persists under dir and reopening recovers it.
+  /// table persists under dir and reopening recovers it.  `tuning`, when
+  /// given, supplies the storage knobs (checkpoint threshold, fsync
+  /// policy, fault plan) for the underlying table — crash-torture tests
+  /// use it to run the full SQL stack over a faulty disk.
   static Result<std::unique_ptr<SqlHistoryStore>> Open(
-      const std::string& dir = "");
+      const std::string& dir = "",
+      const storage::DurableTree::Options* tuning = nullptr);
 
   Status InsertHistory(EpochSeconds time, int event_type) override;
   Result<bool> DeleteOldHistory(DurationSeconds h, EpochSeconds now) override;

@@ -35,13 +35,29 @@ LifecycleController::LifecycleController(PolicyConfig config,
       on_transition_(std::move(on_transition)) {
   // The database is created resumed with its first workload running
   // (Algorithm 1 lines 2-3).
-  (void)history_->InsertHistory(created_at, history::kEventLogin);
+  NoteHistoryOutcome(history_->InsertHistory(created_at, history::kEventLogin));
+}
+
+void LifecycleController::NoteHistoryOutcome(const Status& s) {
+  if (s.ok()) {
+    if (degraded_) {
+      degraded_ = false;
+      ++stats_.degraded_exits;
+    }
+    return;
+  }
+  ++stats_.history_errors;
+  if (!degraded_) {
+    degraded_ = true;
+    ++stats_.degraded_enters;
+  }
 }
 
 Result<LoginOutcome> LifecycleController::OnActivityStart(EpochSeconds now) {
   if (active_) return LoginOutcome::kAlreadyActive;
-  PRORP_RETURN_IF_ERROR(
-      history_->InsertHistory(now, history::kEventLogin));  // line 3
+  // Line 3.  A history-store failure must not fail the login: degrade
+  // instead (the prediction pipeline just misses one sample).
+  NoteHistoryOutcome(history_->InsertHistory(now, history::kEventLogin));
   active_ = true;
   switch (state_) {
     case DbState::kResumed:
@@ -65,8 +81,8 @@ Status LifecycleController::OnActivityEnd(EpochSeconds now) {
   if (!active_) {
     return Status::FailedPrecondition("activity end without activity");
   }
-  PRORP_RETURN_IF_ERROR(
-      history_->InsertHistory(now, history::kEventLogout));  // line 6
+  // Line 6; non-propagating, same as the login path.
+  NoteHistoryOutcome(history_->InsertHistory(now, history::kEventLogout));
   active_ = false;
   if (mode_ == PolicyMode::kAlwaysOn) return Status::OK();
 
@@ -99,7 +115,7 @@ Status LifecycleController::OnTimerCheck(EpochSeconds now) {
   }
   // Lines 26-29 (with <= tolerance on the logical-pause expiry, see
   // header comment).
-  bool effective_old = old_ && prediction_usable_;
+  bool effective_old = old_ && UsablePrediction();
   bool expired = !effective_old && pause_start_ +
                      config_.logical_pause_duration <= now;
   if (expired || ShouldPhysicallyPause(now)) {
@@ -146,7 +162,7 @@ Status LifecycleController::OnForcedEviction(EpochSeconds now) {
       now - last_restore_time_ >= kEvictionRestoreCooldown;
   if (mode_ == PolicyMode::kProactive &&
       config_.eviction_restore_delay > 0 && cooled_down &&
-      prediction_usable_ && next_activity_.HasPrediction() &&
+      UsablePrediction() && next_activity_.HasPrediction() &&
       next_activity_.end > now) {
     next_activity_.start =
         std::max(next_activity_.start, now + config_.eviction_restore_delay);
@@ -160,6 +176,7 @@ Status LifecycleController::OnForcedEviction(EpochSeconds now) {
 void LifecycleController::RefreshPrediction(EpochSeconds now) {
   auto old_result =
       history_->DeleteOldHistory(config_.prediction.history_length, now);
+  NoteHistoryOutcome(old_result.status());
   old_ = old_result.ok() ? *old_result : false;
   if (predictor_ == nullptr) {
     prediction_usable_ = false;
@@ -181,7 +198,7 @@ void LifecycleController::RefreshPrediction(EpochSeconds now) {
 }
 
 bool LifecycleController::ShouldPhysicallyPause(EpochSeconds now) const {
-  if (!prediction_usable_) return false;  // reactive fallback: never eager
+  if (!UsablePrediction()) return false;  // reactive fallback: never eager
   // Line 10 / 26: no activity predicted within the next l time units, or
   // an old database with no prediction at all.
   if (next_activity_.HasPrediction() &&
@@ -195,11 +212,11 @@ bool LifecycleController::ShouldPhysicallyPause(EpochSeconds now) const {
 bool LifecycleController::MustStayLogicallyPaused(EpochSeconds now) const {
   // Line 19.  The reactive policy and the reactive fallback behave like a
   // new database: wait out the full logical pause duration.
-  bool effective_old = old_ && prediction_usable_;
+  bool effective_old = old_ && UsablePrediction();
   if (!effective_old && now < pause_start_ + config_.logical_pause_duration) {
     return true;
   }
-  if (!prediction_usable_ || !next_activity_.HasPrediction()) return false;
+  if (!UsablePrediction() || !next_activity_.HasPrediction()) return false;
   if (now < next_activity_.end) return true;
   if (now < next_activity_.start &&
       next_activity_.start < now + config_.logical_pause_duration) {
@@ -214,11 +231,11 @@ EpochSeconds LifecycleController::ComputeNextBoundary(
   auto consider = [&](EpochSeconds t) {
     if (t > now && (best == 0 || t < best)) best = t;
   };
-  bool effective_old = old_ && prediction_usable_;
+  bool effective_old = old_ && UsablePrediction();
   if (!effective_old) {
     consider(pause_start_ + config_.logical_pause_duration);
   }
-  if (prediction_usable_ && next_activity_.HasPrediction()) {
+  if (UsablePrediction() && next_activity_.HasPrediction()) {
     consider(next_activity_.start);
     consider(next_activity_.end);
   }
@@ -238,9 +255,9 @@ void LifecycleController::Transition(DbState to, EpochSeconds now,
   event.to = to;
   event.cause = cause;
   event.prediction =
-      prediction_usable_ ? next_activity_
+      UsablePrediction() ? next_activity_
                          : forecast::ActivityPrediction::None();
-  event.used_prediction = prediction_usable_;
+  event.used_prediction = UsablePrediction();
   state_ = to;
   if (on_transition_) on_transition_(event);
 }

@@ -48,6 +48,12 @@ std::string_view PolicyModeName(PolicyMode mode);
 /// "Default to Reactive" (Section 3.2): if PredictNextActivity returns a
 /// non-OK Status, the controller behaves exactly like PolicyMode::kReactive
 /// for that decision and counts the fallback.
+///
+/// Graceful degradation: history-store write failures do NOT propagate to
+/// the customer path (a login must never fail because telemetry storage
+/// is down).  Instead the controller enters a degraded mode in which it
+/// ignores predictions — behaving like kReactive — until a history
+/// operation succeeds again, and counts the transitions.
 class LifecycleController {
  public:
   using TransitionCallback = std::function<void(const TransitionEvent&)>;
@@ -61,6 +67,9 @@ class LifecycleController {
     uint64_t predictions_made = 0;
     uint64_t reactive_fallbacks = 0;      // prediction component failures
     uint64_t forced_evictions = 0;
+    uint64_t history_errors = 0;          // failed history-store operations
+    uint64_t degraded_enters = 0;         // transitions into degraded mode
+    uint64_t degraded_exits = 0;          // recoveries back to proactive
   };
 
   /// `history` and `predictor` must outlive the controller.  `predictor`
@@ -101,6 +110,9 @@ class LifecycleController {
   bool active() const { return active_; }
   bool is_old() const { return old_; }
 
+  /// True while history-store errors force reactive behavior.
+  bool degraded() const { return degraded_; }
+
   /// The prediction currently in effect (what Algorithm 1 line 31 stores
   /// in the metadata store when physically pausing).
   const forecast::ActivityPrediction& next_activity() const {
@@ -114,6 +126,14 @@ class LifecycleController {
   PolicyMode mode() const { return mode_; }
 
  private:
+  /// Tracks degraded mode from the outcome of a history-store operation:
+  /// a failure enters it (counted, never propagated), a success exits it.
+  void NoteHistoryOutcome(const Status& s);
+
+  /// The prediction gate used by every decision: a prediction is acted on
+  /// only when it is usable AND the controller is not degraded.
+  bool UsablePrediction() const { return prediction_usable_ && !degraded_; }
+
   /// Runs DeleteOldHistory + PredictNextActivity (lines 8-9 / 24-25).
   void RefreshPrediction(EpochSeconds now);
 
@@ -143,6 +163,7 @@ class LifecycleController {
   bool active_ = true;
   bool old_ = false;
   bool prediction_usable_ = false;  // false after a predictor failure
+  bool degraded_ = false;           // history store failing; act reactive
   bool prewarmed_ = false;  // current pause was a control-plane pre-warm
   EpochSeconds last_restore_time_ = 0;  // eviction-restore cooldown anchor
   forecast::ActivityPrediction next_activity_;

@@ -36,6 +36,61 @@ enum class SimEventType : uint8_t {
   kMeasureStart,     // KPI window begins: swap ledger/recorder
 };
 
+/// Deterministic per-node outage windows over [0, end).  Derived from the
+/// run seed and the node index alone: every shard of a sharded run
+/// rebuilds the identical schedule, which is what keeps sharded output
+/// bit-identical to serial.
+class OutageSchedule {
+ public:
+  static OutageSchedule Build(const SimOptions& options) {
+    OutageSchedule schedule;
+    if (options.num_nodes <= 0 || options.outage_rate_per_day <= 0 ||
+        options.outage_duration <= 0) {
+      return schedule;
+    }
+    schedule.nodes_.resize(static_cast<size_t>(options.num_nodes));
+    double mean_gap = static_cast<double>(kSecondsPerDay) /
+                      options.outage_rate_per_day;
+    for (size_t node = 0; node < schedule.nodes_.size(); ++node) {
+      Rng rng(options.seed ^
+              (0xA24BAED4963EE407ULL * (static_cast<uint64_t>(node) + 1)));
+      EpochSeconds t = 0;
+      for (;;) {
+        t += static_cast<DurationSeconds>(rng.NextExponential(mean_gap));
+        if (t >= options.end) break;
+        EpochSeconds down_until =
+            std::min(t + options.outage_duration, options.end);
+        schedule.nodes_[node].push_back({t, down_until});
+        ++schedule.windows_;
+        schedule.seconds_ += static_cast<uint64_t>(down_until - t);
+        t = down_until;
+      }
+    }
+    return schedule;
+  }
+
+  bool enabled() const { return !nodes_.empty(); }
+  uint64_t windows() const { return windows_; }
+  uint64_t seconds() const { return seconds_; }
+
+  bool DownAt(size_t node, EpochSeconds t) const {
+    const auto& wins = nodes_[node % nodes_.size()];
+    // First window starting after t; the one before it is the only
+    // candidate containing t.
+    auto it = std::upper_bound(
+        wins.begin(), wins.end(), t,
+        [](EpochSeconds v, const std::pair<EpochSeconds, EpochSeconds>& w) {
+          return v < w.first;
+        });
+    return it != wins.begin() && t < std::prev(it)->second;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<EpochSeconds, EpochSeconds>>> nodes_;
+  uint64_t windows_ = 0;
+  uint64_t seconds_ = 0;
+};
+
 struct SimEvent {
   EpochSeconds time;
   uint64_t seq;  // FIFO tiebreaker for simultaneous events
@@ -143,6 +198,8 @@ class FleetSimulation {
       queue_;
   uint64_t seq_ = 0;
 
+  OutageSchedule outages_;
+  telemetry::RobustnessReport robustness_;
   std::vector<DbRuntime> dbs_;
   std::vector<Phase> current_phase_;
   std::vector<bool> phase_known_;
@@ -339,12 +396,24 @@ Result<SimReport> FleetSimulation::Run() {
       options_.config.policy.prediction);
   PRORP_ASSIGN_OR_RETURN(metadata_, MetadataStore::Open());
 
+  outages_ = OutageSchedule::Build(options_);
+  robustness_.outage_windows = outages_.windows();
+  robustness_.outage_seconds = outages_.seconds();
+
   Rng failure_rng = rng_.Fork();
   management_ = std::make_unique<controlplane::ManagementService>(
       metadata_.get(), options_.config.control_plane,
       [this, failure_rng](DbId db, EpochSeconds now) mutable -> Status {
+        if (outages_.enabled() &&
+            outages_.DownAt(static_cast<size_t>(db_offset_ + db) %
+                                static_cast<size_t>(options_.num_nodes),
+                            now)) {
+          ++robustness_.resume_failures_outage;
+          return Status::Unavailable("node outage");
+        }
         if (options_.resume_failure_probability > 0 &&
             failure_rng.NextBool(options_.resume_failure_probability)) {
+          ++robustness_.resume_failures_injected;
           return Status::Unavailable("injected workflow failure");
         }
         DbRuntime& rt = dbs_[db];
@@ -437,10 +506,15 @@ Result<SimReport> FleetSimulation::Run() {
   for (const DbRuntime& rt : dbs_) {
     if (rt.controller != nullptr) {
       report.kpi.predictions += rt.controller->stats().predictions_made;
+      robustness_.degraded_enters += rt.controller->stats().degraded_enters;
+      robustness_.degraded_exits += rt.controller->stats().degraded_exits;
+      robustness_.history_errors += rt.controller->stats().history_errors;
     }
   }
   report.recorder = std::move(*recorder_);
   report.diagnostics = management_->diagnostics();
+  report.robustness = robustness_;
+  report.pending_failed = management_->pending_failed();
   report.resumed_per_iteration = management_->resumed_per_iteration();
   report.measure_from = measure_from;
   report.measure_end = options_.end;
@@ -493,8 +567,23 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
     merged.diagnostics.mitigated += s.diagnostics.mitigated;
     merged.diagnostics.skipped_state_changed +=
         s.diagnostics.skipped_state_changed;
+    merged.diagnostics.failed_then_skipped +=
+        s.diagnostics.failed_then_skipped;
     merged.diagnostics.incidents += s.diagnostics.incidents;
+    merged.diagnostics.backoff_retries_scheduled +=
+        s.diagnostics.backoff_retries_scheduled;
+    merged.diagnostics.backoff_delay_seconds_total +=
+        s.diagnostics.backoff_delay_seconds_total;
+    merged.diagnostics.shed_resumes += s.diagnostics.shed_resumes;
+    merged.diagnostics.breaker_opens += s.diagnostics.breaker_opens;
+    merged.diagnostics.breaker_state_changes +=
+        s.diagnostics.breaker_state_changes;
+    merged.pending_failed += s.pending_failed;
+    merged.robustness.AccumulateShard(s.robustness);
   }
+  // The outage schedule is fleet-global and identical in every shard.
+  merged.robustness.outage_windows = shards.front().robustness.outage_windows;
+  merged.robustness.outage_seconds = shards.front().robustness.outage_seconds;
   merged.allocated_samples.AddAll(allocated_sums);
   // Restore global time order (shard concatenation is db-grouped).  All
   // KPI consumers are order-independent; this is for readable exports.

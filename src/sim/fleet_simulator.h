@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "controlplane/management_service.h"
 #include "policy/lifecycle_controller.h"
+#include "telemetry/fault_stats.h"
 #include "telemetry/kpi.h"
 #include "workload/trace.h"
 
@@ -38,6 +39,22 @@ struct SimOptions {
   /// fails transiently (exercises the diagnostics/mitigation runner).
   double resume_failure_probability = 0;
 
+  /// Fleet-level correlated outages.  The fleet is spread across
+  /// `num_nodes` nodes (node = fleet-global db id % num_nodes); each node
+  /// independently suffers outage windows of length `outage_duration`
+  /// with exponential gaps averaging one outage per
+  /// 1/outage_rate_per_day days.  While a node is down, every
+  /// proactive-resume workflow targeting one of its databases fails
+  /// (feeding the backoff/breaker machinery); customer logins still
+  /// reactively resume — the reactive path rides on the customer's
+  /// connection retry loop, which an outage delays but does not break.
+  /// The schedule is derived from `seed` and the node index alone, so a
+  /// sharded run computes the identical schedule in every shard.
+  /// num_nodes <= 0 or outage_rate_per_day <= 0 disables outages.
+  int num_nodes = 0;
+  double outage_rate_per_day = 0;
+  DurationSeconds outage_duration = Minutes(10);
+
   /// Disables the control plane's proactive resume operation (ablation:
   /// proactive pause without proactive resume).
   bool proactive_resume_enabled = true;
@@ -67,6 +84,13 @@ struct SimReport {
   /// summed exactly when merging.
   telemetry::TimeBreakdown usage;
   controlplane::DiagnosticsReport diagnostics;
+  /// Fault-injection and graceful-degradation counters.
+  telemetry::RobustnessReport robustness;
+  /// Workflows still queued with >= 1 failed attempt when the run ended —
+  /// the open term of the accounting invariant
+  ///   stuck_workflows == mitigated + incidents + failed_then_skipped
+  ///                      + pending_failed.
+  uint64_t pending_failed = 0;
   /// Databases proactively resumed per operation iteration (Figure 11).
   Summary resumed_per_iteration;
   /// Per-database history sizes at simulation end (Figure 10(a)/(b)).

@@ -186,8 +186,9 @@ Result<QueryResult> Database::ExecCreate(const CreateTableStmt& stmt) {
     std::replace(safe.begin(), safe.end(), '.', '_');
     table_dir = dir_ + "/" + safe;
   }
-  PRORP_ASSIGN_OR_RETURN(auto table, Table::Open(std::move(schema),
-                                                 table_dir));
+  PRORP_ASSIGN_OR_RETURN(
+      auto table, Table::Open(std::move(schema), table_dir,
+                              has_tuning_ ? &tuning_ : nullptr));
   tables_[stmt.table] = std::move(table);
   QueryResult r;
   return r;

@@ -51,6 +51,15 @@ class Database {
 
   const std::string& dir() const { return dir_; }
 
+  /// Storage knobs applied to every table created after this call
+  /// (checkpoint threshold, fsync policy, fault plan).  dir/value_width
+  /// fields are ignored.  Used by crash-torture tests to open the SQL
+  /// stack over a faulty disk.
+  void set_storage_tuning(const storage::DurableTree::Options& tuning) {
+    tuning_ = tuning;
+    has_tuning_ = true;
+  }
+
  private:
   Result<QueryResult> ExecCreate(const CreateTableStmt& stmt);
   Result<QueryResult> ExecDrop(const DropTableStmt& stmt);
@@ -64,6 +73,8 @@ class Database {
                                  const Params& params);
 
   std::string dir_;
+  storage::DurableTree::Options tuning_;
+  bool has_tuning_ = false;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 

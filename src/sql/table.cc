@@ -12,8 +12,9 @@ Result<size_t> TableSchema::ColumnIndex(const std::string& column) const {
                                  name);
 }
 
-Result<std::unique_ptr<Table>> Table::Open(TableSchema schema,
-                                           const std::string& dir) {
+Result<std::unique_ptr<Table>> Table::Open(
+    TableSchema schema, const std::string& dir,
+    const storage::DurableTree::Options* tuning) {
   if (schema.columns.empty()) {
     return Status::InvalidArgument("table needs at least one column");
   }
@@ -21,6 +22,7 @@ Result<std::unique_ptr<Table>> Table::Open(TableSchema schema,
     return Status::InvalidArgument("key_index out of range");
   }
   storage::DurableTree::Options opts;
+  if (tuning != nullptr) opts = *tuning;
   opts.dir = dir;
   opts.value_width =
       static_cast<uint32_t>((schema.columns.size() - 1) * sizeof(Value));

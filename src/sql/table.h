@@ -29,9 +29,13 @@ struct TableSchema {
 class Table {
  public:
   /// Creates (or, if `dir` already holds durable state, recovers) a table.
-  /// `dir` empty => ephemeral.
-  static Result<std::unique_ptr<Table>> Open(TableSchema schema,
-                                             const std::string& dir);
+  /// `dir` empty => ephemeral.  `tuning`, when given, supplies the storage
+  /// knobs (checkpoint threshold, fsync policy, fault plan); its dir and
+  /// value_width fields are ignored — they are derived from `dir` and the
+  /// schema.
+  static Result<std::unique_ptr<Table>> Open(
+      TableSchema schema, const std::string& dir,
+      const storage::DurableTree::Options* tuning = nullptr);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;

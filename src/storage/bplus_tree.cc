@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "faults/crash_points.h"
+
 namespace prorp::storage {
 namespace {
 
@@ -341,6 +343,11 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId node_id,
     }
     // Split the full leaf, then insert into the proper half.
     PRORP_ASSIGN_OR_RETURN(PageId right_id, AllocNodePage());
+    // Crash simulation: die with the right sibling allocated but not yet
+    // linked — the most state-scattered instant of a leaf split.  The
+    // mutation never reaches the WAL (apply-then-log), so recovery must
+    // reconstruct a tree without it.
+    PRORP_CRASH_POINT(faults::kBtreeMidSplit);
     PRORP_ASSIGN_OR_RETURN(PageGuard right_page, pool_->Fetch(right_id));
     uint8_t* rp = right_page.mutable_data();
     SetNodeType(rp, kTypeLeaf);

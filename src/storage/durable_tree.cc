@@ -4,6 +4,7 @@
 
 #include <cerrno>
 
+#include "faults/fault_injecting_disk_manager.h"
 #include "storage/snapshot.h"
 
 namespace prorp::storage {
@@ -29,6 +30,10 @@ Result<std::unique_ptr<DurableTree>> DurableTree::Open(
   t->options_ = options;
   t->dir_ = options.dir;
   t->disk_ = std::make_unique<InMemoryDiskManager>();
+  if (options.fault_plan != nullptr) {
+    t->disk_ = std::make_unique<faults::FaultInjectingDiskManager>(
+        std::move(t->disk_), options.fault_plan);
+  }
   t->pool_ =
       std::make_unique<BufferPool>(t->disk_.get(), options.buffer_pool_pages);
   PRORP_ASSIGN_OR_RETURN(
@@ -66,6 +71,7 @@ Result<std::unique_ptr<DurableTree>> DurableTree::Open(
   (void)replayed;
 
   PRORP_ASSIGN_OR_RETURN(t->wal_, WriteAheadLog::Open(WalPath(options.dir)));
+  t->wal_->set_fault_plan(options.fault_plan);
   return t;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "faults/fault_plan.h"
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -47,6 +48,11 @@ class DurableTree {
     /// modeled by the OS page cache, which is plenty for simulation and
     /// unit-test use.
     bool fsync_each_append = false;
+
+    /// Optional fault schedule.  When set, the page store is wrapped in a
+    /// FaultInjectingDiskManager and the WAL consults the plan on every
+    /// append/sync.  Must outlive the tree.  Testing only.
+    faults::FaultPlan* fault_plan = nullptr;
   };
 
   /// Opens (and recovers, if durable state exists) a tree.
@@ -106,7 +112,7 @@ class DurableTree {
 
   std::string dir_;
   Options options_;
-  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BPlusTree> tree_;
   std::unique_ptr<WriteAheadLog> wal_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "faults/crash_points.h"
 #include "storage/crc32.h"
 
 namespace prorp::storage {
@@ -36,10 +37,21 @@ Status WriteSnapshot(const std::string& path, uint32_t value_width,
   std::string tmp = path + ".tmp";
   FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot create snapshot temp");
-  bool ok = std::fwrite(&kSnapshotMagic, 4, 1, f) == 1 &&
-            (body.empty() ||
-             std::fwrite(body.data(), body.size(), 1, f) == 1) &&
-            std::fwrite(&crc, 4, 1, f) == 1;
+  bool ok = std::fwrite(&kSnapshotMagic, 4, 1, f) == 1;
+  size_t half = body.size() / 2;
+  ok = ok && (half == 0 || std::fwrite(body.data(), half, 1, f) == 1);
+  // Crash simulation: the process dies halfway through writing the temp
+  // file.  The partial .tmp is left behind and the rename never happens,
+  // so recovery must still find the previous snapshot intact.
+  if (Status crash = faults::HitCrashPoint(faults::kSnapshotMidCopy);
+      !crash.ok()) {
+    std::fclose(f);
+    return crash;
+  }
+  ok = ok &&
+       (body.size() == half ||
+        std::fwrite(body.data() + half, body.size() - half, 1, f) == 1) &&
+       std::fwrite(&crc, 4, 1, f) == 1;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
     std::remove(tmp.c_str());

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "faults/crash_points.h"
 #include "storage/crc32.h"
 
 namespace prorp::storage {
@@ -102,14 +103,60 @@ Status WriteAheadLog::Append(const WalRecord& record) {
   PutU32(frame, static_cast<uint32_t>(payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
   PutU32(frame, Crc32(payload.data(), payload.size()));
-  ssize_t written = ::write(fd_, frame.data(), frame.size());
+
+  // Crash simulation: the process dies mid-append.  A prefix of the frame
+  // (chosen by the armed payload) reaches the file and nothing cleans it
+  // up — exactly the torn tail recovery must cope with.
+  if (Status crash = faults::HitCrashPoint(faults::kWalAppendPartial);
+      !crash.ok()) {
+    uint64_t cut =
+        faults::CrashPointRegistry::Global().payload() % frame.size();
+    if (cut > 0) (void)!::write(fd_, frame.data(), cut);
+    return crash;
+  }
+
+  size_t intend = frame.size();
+  if (fault_plan_ != nullptr) {
+    if (auto d = fault_plan_->Next(faults::FaultOp::kWalAppend)) {
+      switch (d->kind) {
+        case faults::FaultKind::kIoError:
+          return Status::IoError("injected WAL append fault");
+        case faults::FaultKind::kTornWrite:
+          intend = d->arg % frame.size();  // live short write, not a crash
+          break;
+        case faults::FaultKind::kBitFlip: {
+          uint64_t bit = d->arg % (frame.size() * 8);
+          frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+          break;
+        }
+      }
+    }
+  }
+
+  off_t start = ::lseek(fd_, 0, SEEK_END);
+  if (start < 0) return Status::IoError("WAL lseek failed");
+  ssize_t written = ::write(fd_, frame.data(), intend);
   if (written != static_cast<ssize_t>(frame.size())) {
-    return Status::IoError("WAL append failed");
+    // Roll the file back to the pre-append offset.  Leaving the partial
+    // frame in place would make every subsequent append land behind a
+    // torn record, unreachable at replay time.
+    if (::ftruncate(fd_, start) != 0) {
+      return Status::IoError("WAL append failed and rollback failed");
+    }
+    return Status::IoError("WAL append failed: short write");
   }
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
+  // Crash simulation: the process dies after appending but before the
+  // data is forced to stable storage.
+  PRORP_CRASH_POINT(faults::kWalPreSync);
+  if (fault_plan_ != nullptr) {
+    if (auto d = fault_plan_->Next(faults::FaultOp::kWalSync)) {
+      return Status::IoError("injected WAL sync fault");
+    }
+  }
   if (::fsync(fd_) != 0) return Status::IoError("WAL fsync failed");
   return Status::OK();
 }
@@ -124,12 +171,20 @@ Status WriteAheadLog::Truncate() {
 Result<uint64_t> WriteAheadLog::Replay(
     const std::string& path,
     const std::function<Status(const WalRecord&)>& apply) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+  // O_RDWR so a torn tail can be trimmed in place; fall back to read-only
+  // (no trimming) if the file does not permit writing.
+  bool writable = true;
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0 && errno != ENOENT) {
+    writable = false;
+    fd = ::open(path.c_str(), O_RDONLY);
+  }
   if (fd < 0) {
     if (errno == ENOENT) return static_cast<uint64_t>(0);
     return Status::IoError("open WAL for replay failed");
   }
   uint64_t replayed = 0;
+  off_t valid_end = 0;  // file offset just past the last intact record
   std::vector<uint8_t> buf;
   for (;;) {
     uint8_t lenbuf[4];
@@ -151,6 +206,18 @@ Result<uint64_t> WriteAheadLog::Replay(
       return s;
     }
     ++replayed;
+    valid_end += 4 + static_cast<off_t>(len) + 4;
+  }
+  // Trim the torn tail so post-recovery appends land directly behind the
+  // last valid record.  Without this, an append-mode writer would stack
+  // good frames behind unreachable garbage and silently lose them at the
+  // next recovery.
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (writable && size > valid_end) {
+    if (::ftruncate(fd, valid_end) != 0) {
+      ::close(fd);
+      return Status::IoError("trimming torn WAL tail failed");
+    }
   }
   ::close(fd);
   return replayed;

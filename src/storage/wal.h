@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "faults/fault_plan.h"
 
 namespace prorp::storage {
 
@@ -43,7 +44,10 @@ class WriteAheadLog {
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  /// Appends a record and flushes it to the OS.
+  /// Appends a record and flushes it to the OS.  On a short write (disk
+  /// full, injected fault) the file is rolled back to the pre-append
+  /// offset so the torn frame cannot make later appends unreachable at
+  /// replay time.
   Status Append(const WalRecord& record);
 
   /// Forces the log to stable storage.
@@ -53,7 +57,10 @@ class WriteAheadLog {
   Status Truncate();
 
   /// Replays all intact records in `path` in order.  Returns the number of
-  /// records replayed.  A trailing torn record is not an error.
+  /// records replayed.  A trailing torn record is not an error: it is
+  /// trimmed off the file so that appends issued after recovery land
+  /// directly behind the last valid record instead of behind unreachable
+  /// garbage.
   static Result<uint64_t> Replay(
       const std::string& path,
       const std::function<Status(const WalRecord&)>& apply);
@@ -61,12 +68,17 @@ class WriteAheadLog {
   /// Current log size in bytes.
   Result<uint64_t> SizeBytes() const;
 
+  /// Attaches a fault plan consulted on every Append/Sync (kWalAppend and
+  /// kWalSync ops).  `plan` must outlive this log; pass nullptr to detach.
+  void set_fault_plan(faults::FaultPlan* plan) { fault_plan_ = plan; }
+
  private:
   WriteAheadLog(int fd, std::string path)
       : fd_(fd), path_(std::move(path)) {}
 
   int fd_;
   std::string path_;
+  faults::FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace prorp::storage

@@ -1,0 +1,29 @@
+#include "telemetry/fault_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace prorp::telemetry {
+
+void RobustnessReport::AccumulateShard(const RobustnessReport& shard) {
+  resume_failures_outage += shard.resume_failures_outage;
+  resume_failures_injected += shard.resume_failures_injected;
+  degraded_enters += shard.degraded_enters;
+  degraded_exits += shard.degraded_exits;
+  history_errors += shard.history_errors;
+}
+
+std::string RobustnessReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "outages=%" PRIu64 " (%.1fh) fail_outage=%" PRIu64
+                " fail_injected=%" PRIu64 " degraded=%" PRIu64 "/%" PRIu64
+                " hist_err=%" PRIu64,
+                outage_windows,
+                static_cast<double>(outage_seconds) / 3600.0,
+                resume_failures_outage, resume_failures_injected,
+                degraded_enters, degraded_exits, history_errors);
+  return buf;
+}
+
+}  // namespace prorp::telemetry

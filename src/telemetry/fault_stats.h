@@ -1,0 +1,47 @@
+#ifndef PRORP_TELEMETRY_FAULT_STATS_H_
+#define PRORP_TELEMETRY_FAULT_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace prorp::telemetry {
+
+/// Robustness telemetry of one simulation run: the fault-injection and
+/// graceful-degradation counters that ride alongside the KPI report.
+///
+/// Two kinds of fields with different merge semantics:
+///  * fleet-global fields describe the injected fault schedule itself
+///    (node-outage windows are derived from the run seed alone, so every
+///    shard of a sharded run computes the identical schedule) — merging
+///    shard reports copies them from any one shard;
+///  * per-shard counters count what actually happened inside a shard's
+///    event loop — merging sums them.
+struct RobustnessReport {
+  // --- Fleet-global: the injected outage schedule ---
+  uint64_t outage_windows = 0;   // node-down windows across all nodes
+  uint64_t outage_seconds = 0;   // summed durations of those windows
+
+  // --- Per-shard counters ---
+  /// Proactive-resume workflow attempts that failed because the target
+  /// database's node was inside an outage window.
+  uint64_t resume_failures_outage = 0;
+  /// Attempts failed by the probabilistic failure injector
+  /// (SimOptions.resume_failure_probability).
+  uint64_t resume_failures_injected = 0;
+  /// Lifecycle-controller degraded-mode episodes (history-store errors
+  /// forcing reactive behavior) summed over the fleet.
+  uint64_t degraded_enters = 0;
+  uint64_t degraded_exits = 0;
+  uint64_t history_errors = 0;
+
+  /// Sums the per-shard counters; leaves the fleet-global schedule
+  /// fields untouched (callers copy those from one shard).
+  void AccumulateShard(const RobustnessReport& shard);
+
+  /// One formatted row for bench output.
+  std::string ToString() const;
+};
+
+}  // namespace prorp::telemetry
+
+#endif  // PRORP_TELEMETRY_FAULT_STATS_H_

@@ -182,16 +182,33 @@ TEST_F(ManagementServiceTest, StuckWorkflowIsMitigatedByRetry) {
                   .ok());
   auto n = service.RunOnce(now);
   ASSERT_TRUE(n.ok());
-  EXPECT_EQ(*n, 1u);  // resumed within the iteration after mitigation
+  EXPECT_EQ(*n, 0u);  // first attempt failed; retry is backed off
   EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+  EXPECT_EQ(service.diagnostics().backoff_retries_scheduled, 1u);
+  EXPECT_EQ(service.pending_failed(), 1u);
+
+  // Before the backoff deadline the item is held, not retried.
+  auto held = service.RunOnce(now + 1);
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(*held, 0u);
+  EXPECT_EQ(attempts, 1);
+
+  // After the deadline the retry runs and succeeds: mitigated.
+  DurationSeconds delay = service.BackoffDelay(1, 1);
+  auto n2 = service.RunOnce(now + delay);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 1u);
   EXPECT_EQ(service.diagnostics().mitigated, 1u);
   EXPECT_EQ(service.diagnostics().incidents, 0u);
+  EXPECT_EQ(service.pending_failed(), 0u);
 }
 
 TEST_F(ManagementServiceTest, ExhaustedRetriesRaiseIncident) {
+  int attempts = 0;
   ManagementService service(
       metadata_.get(), Config(),
       [&](telemetry::DbId, EpochSeconds) {
+        ++attempts;
         return Status::Unavailable("permanently stuck");
       },
       /*max_attempts=*/2);
@@ -200,11 +217,165 @@ TEST_F(ManagementServiceTest, ExhaustedRetriesRaiseIncident) {
                   ->UpsertState(1, DbState::kPhysicallyPaused,
                                 now + Minutes(5) + 10)
                   .ok());
-  auto n = service.RunOnce(now);
-  ASSERT_TRUE(n.ok());
-  EXPECT_EQ(*n, 0u);
+  ASSERT_TRUE(service.RunOnce(now).ok());
+  EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+  EXPECT_EQ(service.diagnostics().incidents, 0u);
+  // The second (= last) attempt fails too: incident, nothing left queued.
+  EpochSeconds retry_at = now + service.BackoffDelay(1, 1);
+  ASSERT_TRUE(service.RunOnce(retry_at).ok());
+  EXPECT_EQ(attempts, 2);
   EXPECT_EQ(service.diagnostics().incidents, 1u);
   EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+  EXPECT_EQ(service.pending_failed(), 0u);
+  // Accounting invariant: every stuck workflow lands in exactly one
+  // terminal bucket.
+  const DiagnosticsReport& d = service.diagnostics();
+  EXPECT_EQ(d.stuck_workflows, d.mitigated + d.incidents +
+                                   d.failed_then_skipped +
+                                   service.pending_failed());
+}
+
+TEST_F(ManagementServiceTest, FailedThenStateChangedIsDroppedOnce) {
+  // First attempt fails transiently; by the retry the customer has
+  // already resumed the database (FailedPrecondition).  The workflow must
+  // be dropped and accounted as failed_then_skipped, not retried forever.
+  int attempts = 0;
+  ManagementService service(metadata_.get(), Config(),
+                            [&](telemetry::DbId, EpochSeconds) {
+                              if (++attempts == 1) {
+                                return Status::Unavailable("transient");
+                              }
+                              return Status::FailedPrecondition(
+                                  "already resumed");
+                            });
+  EpochSeconds now = 10000;
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(1, DbState::kPhysicallyPaused,
+                                now + Minutes(5) + 10)
+                  .ok());
+  ASSERT_TRUE(service.RunOnce(now).ok());
+  ASSERT_TRUE(service.RunOnce(now + service.BackoffDelay(1, 1)).ok());
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(service.diagnostics().stuck_workflows, 1u);
+  EXPECT_EQ(service.diagnostics().failed_then_skipped, 1u);
+  EXPECT_EQ(service.diagnostics().skipped_state_changed, 1u);
+  EXPECT_EQ(service.diagnostics().mitigated, 0u);
+  EXPECT_EQ(service.diagnostics().incidents, 0u);
+  EXPECT_EQ(service.pending_workflows(), 0u);
+}
+
+TEST_F(ManagementServiceTest, BackoffScheduleIsExponentialCappedJittered) {
+  ControlPlaneConfig cfg = Config();
+  cfg.retry_backoff_base = 60;   // seconds
+  cfg.retry_backoff_cap = 480;
+  cfg.retry_jitter_fraction = 0.25;
+  ManagementService service(metadata_.get(), cfg,
+                            [](telemetry::DbId, EpochSeconds) {
+                              return Status::OK();
+                            });
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    DurationSeconds raw = std::min<DurationSeconds>(
+        480, 60 * (DurationSeconds{1} << (attempt - 1)));
+    DurationSeconds d = service.BackoffDelay(7, attempt);
+    EXPECT_GE(d, raw) << "attempt " << attempt;
+    EXPECT_LE(d, raw + raw / 4) << "attempt " << attempt;
+    // Deterministic: same (db, attempt) always hashes the same.
+    EXPECT_EQ(d, service.BackoffDelay(7, attempt));
+  }
+  // Jitter decorrelates databases: not every db gets the same delay.
+  std::set<DurationSeconds> delays;
+  for (telemetry::DbId db = 0; db < 16; ++db) {
+    delays.insert(service.BackoffDelay(db, 3));
+  }
+  EXPECT_GT(delays.size(), 1u);
+}
+
+TEST_F(ManagementServiceTest, BreakerOpensShedsThenRecovers) {
+  ControlPlaneConfig cfg = Config();
+  cfg.breaker_window = 4;
+  cfg.breaker_failure_ratio = 0.5;
+  cfg.breaker_open_duration = Minutes(5);
+  cfg.breaker_half_open_probes = 2;
+  bool healthy = false;
+  uint64_t calls = 0;
+  ManagementService service(
+      metadata_.get(), cfg,
+      [&](telemetry::DbId db, EpochSeconds) {
+        ++calls;
+        if (!healthy) return Status::Unavailable("resume path down");
+        return metadata_->UpsertState(db, DbState::kLogicallyPaused, 0);
+      },
+      /*max_attempts=*/10);
+  EpochSeconds now = 100000;
+  for (telemetry::DbId db = 1; db <= 4; ++db) {
+    ASSERT_TRUE(metadata_
+                    ->UpsertState(db, DbState::kPhysicallyPaused,
+                                  now + Minutes(5) + 10 + db)
+                    .ok());
+  }
+  // A later database becomes due while the breaker is open: shed.
+  ASSERT_TRUE(metadata_
+                  ->UpsertState(50, DbState::kPhysicallyPaused,
+                                now + Minutes(6) + 10)
+                  .ok());
+
+  // Iteration 1: four failures fill the window and trip the breaker.
+  ASSERT_TRUE(service.RunOnce(now).ok());
+  EXPECT_EQ(service.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(service.diagnostics().breaker_opens, 1u);
+  EXPECT_EQ(service.diagnostics().stuck_workflows, 4u);
+  EXPECT_EQ(calls, 4u);
+
+  // Iteration 2 (still open): db 50 is due but shed; retries are held.
+  ASSERT_TRUE(service.RunOnce(now + Minutes(1)).ok());
+  EXPECT_EQ(service.diagnostics().shed_resumes, 1u);
+  EXPECT_EQ(calls, 4u);  // no attempts while open
+  EXPECT_EQ(service.pending_failed(), 4u);
+
+  // After the cool-down the breaker half-opens; the path is healthy
+  // again, so the probes succeed, the breaker closes, and every held
+  // retry is mitigated.
+  healthy = true;
+  auto n = service.RunOnce(now + Minutes(5));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(service.breaker_state(), BreakerState::kClosed);
+  EXPECT_EQ(service.diagnostics().mitigated, 4u);
+  EXPECT_EQ(service.diagnostics().breaker_state_changes, 3u);
+  const DiagnosticsReport& d = service.diagnostics();
+  EXPECT_EQ(d.stuck_workflows, d.mitigated + d.incidents +
+                                   d.failed_then_skipped +
+                                   service.pending_failed());
+}
+
+TEST_F(ManagementServiceTest, FailedHalfOpenProbeReopensBreaker) {
+  ControlPlaneConfig cfg = Config();
+  cfg.breaker_window = 2;
+  cfg.breaker_failure_ratio = 0.5;
+  cfg.breaker_open_duration = Minutes(5);
+  cfg.breaker_half_open_probes = 1;
+  uint64_t calls = 0;
+  ManagementService service(
+      metadata_.get(), cfg,
+      [&](telemetry::DbId, EpochSeconds) {
+        ++calls;
+        return Status::Unavailable("still down");
+      },
+      /*max_attempts=*/10);
+  EpochSeconds now = 100000;
+  for (telemetry::DbId db = 1; db <= 2; ++db) {
+    ASSERT_TRUE(metadata_
+                    ->UpsertState(db, DbState::kPhysicallyPaused,
+                                  now + Minutes(5) + 10 + db)
+                    .ok());
+  }
+  ASSERT_TRUE(service.RunOnce(now).ok());
+  EXPECT_EQ(service.breaker_state(), BreakerState::kOpen);
+  // Half-open probe fails: the breaker re-opens after a single attempt.
+  ASSERT_TRUE(service.RunOnce(now + Minutes(5)).ok());
+  EXPECT_EQ(service.breaker_state(), BreakerState::kOpen);
+  EXPECT_EQ(service.diagnostics().breaker_opens, 2u);
+  EXPECT_EQ(calls, 3u);  // 2 initial failures + 1 probe
 }
 
 TEST_F(ManagementServiceTest, PerIterationStatsFeedFigure11) {

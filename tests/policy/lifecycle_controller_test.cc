@@ -406,6 +406,93 @@ TEST(PrewarmRestoreTest, DisabledByZeroDelay) {
   EXPECT_EQ(controller.next_activity().start, predicted);  // unchanged
 }
 
+/// History store whose writes can be scripted to fail, for the
+/// graceful-degradation tests.  Reads keep working (the store process is
+/// up; only the write path is broken — the common partial-outage shape).
+class FlakyHistoryStore : public history::HistoryStore {
+ public:
+  Status InsertHistory(EpochSeconds time, int event_type) override {
+    if (fail_writes) return Status::Unavailable("history store down");
+    return inner.InsertHistory(time, event_type);
+  }
+  Result<bool> DeleteOldHistory(DurationSeconds h,
+                                EpochSeconds now) override {
+    if (fail_writes) return Status::Unavailable("history store down");
+    return inner.DeleteOldHistory(h, now);
+  }
+  Result<history::LoginRangeAgg> LoginMinMax(
+      EpochSeconds lo, EpochSeconds hi) const override {
+    return inner.LoginMinMax(lo, hi);
+  }
+  Result<std::vector<EpochSeconds>> CollectLogins(
+      EpochSeconds lo, EpochSeconds hi) const override {
+    return inner.CollectLogins(lo, hi);
+  }
+  Result<std::vector<history::HistoryTuple>> ReadAll() const override {
+    return inner.ReadAll();
+  }
+  Result<EpochSeconds> MinTimestamp() const override {
+    return inner.MinTimestamp();
+  }
+  uint64_t NumTuples() const override { return inner.NumTuples(); }
+
+  MemHistoryStore inner;
+  bool fail_writes = false;
+};
+
+TEST(DegradedModeTest, HistoryWriteFailureDegradesInsteadOfFailing) {
+  // Same distant-prediction setup as DistantPredictionPausesImmediately,
+  // which physically pauses when healthy — but here the history store
+  // starts failing, so the controller must degrade to reactive behaviour
+  // (logical pause) and, crucially, never propagate the error.
+  FlakyHistoryStore store;
+  FixedDelayPredictor distant(Hours(12), Hours(1));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &store, &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  store.fail_writes = true;
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  EXPECT_TRUE(controller.degraded());
+  EXPECT_EQ(controller.stats().degraded_enters, 1u);
+  EXPECT_GE(controller.stats().history_errors, 1u);
+  // Degraded => reactive: logical pause despite the distant prediction.
+  EXPECT_EQ(controller.state(), DbState::kLogicallyPaused);
+
+  // Logins while degraded still succeed (a login must never fail because
+  // telemetry storage is down).
+  auto outcome = controller.OnActivityStart(kT0 + Hours(2));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, LoginOutcome::kResourcesAvailable);
+  EXPECT_TRUE(controller.degraded());
+
+  // The store recovers: the next successful write exits degraded mode and
+  // proactive decisions resume (distant prediction => physical pause).
+  store.fail_writes = false;
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(3)).ok());
+  EXPECT_FALSE(controller.degraded());
+  EXPECT_EQ(controller.stats().degraded_exits, 1u);
+  EXPECT_EQ(controller.state(), DbState::kPhysicallyPaused);
+}
+
+TEST(DegradedModeTest, RepeatedErrorsCountOneEpisode) {
+  FlakyHistoryStore store;
+  FixedDelayPredictor distant(Hours(12), Hours(1));
+  LifecycleController controller(DefaultConfig(), PolicyMode::kProactive,
+                                 &store, &distant, kT0 - Days(40));
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 - Days(40) + Hours(1)).ok());
+  store.fail_writes = true;
+  ASSERT_TRUE(controller.OnActivityStart(kT0).ok());
+  ASSERT_TRUE(controller.OnActivityEnd(kT0 + Hours(1)).ok());
+  ASSERT_TRUE(controller.OnActivityStart(kT0 + Hours(2)).ok());
+  // Several failed operations, one degraded episode.
+  EXPECT_EQ(controller.stats().degraded_enters, 1u);
+  EXPECT_GE(controller.stats().history_errors, 3u);
+  EXPECT_EQ(controller.stats().degraded_exits, 0u);
+  // Transitions taken while degraded must not claim a prediction.
+  EXPECT_TRUE(controller.degraded());
+}
+
 TEST(PolicyModeNameTest, Names) {
   EXPECT_EQ(PolicyModeName(PolicyMode::kProactive), "proactive");
   EXPECT_EQ(PolicyModeName(PolicyMode::kReactive), "reactive");

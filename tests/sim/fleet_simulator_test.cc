@@ -343,6 +343,100 @@ TEST(FleetSimulatorTest, PredictionsCountedInKpi) {
   EXPECT_EQ(reactive->kpi.predictions, 0u);
 }
 
+TEST(FleetSimulatorTest, NodeOutagesFailResumesButDegradeGracefully) {
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 40, kT0,
+                                        kEnd, 9);
+  SimOptions healthy = BaseOptions(PolicyMode::kProactive);
+  SimOptions outages = healthy;
+  outages.num_nodes = 4;
+  outages.outage_rate_per_day = 24;  // heavy: ~one 10-min outage/hour/node
+  outages.outage_duration = Minutes(10);
+  auto a = RunFleetSimulation(traces, healthy);
+  auto b = RunFleetSimulation(traces, outages);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->robustness.outage_windows, 0u);
+  EXPECT_GT(b->robustness.outage_windows, 0u);
+  EXPECT_GT(b->robustness.resume_failures_outage, 0u);
+  EXPECT_GT(b->diagnostics.stuck_workflows, 0u);
+  // Graceful: outages shrink proactive QoS but every login still lands
+  // (failed pre-warms fall back to reactive resume, never an error).
+  EXPECT_EQ(a->kpi.logins_total, b->kpi.logins_total);
+  EXPECT_LE(b->kpi.QosAvailablePct(), a->kpi.QosAvailablePct());
+  // The same fleet under the reactive policy is the floor.
+  auto r = RunFleetSimulation(traces, BaseOptions(PolicyMode::kReactive));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(b->kpi.QosAvailablePct(), r->kpi.QosAvailablePct());
+}
+
+TEST(FleetSimulatorTest, MitigationAccountingReconcilesExactly) {
+  // Every workflow that failed at least once must land in exactly one
+  // terminal bucket — across outage failures, injected transient
+  // failures, and retries cut short by the end of the run.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 60, kT0,
+                                        kEnd, 13);
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.num_nodes = 4;
+  options.outage_rate_per_day = 12;
+  options.resume_failure_probability = 0.3;
+  options.eviction_per_hour = 0.05;
+  auto report = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto& d = report->diagnostics;
+  EXPECT_GT(d.stuck_workflows, 0u);
+  EXPECT_EQ(d.stuck_workflows, d.mitigated + d.incidents +
+                                   d.failed_then_skipped +
+                                   report->pending_failed)
+      << "stuck=" << d.stuck_workflows << " mitigated=" << d.mitigated
+      << " incidents=" << d.incidents
+      << " failed_then_skipped=" << d.failed_then_skipped
+      << " pending=" << report->pending_failed;
+  EXPECT_EQ(d.backoff_retries_scheduled > 0,
+            d.backoff_delay_seconds_total > 0);
+}
+
+TEST(FleetSimulatorTest, OutageRunsAreDeterministicInSeed) {
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 30, kT0,
+                                        kEnd, 17);
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.num_nodes = 4;
+  options.outage_rate_per_day = 24;
+  auto a = RunFleetSimulation(traces, options);
+  auto b = RunFleetSimulation(traces, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->robustness.outage_windows, b->robustness.outage_windows);
+  EXPECT_EQ(a->robustness.outage_seconds, b->robustness.outage_seconds);
+  EXPECT_EQ(a->robustness.resume_failures_outage,
+            b->robustness.resume_failures_outage);
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->diagnostics.breaker_opens, b->diagnostics.breaker_opens);
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
+}
+
+TEST(FleetSimulatorTest, ShardedOutageScheduleMatchesSerial) {
+  // The outage schedule is derived from (seed, node) only; a sharded
+  // reactive run must report the identical fleet-global schedule and
+  // bit-identical KPIs.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 50, kT0,
+                                        kEnd, 11);
+  SimOptions serial = BaseOptions(PolicyMode::kReactive);
+  serial.num_nodes = 4;
+  serial.outage_rate_per_day = 24;
+  SimOptions sharded = serial;
+  sharded.num_threads = 4;
+  auto a = RunFleetSimulation(traces, serial);
+  auto b = RunFleetSimulation(traces, sharded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->robustness.outage_windows, 0u);
+  EXPECT_EQ(a->robustness.outage_windows, b->robustness.outage_windows);
+  EXPECT_EQ(a->robustness.outage_seconds, b->robustness.outage_seconds);
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_DOUBLE_EQ(a->usage.active, b->usage.active);
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
+}
+
 TEST(FleetSimulatorTest, MixedFleetProactiveBeatsReactive) {
   // The headline comparison on a realistic region mix.
   auto traces = workload::GenerateFleet(workload::RegionEU1(), 150, kT0,

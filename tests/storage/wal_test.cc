@@ -146,6 +146,77 @@ TEST(WalTest, TruncateEmptiesLog) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, ShortWriteRollsBackTornFrame) {
+  // Regression: a short append used to leave the torn frame bytes in the
+  // file, so every subsequent (valid) append landed behind a corrupt
+  // prefix and was lost at replay.  Append must ftruncate back to the
+  // pre-append offset before reporting the IoError.
+  std::string path = TempPath("wal_short_write.log");
+  std::remove(path.c_str());
+  faults::FaultPlan plan(1);
+  plan.FailNth(faults::FaultOp::kWalAppend, 2,
+               faults::FaultKind::kTornWrite);
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    (*wal)->set_fault_plan(&plan);
+    ASSERT_TRUE((*wal)->Append(Insert(1, {0x01})).ok());
+    Status torn = (*wal)->Append(Insert(2, {0x02}));
+    ASSERT_TRUE(torn.IsIoError()) << torn.ToString();
+    // The log is clean again: later appends must survive replay.
+    ASSERT_TRUE((*wal)->Append(Insert(3, {0x03})).ok());
+    ASSERT_TRUE((*wal)->Append(Insert(4, {0x04})).ok());
+  }
+  std::vector<int64_t> keys;
+  auto n = WriteAheadLog::Replay(path, [&](const WalRecord& r) {
+    keys.push_back(r.key);
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ReplayTrimsTornTailSoNewAppendsAreReadable) {
+  // Regression: Replay used to skip the torn tail but leave it in the
+  // file; the next Append (O_APPEND) landed behind the garbage, so every
+  // record written after recovery was invisible to the following replay.
+  std::string path = TempPath("wal_trim_tail.log");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(1, {0x01})).ok());
+    ASSERT_TRUE((*wal)->Append(Insert(2, {0x02})).ok());
+  }
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(path.c_str(), size - 3), 0);  // torn second record
+
+  auto first = WriteAheadLog::Replay(path, [](const WalRecord&) {
+    return Status::OK();
+  });
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  {
+    // Post-recovery writer: the append must land right after record 1.
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Insert(3, {0x03})).ok());
+  }
+  std::vector<int64_t> keys;
+  auto again = WriteAheadLog::Replay(path, [&](const WalRecord& r) {
+    keys.push_back(r.key);
+    return Status::OK();
+  });
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3}));
+  std::remove(path.c_str());
+}
+
 TEST(WalTest, ApplyErrorPropagates) {
   std::string path = TempPath("wal_apply_err.log");
   std::remove(path.c_str());
