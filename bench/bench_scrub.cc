@@ -1,0 +1,171 @@
+// Scrubber overhead: scrub throughput (pages/s) and self-healing repair
+// latency as a function of history size.  The paper's premise is that the
+// pause/resume history stays tiny (Section 9.3: a few KB per database),
+// so a full-integrity scrub and even a worst-case rebuild must cost
+// microseconds to low milliseconds — cheap enough to run from the fleet
+// maintenance loop.  Exits non-zero if a scrub misses planted corruption
+// or a repair loses records.
+//
+// Usage: bench_scrub [iters]   (default: 5 iterations per size)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/durable_tree.h"
+#include "storage/page.h"
+
+namespace fs = std::filesystem;
+using namespace prorp;           // NOLINT: bench brevity
+using namespace prorp::storage;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = fs::temp_directory_path().string() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<uint8_t> Value64(int64_t v) {
+  std::vector<uint8_t> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+struct SizePoint {
+  uint64_t entries = 0;
+  uint64_t pages = 0;
+  double scrub_ms = 0;    // clean full-integrity pass
+  double repair_ms = 0;   // detect + rebuild + verifying re-scrub
+  double scrub_pages_per_sec = 0;
+};
+
+int RunPoint(uint64_t entries, uint64_t iters, SizePoint* point) {
+  std::string dir =
+      FreshDir("bench_scrub_" + std::to_string(entries));
+  DurableTree::Options options;
+  options.dir = dir;
+  options.value_width = 8;
+  options.buffer_pool_pages = 256;
+  options.checkpoint_wal_bytes = 0;
+  auto tree = DurableTree::Open(options);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "open: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+  for (uint64_t i = 0; i < entries; ++i) {
+    Status s =
+        (*tree)->Insert(static_cast<int64_t>(i) * 3, Value64(i).data());
+    if (!s.ok()) {
+      std::fprintf(stderr, "insert: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = (*tree)->Checkpoint(); !s.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*tree)->buffer_pool()->FlushAll(); !s.ok()) {
+    std::fprintf(stderr, "flush: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  point->entries = entries;
+  point->pages = (*tree)->disk()->num_pages();
+
+  // Clean scrub throughput.
+  double scrub_total = 0;
+  for (uint64_t i = 0; i < iters; ++i) {
+    auto start = Clock::now();
+    auto report = (*tree)->Scrub();
+    scrub_total += SecondsSince(start);
+    if (!report.ok() || !report->clean()) {
+      std::fprintf(stderr, "clean scrub failed at %llu entries\n",
+                   static_cast<unsigned long long>(entries));
+      return 1;
+    }
+  }
+  point->scrub_ms = scrub_total / iters * 1e3;
+  point->scrub_pages_per_sec = point->pages / (scrub_total / iters);
+
+  // Repair latency: plant one corrupt page, then time the scrub that
+  // detects it, rebuilds from snapshot + WAL, and re-verifies.
+  double repair_total = 0;
+  uint8_t raw[kPageSize];
+  for (uint64_t i = 0; i < iters; ++i) {
+    PageId victim = 1 + static_cast<PageId>(i % (point->pages - 1));
+    if (!(*tree)->disk()->Read(victim, raw).ok()) return 1;
+    raw[kPageHeaderSize + 7] ^= 0x20;
+    if (!(*tree)->disk()->Write(victim, raw).ok()) return 1;
+    auto start = Clock::now();
+    auto report = (*tree)->Scrub();
+    repair_total += SecondsSince(start);
+    if (!report.ok() || !report->clean() || (*tree)->quarantined()) {
+      std::fprintf(stderr, "repair failed at %llu entries\n",
+                   static_cast<unsigned long long>(entries));
+      return 1;
+    }
+  }
+  point->repair_ms = repair_total / iters * 1e3;
+
+  const IntegrityStats& integrity = (*tree)->integrity_stats();
+  if (integrity.corruption_detected != iters ||
+      integrity.corruption_repaired != iters ||
+      integrity.corruption_quarantined != 0) {
+    std::fprintf(stderr, "integrity accounting off at %llu entries\n",
+                 static_cast<unsigned long long>(entries));
+    return 1;
+  }
+  if ((*tree)->size() != entries) {
+    std::fprintf(stderr, "repair lost records at %llu entries\n",
+                 static_cast<unsigned long long>(entries));
+    return 1;
+  }
+  fs::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t iters =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  std::printf("Scrub throughput and repair latency vs history size "
+              "(%llu iterations per size)\n",
+              static_cast<unsigned long long>(iters));
+  std::printf("Each history tuple is 16 bytes; the paper's fleet p99 is "
+              "a few thousand tuples.\n\n");
+  std::printf("%10s %8s %10s %12s %14s %12s\n", "entries", "pages",
+              "KB", "scrub ms", "pages/s", "repair ms");
+
+  int rc = 0;
+  for (uint64_t entries : {500u, 5000u, 50000u, 200000u}) {
+    SizePoint point;
+    if (RunPoint(entries, iters, &point) != 0) {
+      rc = 1;
+      continue;
+    }
+    std::printf("%10llu %8llu %10.1f %12.3f %14.0f %12.3f\n",
+                static_cast<unsigned long long>(point.entries),
+                static_cast<unsigned long long>(point.pages),
+                point.entries * 16 / 1024.0, point.scrub_ms,
+                point.scrub_pages_per_sec, point.repair_ms);
+  }
+  if (rc == 0) {
+    std::printf("\nPASS: every planted corruption detected and repaired "
+                "with zero record loss\n");
+  }
+  return rc;
+}

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <cstdio>
+
 namespace prorp {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -42,6 +44,19 @@ std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (corruption_ != nullptr) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  " [page=%u crc expected=%08x actual=%08x",
+                  corruption_->page_id, corruption_->expected_crc,
+                  corruption_->actual_crc);
+    out += buf;
+    if (!corruption_->file.empty()) {
+      out += " file=";
+      out += corruption_->file;
+    }
+    out += "]";
   }
   return out;
 }

@@ -1,11 +1,29 @@
 #ifndef PRORP_COMMON_STATUS_H_
 #define PRORP_COMMON_STATUS_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 
 namespace prorp {
+
+/// Structured payload attached to Corruption statuses so callers can act
+/// on *which* page failed *how* instead of parsing a message string.  The
+/// buffer pool fills it when checksum verification fails; SqlHistoryStore
+/// and the telemetry layer read it back out.
+struct CorruptionContext {
+  /// Page that failed verification (kInvalidPageId-style sentinel when
+  /// the error is not page-scoped, e.g. a bad file magic).
+  uint32_t page_id = 0xFFFFFFFFu;
+  /// CRC the page header claimed.
+  uint32_t expected_crc = 0;
+  /// CRC the page bytes actually hash to.
+  uint32_t actual_crc = 0;
+  /// Backing store path; empty for in-memory stores.
+  std::string file;
+};
 
 /// Error categories used across the ProRP code base.  Modeled after the
 /// RocksDB/Arrow Status idiom: no exceptions, every fallible operation
@@ -59,6 +77,14 @@ class Status {
   static Status Corruption(std::string_view msg) {
     return Status(StatusCode::kCorruption, msg);
   }
+  /// Corruption with structured context (page id, expected/actual CRC,
+  /// file path).  See CorruptionContext.
+  static Status Corruption(std::string_view msg, CorruptionContext context) {
+    Status s(StatusCode::kCorruption, msg);
+    s.corruption_ =
+        std::make_shared<const CorruptionContext>(std::move(context));
+    return s;
+  }
   static Status IoError(std::string_view msg) {
     return Status(StatusCode::kIoError, msg);
   }
@@ -97,7 +123,14 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
 
-  /// "OK" or "<Code>: <message>".
+  /// Structured context of a Corruption status, or nullptr when the error
+  /// carries none (non-corruption codes, or a bare-string Corruption).
+  const CorruptionContext* corruption_context() const {
+    return corruption_.get();
+  }
+
+  /// "OK" or "<Code>: <message>", plus "[page=... crc=.../... file=...]"
+  /// when corruption context is attached.
   std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
@@ -110,6 +143,8 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  /// Shared so Status stays cheap to copy; immutable once attached.
+  std::shared_ptr<const CorruptionContext> corruption_;
 };
 
 }  // namespace prorp

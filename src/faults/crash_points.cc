@@ -3,7 +3,8 @@
 namespace prorp::faults {
 
 std::vector<std::string_view> AllCrashPoints() {
-  return {kWalAppendPartial, kWalPreSync, kBtreeMidSplit, kSnapshotMidCopy};
+  return {kWalAppendPartial, kWalPreSync, kBtreeMidSplit, kSnapshotMidCopy,
+          kSnapshotPreRenameSync};
 }
 
 CrashPointRegistry& CrashPointRegistry::Global() {

@@ -22,6 +22,8 @@ inline constexpr std::string_view kWalAppendPartial = "wal_append_partial";
 inline constexpr std::string_view kWalPreSync = "wal_pre_sync";
 inline constexpr std::string_view kBtreeMidSplit = "btree_mid_split";
 inline constexpr std::string_view kSnapshotMidCopy = "snapshot_mid_copy";
+inline constexpr std::string_view kSnapshotPreRenameSync =
+    "snapshot_pre_rename_sync";
 
 /// All compiled-in crash points (for harness enumeration and docs).
 std::vector<std::string_view> AllCrashPoints();

@@ -33,7 +33,12 @@ std::string_view FaultKindName(FaultKind kind) {
 }
 
 void FaultPlan::FailNth(FaultOp op, uint64_t nth, FaultKind kind) {
-  scripted_[static_cast<size_t>(op)].push_back({nth, kind});
+  scripted_[static_cast<size_t>(op)].push_back({nth, kind, std::nullopt});
+}
+
+void FaultPlan::FailNthWithArg(FaultOp op, uint64_t nth, FaultKind kind,
+                               uint64_t arg) {
+  scripted_[static_cast<size_t>(op)].push_back({nth, kind, arg});
 }
 
 void FaultPlan::FailWithProbability(FaultOp op, double p, FaultKind kind) {
@@ -46,7 +51,8 @@ std::optional<FaultDecision> FaultPlan::Next(FaultOp op) {
   for (const ScriptedTrigger& t : scripted_[i]) {
     if (t.nth == n) {
       ++injected_;
-      return FaultDecision{t.kind, rng_.NextU64()};
+      return FaultDecision{t.kind, t.arg.has_value() ? *t.arg
+                                                     : rng_.NextU64()};
     }
   }
   if (probabilistic_[i].has_value()) {

@@ -65,6 +65,11 @@ class FaultPlan {
   /// Multiple scripted triggers on the same op are allowed.
   void FailNth(FaultOp op, uint64_t nth, FaultKind kind);
 
+  /// Like FailNth, but with a fixed decision argument instead of a seeded
+  /// draw.  The bit-flip torture sweep uses this to hit an exact bit
+  /// position (page-header bytes, sampled payload bits).
+  void FailNthWithArg(FaultOp op, uint64_t nth, FaultKind kind, uint64_t arg);
+
   /// Fires `kind` with probability `p` on every occurrence of `op`.
   /// At most one probabilistic trigger per op (the last call wins).
   void FailWithProbability(FaultOp op, double p, FaultKind kind);
@@ -85,6 +90,7 @@ class FaultPlan {
   struct ScriptedTrigger {
     uint64_t nth = 0;
     FaultKind kind = FaultKind::kIoError;
+    std::optional<uint64_t> arg;  // fixed decision arg; seeded draw if unset
   };
   struct ProbabilisticTrigger {
     double p = 0;

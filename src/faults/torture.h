@@ -88,6 +88,88 @@ Result<TortureResult> RunSqlCrashTorture(const TortureOptions& options,
                                          std::string_view point,
                                          uint64_t nth);
 
+// ---------------------------------------------------------------------------
+// Bit-flip torture: silent-corruption detection and self-healing repair
+// ---------------------------------------------------------------------------
+
+/// Options of the offline sweep (RunBitFlipSweep).
+struct BitFlipSweepOptions {
+  uint64_t seed = 42;
+
+  /// Entries in the freshly built tree (enough for several leaf pages).
+  uint64_t num_entries = 400;
+
+  /// Sampled payload bit positions flipped per page, on top of every bit
+  /// of the 16-byte page header.
+  uint64_t payload_bits_per_page = 16;
+};
+
+/// Outcome of one offline sweep.  100% detection means detected == flips
+/// with mislocated == 0 and false_positives == 0.
+struct BitFlipSweepResult {
+  uint64_t pages = 0;
+  uint64_t flips = 0;
+  /// Flips where the scrubber flagged exactly the corrupted page AND a
+  /// fresh buffer-pool fetch of that page returned Corruption.
+  uint64_t detected = 0;
+  /// Flips detected but blamed on the wrong page or on extra pages.
+  uint64_t mislocated = 0;
+  /// Scrub errors reported against the restored (uncorrupted) image.
+  uint64_t false_positives = 0;
+};
+
+/// Offline sweep: builds a checksummed tree, flushes it, then — one flip
+/// at a time, directly on the disk image — flips every bit of every page
+/// header plus seeded payload bits per page.  After each flip the
+/// scrubber must flag exactly the corrupted page and a fresh fetch must
+/// fail; after restoring the bit, a re-scrub must be clean.
+Result<BitFlipSweepResult> RunBitFlipSweep(const BitFlipSweepOptions& options);
+
+/// Options of the online campaign (RunBitFlipCampaign).
+struct BitFlipCampaignOptions {
+  uint64_t seed = 42;
+
+  /// Must build a tree larger than the pool (a ~1500-op workload holds
+  /// ~1000 live entries across ~8 pages) so evictions and cache misses
+  /// produce the disk reads and writes the flips are scripted against.
+  uint64_t num_ops = 1500;
+  double delete_fraction = 0.10;
+  double update_fraction = 0.10;
+
+  /// Small WAL threshold so checkpoints (and thus snapshots to repair
+  /// from) happen during the workload.
+  uint64_t checkpoint_wal_bytes = 1 << 14;
+
+  /// Small pool so the workload generates real disk reads and writes for
+  /// the scripted flips to land on.  Must be smaller than the tree's page
+  /// count, else the counting pass observes no disk traffic at all.
+  uint64_t buffer_pool_pages = 4;
+
+  /// Scripted (nth-operation, bit-position) flip cases per disk op kind
+  /// (read and write); half aim at page-header bits, half at the payload.
+  uint64_t cases_per_op = 6;
+};
+
+/// Outcome of one online campaign.
+struct BitFlipCampaignResult {
+  uint64_t runs = 0;
+  uint64_t flips_fired = 0;
+  uint64_t acked_ops = 0;
+  uint64_t corruption_detected = 0;
+  uint64_t corruption_repaired = 0;
+  uint64_t corruption_quarantined = 0;
+};
+
+/// Online campaign: replays the recorded DurableTree workload once per
+/// scripted bit flip (a counting pass first learns how many disk reads
+/// and writes the workload issues).  Every run must end with zero
+/// acked-record loss: all operations acknowledge, the final contents
+/// equal the reference model (through whatever self-healing repairs the
+/// flip forced), the B+tree invariants hold, and a closing Scrub() leaves
+/// the store clean — catching flips still latent on the page store.
+Result<BitFlipCampaignResult> RunBitFlipCampaign(
+    const BitFlipCampaignOptions& options, const std::string& dir);
+
 }  // namespace prorp::faults
 
 #endif  // PRORP_FAULTS_TORTURE_H_

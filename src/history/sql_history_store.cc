@@ -4,6 +4,10 @@
 
 namespace prorp::history {
 
+namespace {
+constexpr const char kHistoryTable[] = "sys.pause_resume_history";
+}  // namespace
+
 Result<std::unique_ptr<SqlHistoryStore>> SqlHistoryStore::Open(
     const std::string& dir, const storage::DurableTree::Options* tuning) {
   std::unique_ptr<SqlHistoryStore> store(new SqlHistoryStore());
@@ -143,6 +147,23 @@ Result<EpochSeconds> SqlHistoryStore::MinTimestamp() const {
   sql::NullableValue v = r.Cell();
   if (v.is_null) return Status::NotFound("history is empty");
   return v.value;
+}
+
+Result<storage::ScrubReport> SqlHistoryStore::Scrub() {
+  PRORP_ASSIGN_OR_RETURN(sql::Table * table, db_->GetTable(kHistoryTable));
+  return table->durable_tree()->Scrub();
+}
+
+storage::IntegrityStats SqlHistoryStore::integrity_stats() const {
+  auto table = db_->GetTable(kHistoryTable);
+  if (!table.ok()) return {};
+  return (*table)->durable_tree()->integrity_stats();
+}
+
+bool SqlHistoryStore::quarantined() const {
+  auto table = db_->GetTable(kHistoryTable);
+  if (!table.ok()) return false;
+  return (*table)->durable_tree()->quarantined();
 }
 
 uint64_t SqlHistoryStore::NumTuples() const {

@@ -47,6 +47,7 @@ void LifecycleController::NoteHistoryOutcome(const Status& s) {
     return;
   }
   ++stats_.history_errors;
+  if (s.IsCorruption()) ++stats_.corruption_errors;
   if (!degraded_) {
     degraded_ = true;
     ++stats_.degraded_enters;

@@ -68,6 +68,7 @@ class LifecycleController {
     uint64_t reactive_fallbacks = 0;      // prediction component failures
     uint64_t forced_evictions = 0;
     uint64_t history_errors = 0;          // failed history-store operations
+    uint64_t corruption_errors = 0;       // history errors typed Corruption
     uint64_t degraded_enters = 0;         // transitions into degraded mode
     uint64_t degraded_exits = 0;          // recoveries back to proactive
   };

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
+#include "history/sql_history_store.h"
 #include "telemetry/usage_ledger.h"
 
 namespace prorp::sim {
@@ -31,6 +32,7 @@ enum class SimEventType : uint8_t {
   kSessionStart,     // subsequent customer login
   kTimer,            // lifecycle controller wait-condition re-check
   kResumeOpTick,     // periodic proactive resume operation
+  kScrubTick,        // periodic integrity scrub of SQL-backed histories
   kEviction,         // capacity-pressure reclamation attempt
   kResumeLatencyDone,  // reactive resume finished; resources usable
   kMeasureStart,     // KPI window begins: swap ledger/recorder
@@ -106,7 +108,10 @@ struct SimEvent {
 
 struct DbRuntime {
   const workload::DbTrace* trace = nullptr;
-  std::unique_ptr<MemHistoryStore> history;
+  std::unique_ptr<history::HistoryStore> history;
+  /// Non-owning view of `history` when it is the SQL-backed store (the
+  /// scrubber and the integrity-counter rollup need the concrete type).
+  history::SqlHistoryStore* sql_history = nullptr;
   std::unique_ptr<LifecycleController> controller;
   /// Bumped on every lifecycle transition; stamps scheduled timer,
   /// eviction, and resume-latency events so stale ones are dropped.
@@ -184,6 +189,7 @@ class FleetSimulation {
   Status HandleSessionEnd(const SimEvent& ev);
   Status HandleTimer(const SimEvent& ev);
   Status HandleResumeOpTick(const SimEvent& ev);
+  Status HandleScrubTick(const SimEvent& ev);
   Status HandleEviction(const SimEvent& ev);
   Status HandleResumeLatencyDone(const SimEvent& ev);
   void HandleMeasureStart(const SimEvent& ev);
@@ -263,7 +269,16 @@ void FleetSimulation::OnTransition(DbId db,
 
 Status FleetSimulation::HandleDbCreated(const SimEvent& ev) {
   DbRuntime& rt = dbs_[ev.db];
-  rt.history = std::make_unique<MemHistoryStore>();
+  if (static_cast<uint64_t>(db_offset_ + ev.db) <
+      options_.sql_history_count) {
+    // The real SQL stack (ephemeral: no on-disk directory per simulated
+    // database, but the full B+tree/buffer-pool/checksum path runs).
+    PRORP_ASSIGN_OR_RETURN(auto sql_store, history::SqlHistoryStore::Open());
+    rt.sql_history = sql_store.get();
+    rt.history = std::move(sql_store);
+  } else {
+    rt.history = std::make_unique<MemHistoryStore>();
+  }
   rt.eviction_rng.Seed(options_.seed ^
                        (0x9E3779B97F4A7C15ULL *
                         (static_cast<uint64_t>(db_offset_ + ev.db) + 1)));
@@ -340,6 +355,18 @@ Status FleetSimulation::HandleResumeOpTick(const SimEvent& ev) {
   EpochSeconds next =
       ev.time + options_.config.control_plane.resume_operation_period;
   if (next < options_.end) Push(next, SimEventType::kResumeOpTick, 0, 0);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleScrubTick(const SimEvent& ev) {
+  for (DbRuntime& rt : dbs_) {
+    if (rt.sql_history == nullptr || rt.sql_history->quarantined()) continue;
+    // A scrub failure must not kill the run: a dirty store repairs or
+    // quarantines itself, and the integrity counters record the outcome.
+    (void)rt.sql_history->Scrub();
+  }
+  EpochSeconds next = ev.time + options_.scrub_interval;
+  if (next < options_.end) Push(next, SimEventType::kScrubTick, 0, 0);
   return Status::OK();
 }
 
@@ -437,18 +464,26 @@ Result<SimReport> FleetSimulation::Run() {
       Push(traces_[db].sessions[0].start, SimEventType::kDbCreated, db, 0);
     }
   }
+  EpochSeconds earliest_start = options_.end;
+  for (size_t i = 0; i < num_traces_; ++i) {
+    if (!traces_[i].sessions.empty()) {
+      earliest_start = std::min(earliest_start, traces_[i].sessions[0].start);
+    }
+  }
   if (options_.mode == PolicyMode::kProactive &&
       options_.proactive_resume_enabled) {
     // The operation starts with the earliest database; earlier ticks
     // would only scan an empty metadata store.
-    EpochSeconds first_tick = options_.end;
-    for (size_t i = 0; i < num_traces_; ++i) {
-      if (!traces_[i].sessions.empty()) {
-        first_tick = std::min(first_tick, traces_[i].sessions[0].start + 1);
-      }
+    if (earliest_start + 1 < options_.end) {
+      Push(earliest_start + 1, SimEventType::kResumeOpTick, 0, 0);
     }
-    if (first_tick < options_.end) {
-      Push(first_tick, SimEventType::kResumeOpTick, 0, 0);
+  }
+  if (options_.scrub_interval > 0 && options_.sql_history_count > 0) {
+    // Anchored to the earliest database: earlier ticks have nothing to
+    // scrub.
+    EpochSeconds first_scrub = earliest_start + options_.scrub_interval;
+    if (first_scrub < options_.end) {
+      Push(first_scrub, SimEventType::kScrubTick, 0, 0);
     }
   }
   if (measure_from > 0) {
@@ -476,6 +511,9 @@ Result<SimReport> FleetSimulation::Run() {
         break;
       case SimEventType::kResumeOpTick:
         PRORP_RETURN_IF_ERROR(HandleResumeOpTick(ev));
+        break;
+      case SimEventType::kScrubTick:
+        PRORP_RETURN_IF_ERROR(HandleScrubTick(ev));
         break;
       case SimEventType::kEviction:
         PRORP_RETURN_IF_ERROR(HandleEviction(ev));
@@ -509,6 +547,17 @@ Result<SimReport> FleetSimulation::Run() {
       robustness_.degraded_enters += rt.controller->stats().degraded_enters;
       robustness_.degraded_exits += rt.controller->stats().degraded_exits;
       robustness_.history_errors += rt.controller->stats().history_errors;
+      robustness_.corruption_errors +=
+          rt.controller->stats().corruption_errors;
+    }
+    if (rt.sql_history != nullptr) {
+      const storage::IntegrityStats& is = rt.sql_history->integrity_stats();
+      robustness_.corruption_detected += is.corruption_detected;
+      robustness_.corruption_repaired += is.corruption_repaired;
+      robustness_.corruption_quarantined += is.corruption_quarantined;
+      robustness_.scrub_passes += is.scrub_passes;
+      robustness_.scrub_pages += is.scrub_pages;
+      robustness_.scrub_errors += is.scrub_errors;
     }
   }
   report.recorder = std::move(*recorder_);

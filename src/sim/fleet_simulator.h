@@ -55,6 +55,20 @@ struct SimOptions {
   double outage_rate_per_day = 0;
   DurationSeconds outage_duration = Minutes(10);
 
+  /// Number of databases — the lowest fleet-global ids — whose history
+  /// runs on the real SQL-backed store (checksummed pages, WAL, snapshots)
+  /// instead of the in-memory one.  Assignment is by fleet-global id, so a
+  /// sharded run picks the same databases as a serial run.  0 = all
+  /// in-memory (the fast default).
+  uint64_t sql_history_count = 0;
+
+  /// Period of the background integrity scrubber over the SQL-backed
+  /// history stores (0 disables).  Each tick checksum-verifies every page
+  /// and walks the B+tree invariants; a dirty store self-heals from
+  /// snapshot + WAL or is quarantined.  Counters land in the robustness
+  /// report.
+  DurationSeconds scrub_interval = 0;
+
   /// Disables the control plane's proactive resume operation (ablation:
   /// proactive pause without proactive resume).
   bool proactive_resume_enabled = true;

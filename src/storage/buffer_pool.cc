@@ -17,8 +17,8 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity < 2 ? 2 : capacity) {
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, PageFormat format)
+    : disk_(disk), capacity_(capacity < 2 ? 2 : capacity), format_(format) {
   frames_.resize(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
@@ -41,7 +41,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
       f.in_lru = false;
     }
     ++f.pin_count;
-    return PageGuard(this, id, f.data.get());
+    return PageGuard(this, id, f.data.get() + payload_offset());
   }
   ++stats_.misses;
   PRORP_ASSIGN_OR_RETURN(size_t frame_idx, AcquireFrame());
@@ -51,12 +51,23 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     free_frames_.push_back(frame_idx);
     return s;
   }
+  if (format_ == PageFormat::kChecksummedV2) {
+    ++stats_.pages_verified;
+    Status v = VerifyPage(f.data.get(), id, disk_->path());
+    if (!v.ok()) {
+      // The corrupt image never reaches a caller: drop the frame so a
+      // retry after repair re-reads from disk.
+      ++stats_.checksum_failures;
+      free_frames_.push_back(frame_idx);
+      return v;
+    }
+  }
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
   f.in_lru = false;
   page_to_frame_[id] = frame_idx;
-  return PageGuard(this, id, f.data.get());
+  return PageGuard(this, id, f.data.get() + payload_offset());
 }
 
 Result<PageGuard> BufferPool::New() {
@@ -76,7 +87,18 @@ Result<PageGuard> BufferPool::New() {
   f.dirty = true;
   f.in_lru = false;
   page_to_frame_[id] = frame_idx;
-  return PageGuard(this, id, f.data.get());
+  return PageGuard(this, id, f.data.get() + payload_offset());
+}
+
+Status BufferPool::WriteBack(Frame& f) {
+  if (format_ == PageFormat::kChecksummedV2) {
+    SealPage(f.data.get(), f.id, current_lsn_);
+    ++stats_.pages_sealed;
+  }
+  PRORP_RETURN_IF_ERROR(disk_->Write(f.id, f.data.get()));
+  ++stats_.dirty_writebacks;
+  f.dirty = false;
+  return Status::OK();
 }
 
 Status BufferPool::Flush(PageId id) {
@@ -84,9 +106,7 @@ Status BufferPool::Flush(PageId id) {
   if (it == page_to_frame_.end()) return Status::OK();
   Frame& f = frames_[it->second];
   if (f.dirty) {
-    PRORP_RETURN_IF_ERROR(disk_->Write(f.id, f.data.get()));
-    ++stats_.dirty_writebacks;
-    f.dirty = false;
+    PRORP_RETURN_IF_ERROR(WriteBack(f));
   }
   return Status::OK();
 }
@@ -94,9 +114,7 @@ Status BufferPool::Flush(PageId id) {
 Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.id != kInvalidPageId && f.dirty) {
-      PRORP_RETURN_IF_ERROR(disk_->Write(f.id, f.data.get()));
-      ++stats_.dirty_writebacks;
-      f.dirty = false;
+      PRORP_RETURN_IF_ERROR(WriteBack(f));
     }
   }
   return Status::OK();
@@ -135,9 +153,7 @@ Result<size_t> BufferPool::AcquireFrame() {
   Frame& f = frames_[victim];
   f.in_lru = false;
   if (f.dirty) {
-    PRORP_RETURN_IF_ERROR(disk_->Write(f.id, f.data.get()));
-    ++stats_.dirty_writebacks;
-    f.dirty = false;
+    PRORP_RETURN_IF_ERROR(WriteBack(f));
   }
   page_to_frame_.erase(f.id);
   f.id = kInvalidPageId;

@@ -70,22 +70,38 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// Pages sealed (integrity header stamped) on writeback.
+  uint64_t pages_sealed = 0;
+  /// Pages verified on fetch from disk.
+  uint64_t pages_verified = 0;
+  /// Fetches that failed verification (checksum / page-id mismatch).
+  uint64_t checksum_failures = 0;
 };
 
 /// A fixed-capacity page cache with LRU eviction over unpinned frames.
 /// Single-threaded by design: ProRP runs one history store per database and
 /// the fleet simulator drives them from one thread (see DESIGN.md).
+///
+/// The pool owns the on-disk page format (see PageFormat in page.h).  In
+/// the default checksummed format every frame's first kPageHeaderSize
+/// bytes hold the integrity header: clients see usable_size() payload
+/// bytes, the header is stamped (SealPage) on every writeback and
+/// verified (VerifyPage) on every fetch from disk.  Disk managers below
+/// stay byte-oriented and never interpret the header.
 class BufferPool {
  public:
   /// `capacity` is the number of in-memory frames (>= 2: the B+tree pins at
   /// most a small constant number of pages at a time, but give it room).
-  BufferPool(DiskManager* disk, size_t capacity);
+  BufferPool(DiskManager* disk, size_t capacity,
+             PageFormat format = PageFormat::kChecksummedV2);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from disk on a miss.
+  /// Pins page `id`, reading it from disk on a miss.  In the checksummed
+  /// format a page that fails verification is never handed to the caller:
+  /// Fetch returns Status::Corruption with structured context instead.
   Result<PageGuard> Fetch(PageId id);
 
   /// Allocates a fresh zeroed page on disk and pins it.
@@ -100,6 +116,19 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   const BufferPoolStats& stats() const { return stats_; }
   DiskManager* disk() const { return disk_; }
+  PageFormat format() const { return format_; }
+
+  /// Payload bytes a PageGuard exposes: kPageUsableSize in the
+  /// checksummed format, the full kPageSize for legacy files.
+  uint32_t usable_size() const {
+    return format_ == PageFormat::kChecksummedV2 ? kPageUsableSize
+                                                 : kPageSize;
+  }
+
+  /// LSN stamped into page headers on subsequent writebacks.  The
+  /// DurableTree advances this after each WAL append; purely diagnostic.
+  void set_current_lsn(uint64_t lsn) { current_lsn_ = lsn; }
+  uint64_t current_lsn() const { return current_lsn_; }
 
  private:
   friend class PageGuard;
@@ -121,8 +150,18 @@ class BufferPool {
   /// frame index or an error if everything is pinned.
   Result<size_t> AcquireFrame();
 
+  /// Seals (checksummed format) and writes the frame's page to disk.
+  Status WriteBack(Frame& f);
+
+  /// Offset of the client payload within a frame.
+  uint32_t payload_offset() const {
+    return format_ == PageFormat::kChecksummedV2 ? kPageHeaderSize : 0;
+  }
+
   DiskManager* disk_;
   size_t capacity_;
+  PageFormat format_;
+  uint64_t current_lsn_ = 0;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_to_frame_;
   std::list<size_t> lru_;  // front = least recently used

@@ -70,7 +70,7 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
   }
   uint32_t num_pages = static_cast<uint32_t>(size / kPageSize);
   return std::unique_ptr<FileDiskManager>(
-      new FileDiskManager(fd, num_pages));
+      new FileDiskManager(fd, num_pages, path));
 }
 
 FileDiskManager::~FileDiskManager() {

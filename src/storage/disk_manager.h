@@ -40,6 +40,9 @@ class DiskManager {
 
   /// Flushes OS buffers where applicable.
   virtual Status Sync() = 0;
+
+  /// Backing file path for diagnostics; empty for in-memory stores.
+  virtual std::string path() const { return std::string(); }
 };
 
 /// Heap-backed page store.  Used by unit tests and by the fleet simulator,
@@ -77,13 +80,15 @@ class FileDiskManager : public DiskManager {
   Status Write(PageId id, const uint8_t* buf) override;
   uint32_t num_pages() const override;
   Status Sync() override;
+  std::string path() const override { return path_; }
 
  private:
-  FileDiskManager(int fd, uint32_t num_pages)
-      : fd_(fd), num_pages_(num_pages) {}
+  FileDiskManager(int fd, uint32_t num_pages, std::string path)
+      : fd_(fd), num_pages_(num_pages), path_(std::move(path)) {}
 
   int fd_;
   uint32_t num_pages_;
+  std::string path_;
   std::vector<PageId> free_ids_;
 };
 

@@ -3,12 +3,15 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <cstdio>
 
 #include "faults/fault_injecting_disk_manager.h"
 #include "storage/snapshot.h"
 
 namespace prorp::storage {
 namespace {
+
+constexpr int kMaxRepairAttempts = 2;
 
 std::string SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.db";
@@ -22,6 +25,19 @@ Status EnsureDir(const std::string& dir) {
   return Status::OK();
 }
 
+Status CorruptionFromReport(const ScrubReport& report,
+                            const std::string& file) {
+  CorruptionContext ctx;
+  ctx.file = file;
+  std::string msg = "scrub found " + std::to_string(report.errors()) +
+                    " corrupt page(s)";
+  if (!report.issues.empty()) {
+    ctx.page_id = report.issues.front().page_id;
+    msg += ": " + report.issues.front().detail;
+  }
+  return Status::Corruption(msg, std::move(ctx));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<DurableTree>> DurableTree::Open(
@@ -29,25 +45,34 @@ Result<std::unique_ptr<DurableTree>> DurableTree::Open(
   std::unique_ptr<DurableTree> t(new DurableTree());
   t->options_ = options;
   t->dir_ = options.dir;
-  t->disk_ = std::make_unique<InMemoryDiskManager>();
-  if (options.fault_plan != nullptr) {
-    t->disk_ = std::make_unique<faults::FaultInjectingDiskManager>(
-        std::move(t->disk_), options.fault_plan);
+  PRORP_RETURN_IF_ERROR(t->Recover());
+  return t;
+}
+
+Status DurableTree::Recover() {
+  wal_.reset();
+  tree_.reset();
+  pool_.reset();
+  disk_ = std::make_unique<InMemoryDiskManager>();
+  if (options_.fault_plan != nullptr) {
+    disk_ = std::make_unique<faults::FaultInjectingDiskManager>(
+        std::move(disk_), options_.fault_plan);
   }
-  t->pool_ =
-      std::make_unique<BufferPool>(t->disk_.get(), options.buffer_pool_pages);
-  PRORP_ASSIGN_OR_RETURN(
-      t->tree_, BPlusTree::Create(t->pool_.get(), options.value_width));
+  pool_ =
+      std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  pool_->set_current_lsn(lsn_);
+  PRORP_ASSIGN_OR_RETURN(tree_,
+                         BPlusTree::Create(pool_.get(), options_.value_width));
 
-  if (options.dir.empty()) return t;
+  if (dir_.empty()) return Status::OK();
 
-  PRORP_RETURN_IF_ERROR(EnsureDir(options.dir));
+  PRORP_RETURN_IF_ERROR(EnsureDir(dir_));
 
   // Recovery step 1: load the last snapshot, if any.
   Status s = ReadSnapshot(
-      SnapshotPath(options.dir), options.value_width,
+      SnapshotPath(dir_), options_.value_width,
       [&](int64_t key, const uint8_t* value) {
-        return t->tree_->Insert(key, value);
+        return tree_->Insert(key, value);
       });
   if (!s.ok() && !s.IsNotFound()) return s;
 
@@ -55,27 +80,81 @@ Result<std::unique_ptr<DurableTree>> DurableTree::Open(
   PRORP_ASSIGN_OR_RETURN(
       uint64_t replayed,
       WriteAheadLog::Replay(
-          WalPath(options.dir), [&](const WalRecord& rec) -> Status {
+          WalPath(dir_), [&](const WalRecord& rec) -> Status {
             switch (rec.type) {
               case WalRecord::Type::kInsert:
-                return t->tree_->Insert(rec.key, rec.value.data());
+                return tree_->Insert(rec.key, rec.value.data());
               case WalRecord::Type::kUpdate:
-                return t->tree_->Update(rec.key, rec.value.data());
+                return tree_->Update(rec.key, rec.value.data());
               case WalRecord::Type::kDelete:
-                return t->tree_->Delete(rec.key);
+                return tree_->Delete(rec.key);
               case WalRecord::Type::kDeleteRange:
-                return t->tree_->DeleteRange(rec.key, rec.key2).status();
+                return tree_->DeleteRange(rec.key, rec.key2).status();
             }
             return Status::Corruption("unknown WAL record type");
           }));
   (void)replayed;
 
-  PRORP_ASSIGN_OR_RETURN(t->wal_, WriteAheadLog::Open(WalPath(options.dir)));
-  t->wal_->set_fault_plan(options.fault_plan);
-  return t;
+  PRORP_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(WalPath(dir_)));
+  wal_->set_fault_plan(options_.fault_plan);
+  return Status::OK();
+}
+
+Status DurableTree::Repair() {
+  // The page store is ephemeral (never persisted): rebuilding from the
+  // snapshot + WAL discards every in-memory page, corrupt or not.  Only
+  // acknowledged (logged) mutations are reconstructed — exactly the
+  // guarantee crash recovery already provides.
+  return Recover();
+}
+
+void DurableTree::Quarantine(const Status& cause) {
+  if (quarantined_) return;
+  quarantined_ = true;
+  ++integrity_.corruption_quarantined;
+  if (cause.IsCorruption()) {
+    quarantine_status_ = cause;
+  } else {
+    quarantine_status_ =
+        Status::Corruption("store quarantined: " + cause.ToString());
+  }
+  if (!dir_.empty()) {
+    wal_.reset();
+    std::string snap = SnapshotPath(dir_);
+    std::string wal = WalPath(dir_);
+    // Best-effort: move the damaged files aside so a later Open starts
+    // fresh instead of tripping over them, but keep the evidence.
+    (void)std::rename(snap.c_str(), (snap + ".quarantined").c_str());
+    (void)std::rename(wal.c_str(), (wal + ".quarantined").c_str());
+  }
+}
+
+Status DurableTree::WithRepair(const std::function<Status()>& op) {
+  if (quarantined_) return quarantine_status_;
+  Status s = op();
+  int attempts = 0;
+  while (s.IsCorruption() && !quarantined_) {
+    ++integrity_.corruption_detected;
+    if (dir_.empty() || attempts >= kMaxRepairAttempts) {
+      Quarantine(s);
+      return quarantine_status_;
+    }
+    ++attempts;
+    Status repaired = Repair();
+    if (!repaired.ok()) {
+      Quarantine(repaired.IsCorruption() ? repaired : s);
+      return quarantine_status_;
+    }
+    ++integrity_.corruption_repaired;
+    s = op();
+  }
+  if (s.IsCorruption()) return quarantine_status_;
+  return s;
 }
 
 Status DurableTree::LogAndMaybeSync(const WalRecord& rec) {
+  ++lsn_;
+  pool_->set_current_lsn(lsn_);
   if (wal_ == nullptr) return Status::OK();
   PRORP_RETURN_IF_ERROR(wal_->Append(rec));
   if (options_.fsync_each_append) {
@@ -88,40 +167,113 @@ Status DurableTree::Insert(int64_t key, const uint8_t* value) {
   // Apply-then-log: only successful mutations reach the log, so recovery
   // replay can never fail on a duplicate key or missing key.  A crash
   // between apply and append loses at most the unacknowledged tail, which
-  // is standard redo-log semantics.
-  PRORP_RETURN_IF_ERROR(tree_->Insert(key, value));
-  WalRecord rec;
-  rec.type = WalRecord::Type::kInsert;
-  rec.key = key;
-  rec.value.assign(value, value + value_width());
-  return LogAndMaybeSync(rec);
+  // is standard redo-log semantics.  The repair wrapper relies on the same
+  // property: a mutation that died on a corrupt page was never logged, so
+  // the rebuild + retry applies it exactly once.
+  return WithRepair([&]() -> Status {
+    PRORP_RETURN_IF_ERROR(tree_->Insert(key, value));
+    WalRecord rec;
+    rec.type = WalRecord::Type::kInsert;
+    rec.key = key;
+    rec.value.assign(value, value + value_width());
+    return LogAndMaybeSync(rec);
+  });
 }
 
 Status DurableTree::Update(int64_t key, const uint8_t* value) {
-  PRORP_RETURN_IF_ERROR(tree_->Update(key, value));
-  WalRecord rec;
-  rec.type = WalRecord::Type::kUpdate;
-  rec.key = key;
-  rec.value.assign(value, value + value_width());
-  return LogAndMaybeSync(rec);
+  return WithRepair([&]() -> Status {
+    PRORP_RETURN_IF_ERROR(tree_->Update(key, value));
+    WalRecord rec;
+    rec.type = WalRecord::Type::kUpdate;
+    rec.key = key;
+    rec.value.assign(value, value + value_width());
+    return LogAndMaybeSync(rec);
+  });
 }
 
 Status DurableTree::Delete(int64_t key) {
-  PRORP_RETURN_IF_ERROR(tree_->Delete(key));
-  WalRecord rec;
-  rec.type = WalRecord::Type::kDelete;
-  rec.key = key;
-  return LogAndMaybeSync(rec);
+  return WithRepair([&]() -> Status {
+    PRORP_RETURN_IF_ERROR(tree_->Delete(key));
+    WalRecord rec;
+    rec.type = WalRecord::Type::kDelete;
+    rec.key = key;
+    return LogAndMaybeSync(rec);
+  });
 }
 
 Result<uint64_t> DurableTree::DeleteRange(int64_t lo, int64_t hi) {
-  PRORP_ASSIGN_OR_RETURN(uint64_t n, tree_->DeleteRange(lo, hi));
-  WalRecord rec;
-  rec.type = WalRecord::Type::kDeleteRange;
-  rec.key = lo;
-  rec.key2 = hi;
-  PRORP_RETURN_IF_ERROR(LogAndMaybeSync(rec));
+  uint64_t n = 0;
+  PRORP_RETURN_IF_ERROR(WithRepair([&]() -> Status {
+    PRORP_ASSIGN_OR_RETURN(n, tree_->DeleteRange(lo, hi));
+    WalRecord rec;
+    rec.type = WalRecord::Type::kDeleteRange;
+    rec.key = lo;
+    rec.key2 = hi;
+    return LogAndMaybeSync(rec);
+  }));
   return n;
+}
+
+Result<std::vector<uint8_t>> DurableTree::Find(int64_t key) const {
+  // Reads drive repair too; const_cast is sound because the tree is
+  // single-writer by design and repair only swaps internal state.
+  DurableTree* self = const_cast<DurableTree*>(this);
+  std::vector<uint8_t> out;
+  PRORP_RETURN_IF_ERROR(self->WithRepair([&]() -> Status {
+    PRORP_ASSIGN_OR_RETURN(out, self->tree_->Find(key));
+    return Status::OK();
+  }));
+  return out;
+}
+
+Status DurableTree::ScanRange(int64_t lo, int64_t hi,
+                              const BPlusTree::ScanCallback& cb) const {
+  DurableTree* self = const_cast<DurableTree*>(this);
+  // Resume after the last delivered key when a retry happens, so the
+  // callback never sees an entry twice across a mid-scan repair.
+  int64_t next_lo = lo;
+  bool saturated = false;
+  return self->WithRepair([&]() -> Status {
+    if (saturated) return Status::OK();
+    return self->tree_->ScanRange(
+        next_lo, hi, [&](int64_t key, const uint8_t* value) {
+          if (key == INT64_MAX) {
+            saturated = true;
+          } else {
+            next_lo = key + 1;
+          }
+          return cb(key, value);
+        });
+  });
+}
+
+Result<uint64_t> DurableTree::CountRange(int64_t lo, int64_t hi) const {
+  uint64_t count = 0;
+  PRORP_RETURN_IF_ERROR(ScanRange(lo, hi, [&](int64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }));
+  return count;
+}
+
+Result<int64_t> DurableTree::MinKey() const {
+  DurableTree* self = const_cast<DurableTree*>(this);
+  int64_t key = 0;
+  PRORP_RETURN_IF_ERROR(self->WithRepair([&]() -> Status {
+    PRORP_ASSIGN_OR_RETURN(key, self->tree_->MinKey());
+    return Status::OK();
+  }));
+  return key;
+}
+
+Result<int64_t> DurableTree::MaxKey() const {
+  DurableTree* self = const_cast<DurableTree*>(this);
+  int64_t key = 0;
+  PRORP_RETURN_IF_ERROR(self->WithRepair([&]() -> Status {
+    PRORP_ASSIGN_OR_RETURN(key, self->tree_->MaxKey());
+    return Status::OK();
+  }));
+  return key;
 }
 
 Status DurableTree::MaybeAutoCheckpoint() {
@@ -130,10 +282,10 @@ Status DurableTree::MaybeAutoCheckpoint() {
   }
   PRORP_ASSIGN_OR_RETURN(uint64_t bytes, wal_->SizeBytes());
   if (bytes < options_.checkpoint_wal_bytes) return Status::OK();
-  return Checkpoint();
+  return CheckpointImpl();
 }
 
-Status DurableTree::Checkpoint() {
+Status DurableTree::CheckpointImpl() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("ephemeral tree has no checkpoint");
   }
@@ -150,6 +302,13 @@ Status DurableTree::Checkpoint() {
   return wal_->Truncate();
 }
 
+Status DurableTree::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("ephemeral tree has no checkpoint");
+  }
+  return WithRepair([&]() -> Status { return CheckpointImpl(); });
+}
+
 Status DurableTree::Backup(const std::string& dest_dir) {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("ephemeral tree has no backup");
@@ -164,6 +323,41 @@ Status DurableTree::Backup(const std::string& dest_dir) {
   if (f == nullptr) return Status::IoError("cannot reset destination WAL");
   std::fclose(f);
   return Status::OK();
+}
+
+Result<ScrubReport> DurableTree::Scrub() {
+  if (quarantined_) return quarantine_status_;
+  ++integrity_.scrub_passes;
+  PRORP_ASSIGN_OR_RETURN(ScrubReport report,
+                         ScrubTree(pool_.get(), tree_.get()));
+  integrity_.scrub_pages += report.pages_scanned;
+  if (report.clean()) return report;
+
+  integrity_.scrub_errors += report.errors();
+  ++integrity_.corruption_detected;
+  Status cause = CorruptionFromReport(report, dir_);
+  if (dir_.empty()) {
+    Quarantine(cause);
+    return quarantine_status_;
+  }
+  Status repaired = Repair();
+  if (!repaired.ok()) {
+    Quarantine(repaired.IsCorruption() ? repaired : cause);
+    return quarantine_status_;
+  }
+  ++integrity_.corruption_repaired;
+
+  // Verify the heal stuck with a second pass.
+  ++integrity_.scrub_passes;
+  PRORP_ASSIGN_OR_RETURN(ScrubReport after,
+                         ScrubTree(pool_.get(), tree_.get()));
+  integrity_.scrub_pages += after.pages_scanned;
+  if (!after.clean()) {
+    integrity_.scrub_errors += after.errors();
+    Quarantine(CorruptionFromReport(after, dir_));
+    return quarantine_status_;
+  }
+  return after;
 }
 
 }  // namespace prorp::storage

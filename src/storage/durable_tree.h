@@ -2,6 +2,7 @@
 #define PRORP_STORAGE_DURABLE_TREE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -11,9 +12,23 @@
 #include "storage/bplus_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/scrubber.h"
 #include "storage/wal.h"
 
 namespace prorp::storage {
+
+/// Counters for the detect → repair → quarantine pipeline.
+struct IntegrityStats {
+  /// Corrupt pages detected (fetch verification or scrub).
+  uint64_t corruption_detected = 0;
+  /// Successful rebuilds from snapshot + WAL after a detection.
+  uint64_t corruption_repaired = 0;
+  /// Stores quarantined because repair was impossible or did not stick.
+  uint64_t corruption_quarantined = 0;
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_pages = 0;
+  uint64_t scrub_errors = 0;
+};
 
 /// A durable clustered B+tree: an in-memory BPlusTree made crash-safe by a
 /// logical write-ahead log plus periodic full snapshots.
@@ -27,6 +42,16 @@ namespace prorp::storage {
 /// Opening a directory that already contains a snapshot and/or WAL recovers
 /// the tree: snapshot first, then WAL tail replay.  A torn trailing WAL
 /// record (crash mid-append) is discarded, matching write-ahead semantics.
+///
+/// Self-healing: every page fetch is checksum-verified by the buffer pool.
+/// When an operation trips over a corrupt page, a durable tree rebuilds
+/// its page store from the latest snapshot + WAL (the same machinery crash
+/// recovery uses — corrupt in-memory state is discarded wholesale, and
+/// apply-then-log guarantees no acknowledged record is lost) and retries.
+/// If repair is impossible (ephemeral store) or does not stick, the store
+/// is quarantined: durable files are renamed aside with a `.quarantined`
+/// suffix and every subsequent operation returns the original typed
+/// Corruption status.
 class DurableTree {
  public:
   struct Options {
@@ -66,19 +91,13 @@ class DurableTree {
   Status Delete(int64_t key);
   Result<uint64_t> DeleteRange(int64_t lo, int64_t hi);
 
-  Result<std::vector<uint8_t>> Find(int64_t key) const {
-    return tree_->Find(key);
-  }
-  bool Contains(int64_t key) const { return tree_->Contains(key); }
+  Result<std::vector<uint8_t>> Find(int64_t key) const;
+  bool Contains(int64_t key) const { return Find(key).ok(); }
   Status ScanRange(int64_t lo, int64_t hi,
-                   const BPlusTree::ScanCallback& cb) const {
-    return tree_->ScanRange(lo, hi, cb);
-  }
-  Result<uint64_t> CountRange(int64_t lo, int64_t hi) const {
-    return tree_->CountRange(lo, hi);
-  }
-  Result<int64_t> MinKey() const { return tree_->MinKey(); }
-  Result<int64_t> MaxKey() const { return tree_->MaxKey(); }
+                   const BPlusTree::ScanCallback& cb) const;
+  Result<uint64_t> CountRange(int64_t lo, int64_t hi) const;
+  Result<int64_t> MinKey() const;
+  Result<int64_t> MaxKey() const;
 
   uint64_t size() const { return tree_->size(); }
   bool empty() const { return tree_->empty(); }
@@ -98,17 +117,50 @@ class DurableTree {
   /// scheduled backups and a database move across nodes.
   Status Backup(const std::string& dest_dir);
 
+  /// On-demand integrity pass: flushes the pool, verifies every page's
+  /// checksum and id self-reference straight off the disk manager, then
+  /// walks the tree checking structural invariants.  A dirty report on a
+  /// durable tree triggers repair (and a verifying re-scrub); failure to
+  /// heal quarantines the store.  Returns the final (post-repair) report.
+  Result<ScrubReport> Scrub();
+
+  const IntegrityStats& integrity_stats() const { return integrity_; }
+
+  /// True once the store has been quarantined; every data operation
+  /// returns the quarantine Corruption status from then on.
+  bool quarantined() const { return quarantined_; }
+
   /// The underlying index (for invariant checks and stats).
   const BPlusTree& tree() const { return *tree_; }
   BPlusTree* mutable_tree() { return tree_.get(); }
+
+  /// Raw page store and pool (tests and the scrub bench inject
+  /// corruption / inspect counters through these).
+  DiskManager* disk() { return disk_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
 
   bool durable() const { return wal_ != nullptr; }
 
  private:
   DurableTree() = default;
 
+  /// (Re)builds the page store, pool, and tree from snapshot + WAL.
+  /// Used by Open and by repair.
+  Status Recover();
+
+  /// One repair round: discard the in-memory page store and Recover().
+  Status Repair();
+
+  /// Marks the store unusable, renames durable files aside, and arms the
+  /// status every later operation returns.
+  void Quarantine(const Status& cause);
+
+  /// Runs `op`, detecting Corruption and driving repair/quarantine.
+  Status WithRepair(const std::function<Status()>& op);
+
   Status MaybeAutoCheckpoint();
   Status LogAndMaybeSync(const WalRecord& rec);
+  Status CheckpointImpl();
 
   std::string dir_;
   Options options_;
@@ -116,6 +168,12 @@ class DurableTree {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BPlusTree> tree_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Monotonic logical sequence number: one tick per logged mutation.
+  /// Stamped into page headers as the last-writer LSN (diagnostics).
+  uint64_t lsn_ = 0;
+  IntegrityStats integrity_;
+  bool quarantined_ = false;
+  Status quarantine_status_;
 };
 
 }  // namespace prorp::storage

@@ -1,0 +1,63 @@
+#ifndef PRORP_STORAGE_SCRUBBER_H_
+#define PRORP_STORAGE_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bplus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace prorp::storage {
+
+/// One page the scrubber flagged, with a human-readable reason.
+struct ScrubIssue {
+  PageId page_id = kInvalidPageId;
+  std::string detail;
+};
+
+/// Outcome of one scrub pass.  `clean()` means every allocated page
+/// verified and (for tree scrubs) every structural invariant held.
+struct ScrubReport {
+  uint64_t pages_scanned = 0;
+  /// All-zero pages: allocated by the disk manager but never written
+  /// back.  Not corruption — nothing references them yet.
+  uint64_t pages_unwritten = 0;
+  uint64_t checksum_errors = 0;
+  uint64_t page_id_errors = 0;
+  /// B+tree invariant violations (key order, fill, depth, leaf chain).
+  uint64_t structural_errors = 0;
+  /// Largest last-writer LSN seen in any valid page header.
+  uint64_t max_lsn = 0;
+  /// First few flagged pages (capped so a shredded file cannot allocate
+  /// unboundedly).
+  std::vector<ScrubIssue> issues;
+
+  uint64_t errors() const {
+    return checksum_errors + page_id_errors + structural_errors;
+  }
+  bool clean() const { return errors() == 0; }
+  std::string ToString() const;
+};
+
+/// Most issues kept per report; further errors only bump the counters.
+inline constexpr size_t kMaxScrubIssues = 16;
+
+/// Raw integrity pass: reads every allocated page directly from the disk
+/// manager (bypassing any cache) and verifies checksum and page-id
+/// self-reference.  Only meaningful for checksummed stores.
+Result<ScrubReport> ScrubPages(DiskManager* disk);
+
+/// Full scrub of a tree: flushes the pool so the file reflects the cached
+/// state, runs the raw page pass (checksummed pools only), then walks the
+/// tree checking structural invariants — key ordering, sibling chain,
+/// parent separators, fill factors.  Read-only: detection, not repair.
+Result<ScrubReport> ScrubTree(BufferPool* pool, const BPlusTree* tree);
+
+}  // namespace prorp::storage
+
+#endif  // PRORP_STORAGE_SCRUBBER_H_

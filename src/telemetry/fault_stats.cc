@@ -11,18 +11,31 @@ void RobustnessReport::AccumulateShard(const RobustnessReport& shard) {
   degraded_enters += shard.degraded_enters;
   degraded_exits += shard.degraded_exits;
   history_errors += shard.history_errors;
+  corruption_errors += shard.corruption_errors;
+  corruption_detected += shard.corruption_detected;
+  corruption_repaired += shard.corruption_repaired;
+  corruption_quarantined += shard.corruption_quarantined;
+  scrub_passes += shard.scrub_passes;
+  scrub_pages += shard.scrub_pages;
+  scrub_errors += shard.scrub_errors;
 }
 
 std::string RobustnessReport::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "outages=%" PRIu64 " (%.1fh) fail_outage=%" PRIu64
                 " fail_injected=%" PRIu64 " degraded=%" PRIu64 "/%" PRIu64
-                " hist_err=%" PRIu64,
+                " hist_err=%" PRIu64 " corrupt=%" PRIu64 " detected=%" PRIu64
+                " repaired=%" PRIu64 " quarantined=%" PRIu64
+                " scrubs=%" PRIu64 " scrub_pages=%" PRIu64
+                " scrub_err=%" PRIu64,
                 outage_windows,
                 static_cast<double>(outage_seconds) / 3600.0,
                 resume_failures_outage, resume_failures_injected,
-                degraded_enters, degraded_exits, history_errors);
+                degraded_enters, degraded_exits, history_errors,
+                corruption_errors, corruption_detected, corruption_repaired,
+                corruption_quarantined, scrub_passes, scrub_pages,
+                scrub_errors);
   return buf;
 }
 

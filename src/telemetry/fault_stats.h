@@ -33,6 +33,21 @@ struct RobustnessReport {
   uint64_t degraded_enters = 0;
   uint64_t degraded_exits = 0;
   uint64_t history_errors = 0;
+  /// History-store errors that were typed Corruption (a subset of
+  /// history_errors): bad pages caught by checksum verification.
+  uint64_t corruption_errors = 0;
+
+  // --- Per-shard counters: the detect → repair → quarantine pipeline ---
+  /// Corrupt pages detected by fetch verification or a scrub pass.
+  uint64_t corruption_detected = 0;
+  /// Successful store rebuilds from snapshot + WAL.
+  uint64_t corruption_repaired = 0;
+  /// Stores quarantined because repair was impossible or did not stick.
+  uint64_t corruption_quarantined = 0;
+  /// Background-scrubber activity across SQL-backed history stores.
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_pages = 0;
+  uint64_t scrub_errors = 0;
 
   /// Sums the per-shard counters; leaves the fleet-global schedule
   /// fields untouched (callers copy those from one shard).

@@ -43,6 +43,45 @@ TEST(StatusTest, CodeNames) {
             "ResourceExhausted");
 }
 
+TEST(StatusTest, CorruptionContextRoundTrips) {
+  CorruptionContext ctx;
+  ctx.page_id = 17;
+  ctx.expected_crc = 0xDEADBEEF;
+  ctx.actual_crc = 0x12345678;
+  ctx.file = "/data/history/snapshot.db";
+  Status s = Status::Corruption("checksum mismatch", ctx);
+  EXPECT_TRUE(s.IsCorruption());
+  ASSERT_NE(s.corruption_context(), nullptr);
+  EXPECT_EQ(s.corruption_context()->page_id, 17u);
+  EXPECT_EQ(s.corruption_context()->expected_crc, 0xDEADBEEFu);
+  EXPECT_EQ(s.corruption_context()->actual_crc, 0x12345678u);
+  EXPECT_EQ(s.corruption_context()->file, "/data/history/snapshot.db");
+  // The context survives Status copies (it is shared, not re-parsed).
+  Status copy = s;
+  ASSERT_NE(copy.corruption_context(), nullptr);
+  EXPECT_EQ(copy.corruption_context()->page_id, 17u);
+}
+
+TEST(StatusTest, CorruptionContextInToString) {
+  CorruptionContext ctx;
+  ctx.page_id = 3;
+  ctx.expected_crc = 0xAB;
+  ctx.actual_crc = 0xCD;
+  ctx.file = "x.db";
+  std::string text = Status::Corruption("bad page", ctx).ToString();
+  EXPECT_NE(text.find("page=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("expected=000000ab"), std::string::npos) << text;
+  EXPECT_NE(text.find("actual=000000cd"), std::string::npos) << text;
+  EXPECT_NE(text.find("file=x.db"), std::string::npos) << text;
+}
+
+TEST(StatusTest, PlainCorruptionHasNoContext) {
+  Status s = Status::Corruption("just a message");
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.corruption_context(), nullptr);
+  EXPECT_EQ(s.ToString().find("page="), std::string::npos);
+}
+
 Status FailsAtStep(int failing, int step) {
   if (step == failing) return Status::Aborted("step failed");
   return Status::OK();

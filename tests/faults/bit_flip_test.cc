@@ -1,0 +1,83 @@
+// Bit-flip torture: the offline sweep must detect 100% of single-bit
+// flips with exact page attribution, and the online campaign must end
+// every scripted-flip run with zero acked-record loss.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "faults/torture.h"
+
+namespace prorp::faults {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/bit_flip_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(BitFlipSweepTest, EveryFlipIsDetectedAndLocated) {
+  BitFlipSweepOptions options;
+  options.seed = 42;
+  auto r = RunBitFlipSweep(options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->pages, 4u) << "tree should span several pages";
+  // Every header bit plus the sampled payload bits of every page.
+  EXPECT_EQ(r->flips,
+            r->pages * (16 * 8 + options.payload_bits_per_page));
+  EXPECT_EQ(r->detected, r->flips) << "silent corruption slipped through";
+  EXPECT_EQ(r->mislocated, 0u);
+  EXPECT_EQ(r->false_positives, 0u);
+}
+
+TEST(BitFlipSweepTest, DetectionHoldsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    BitFlipSweepOptions options;
+    options.seed = seed;
+    options.num_entries = 300;
+    options.payload_bits_per_page = 8;
+    auto r = RunBitFlipSweep(options);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->detected, r->flips) << "seed " << seed;
+    EXPECT_EQ(r->mislocated, 0u) << "seed " << seed;
+    EXPECT_EQ(r->false_positives, 0u) << "seed " << seed;
+  }
+}
+
+TEST(BitFlipCampaignTest, NoAckedRecordLossUnderScriptedFlips) {
+  BitFlipCampaignOptions options;
+  options.seed = 42;
+  auto r = RunBitFlipCampaign(options, FreshDir("campaign"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->runs, 0u);
+  // Scripted triggers land on a deterministic workload, so every case's
+  // flip actually fires; a miss means the case tested nothing.
+  EXPECT_EQ(r->flips_fired, r->runs);
+  // Every operation of every run acknowledged despite the flip.
+  EXPECT_EQ(r->acked_ops, r->runs * options.num_ops);
+  // Self-healing always sticks: nothing had to be quarantined.
+  EXPECT_EQ(r->corruption_quarantined, 0u);
+}
+
+TEST(BitFlipCampaignTest, AlternateSeedAlsoHolds) {
+  BitFlipCampaignOptions options;
+  options.seed = 7;
+  options.num_ops = 1200;
+  options.cases_per_op = 4;
+  auto r = RunBitFlipCampaign(options, FreshDir("campaign_seed7"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->runs, 0u);
+  EXPECT_EQ(r->flips_fired, r->runs);
+  EXPECT_EQ(r->acked_ops, r->runs * options.num_ops);
+  EXPECT_EQ(r->corruption_quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace prorp::faults

@@ -437,6 +437,58 @@ TEST(FleetSimulatorTest, ShardedOutageScheduleMatchesSerial) {
   EXPECT_EQ(a->recorder.size(), b->recorder.size());
 }
 
+TEST(FleetSimulatorTest, ScrubbingIsKpiNeutralOnFaultFreeRun) {
+  // Acceptance gate: enabling SQL-backed history stores and periodic
+  // scrubbing on a fault-free fleet must not move a single policy KPI.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 20, kT0,
+                                        kEnd, 11);
+  SimOptions plain = BaseOptions(PolicyMode::kProactive);
+  SimOptions scrubbed = plain;
+  scrubbed.sql_history_count = 5;
+  scrubbed.scrub_interval = Hours(6);
+  auto a = RunFleetSimulation(traces, plain);
+  auto b = RunFleetSimulation(traces, scrubbed);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->kpi.logins_total, b->kpi.logins_total);
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.logins_reactive, b->kpi.logins_reactive);
+  EXPECT_EQ(a->kpi.proactive_resumes, b->kpi.proactive_resumes);
+  EXPECT_EQ(a->kpi.physical_pauses, b->kpi.physical_pauses);
+  EXPECT_EQ(a->kpi.predictions, b->kpi.predictions);
+  EXPECT_DOUBLE_EQ(a->kpi.IdleTotalPct(), b->kpi.IdleTotalPct());
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
+
+  // The scrubber actually ran — and found a healthy fleet.
+  EXPECT_GT(b->robustness.scrub_passes, 0u);
+  EXPECT_GT(b->robustness.scrub_pages, 0u);
+  EXPECT_EQ(b->robustness.scrub_errors, 0u);
+  EXPECT_EQ(b->robustness.corruption_detected, 0u);
+  EXPECT_EQ(b->robustness.corruption_repaired, 0u);
+  EXPECT_EQ(b->robustness.corruption_quarantined, 0u);
+  EXPECT_EQ(b->robustness.corruption_errors, 0u);
+  EXPECT_EQ(a->robustness.scrub_passes, 0u);
+}
+
+TEST(FleetSimulatorTest, SqlHistoryBackendIsKpiNeutral) {
+  // The SQL-backed history store answers the same queries as the
+  // in-memory one, so swapping backends must not change policy outcomes.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 10, kT0,
+                                        kEnd, 3);
+  SimOptions mem = BaseOptions(PolicyMode::kProactive);
+  SimOptions sql = mem;
+  sql.sql_history_count = 10;  // every database
+  auto a = RunFleetSimulation(traces, mem);
+  auto b = RunFleetSimulation(traces, sql);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.proactive_resumes, b->kpi.proactive_resumes);
+  EXPECT_EQ(a->kpi.predictions, b->kpi.predictions);
+  EXPECT_DOUBLE_EQ(a->kpi.IdleTotalPct(), b->kpi.IdleTotalPct());
+  EXPECT_EQ(a->history_tuples.count(), b->history_tuples.count());
+}
+
 TEST(FleetSimulatorTest, MixedFleetProactiveBeatsReactive) {
   // The headline comparison on a realistic region mix.
   auto traces = workload::GenerateFleet(workload::RegionEU1(), 150, kT0,

@@ -14,9 +14,18 @@ TEST(BufferPoolTest, NewPageIsZeroed) {
   BufferPool pool(&disk, 4);
   auto page = pool.New();
   ASSERT_TRUE(page.ok());
-  for (uint32_t i = 0; i < kPageSize; ++i) {
+  for (uint32_t i = 0; i < pool.usable_size(); ++i) {
     ASSERT_EQ(page->data()[i], 0);
   }
+}
+
+TEST(BufferPoolTest, UsableSizeAccountsForPageHeader) {
+  InMemoryDiskManager disk;
+  BufferPool checksummed(&disk, 4);
+  EXPECT_EQ(checksummed.usable_size(), kPageSize - kPageHeaderSize);
+  InMemoryDiskManager legacy_disk;
+  BufferPool legacy(&legacy_disk, 4, PageFormat::kLegacyV1);
+  EXPECT_EQ(legacy.usable_size(), kPageSize);
 }
 
 TEST(BufferPoolTest, WriteSurvivesEviction) {
@@ -27,7 +36,7 @@ TEST(BufferPoolTest, WriteSurvivesEviction) {
     auto page = pool.New();
     ASSERT_TRUE(page.ok());
     id = page->id();
-    std::memset(page->mutable_data(), 0xAB, kPageSize);
+    std::memset(page->mutable_data(), 0xAB, pool.usable_size());
   }
   // Evict it by cycling other pages through the tiny pool.
   for (int i = 0; i < 6; ++i) {
@@ -37,7 +46,7 @@ TEST(BufferPoolTest, WriteSurvivesEviction) {
   auto again = pool.Fetch(id);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->data()[0], 0xAB);
-  EXPECT_EQ(again->data()[kPageSize - 1], 0xAB);
+  EXPECT_EQ(again->data()[pool.usable_size() - 1], 0xAB);
   EXPECT_GT(pool.stats().evictions, 0u);
 }
 
@@ -120,13 +129,110 @@ TEST(BufferPoolTest, FlushWritesDirtyPage) {
   auto page = pool.New();
   ASSERT_TRUE(page.ok());
   PageId id = page->id();
-  std::memset(page->mutable_data(), 0x7F, kPageSize);
+  std::memset(page->mutable_data(), 0x7F, pool.usable_size());
   page->Release();
   ASSERT_TRUE(pool.FlushAll().ok());
   uint8_t raw[kPageSize];
   ASSERT_TRUE(disk.Read(id, raw).ok());
-  EXPECT_EQ(raw[0], 0x7F);
+  // Client payload lands after the integrity header...
+  EXPECT_EQ(raw[kPageHeaderSize], 0x7F);
   EXPECT_EQ(raw[kPageSize - 1], 0x7F);
+  // ...and the header was sealed on the way out.
+  PageHeader h = ReadPageHeader(raw);
+  EXPECT_EQ(h.page_id, id);
+  EXPECT_EQ(h.crc, ComputePageCrc(raw));
+  EXPECT_GT(pool.stats().pages_sealed, 0u);
+}
+
+TEST(BufferPoolTest, FetchVerifiesChecksumAndRejectsCorruptPage) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 2);
+  auto page = pool.New();
+  ASSERT_TRUE(page.ok());
+  PageId id = page->id();
+  std::memset(page->mutable_data(), 0x5A, pool.usable_size());
+  page->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  // Flip one payload bit behind the pool's back.
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE(disk.Read(id, raw).ok());
+  raw[kPageHeaderSize + 100] ^= 0x01;
+  ASSERT_TRUE(disk.Write(id, raw).ok());
+
+  // Evict the cached copy so the next fetch re-reads from disk.
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.New();
+    ASSERT_TRUE(p.ok());
+  }
+  auto again = pool.Fetch(id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsCorruption());
+  const CorruptionContext* ctx = again.status().corruption_context();
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(ctx->page_id, id);
+  EXPECT_NE(ctx->expected_crc, ctx->actual_crc);
+  EXPECT_GT(pool.stats().checksum_failures, 0u);
+}
+
+TEST(BufferPoolTest, FetchRejectsMisdirectedRead) {
+  // Copy page A's (valid, sealed) image over page B: the checksum holds
+  // but the page-id self-reference exposes the misdirected write.
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 2);
+  auto a = pool.New();
+  ASSERT_TRUE(a.ok());
+  PageId id_a = a->id();
+  std::memset(a->mutable_data(), 0x11, pool.usable_size());
+  a->Release();
+  auto b = pool.New();
+  ASSERT_TRUE(b.ok());
+  PageId id_b = b->id();
+  std::memset(b->mutable_data(), 0x22, pool.usable_size());
+  b->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE(disk.Read(id_a, raw).ok());
+  ASSERT_TRUE(disk.Write(id_b, raw).ok());
+
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.New();
+    ASSERT_TRUE(p.ok());
+  }
+  auto fetch_b = pool.Fetch(id_b);
+  ASSERT_FALSE(fetch_b.ok());
+  EXPECT_TRUE(fetch_b.status().IsCorruption());
+  const CorruptionContext* ctx = fetch_b.status().corruption_context();
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(ctx->page_id, id_b);
+  // CRC itself was fine — the ids disagreed.
+  EXPECT_EQ(ctx->expected_crc, ctx->actual_crc);
+}
+
+TEST(BufferPoolTest, LegacyFormatSkipsVerificationAndHeaders) {
+  InMemoryDiskManager disk;
+  BufferPool pool(&disk, 2, PageFormat::kLegacyV1);
+  auto page = pool.New();
+  ASSERT_TRUE(page.ok());
+  PageId id = page->id();
+  std::memset(page->mutable_data(), 0x33, pool.usable_size());
+  page->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE(disk.Read(id, raw).ok());
+  // No header: byte 0 is client payload.
+  EXPECT_EQ(raw[0], 0x33);
+  // Corruption passes silently — exactly the legacy hazard.
+  raw[100] ^= 0x01;
+  ASSERT_TRUE(disk.Write(id, raw).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto p = pool.New();
+    ASSERT_TRUE(p.ok());
+  }
+  auto again = pool.Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().checksum_failures, 0u);
 }
 
 TEST(BufferPoolTest, MoveGuardTransfersOwnership) {

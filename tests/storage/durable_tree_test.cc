@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/fault_plan.h"
+#include "storage/page.h"
+
 namespace prorp::storage {
 namespace {
 
@@ -187,6 +190,146 @@ TEST_F(DurableTreeTest, UpdateIsDurable) {
   int64_t got;
   std::memcpy(&got, v->data(), 8);
   EXPECT_EQ(got, 2);
+}
+
+TEST_F(DurableTreeTest, CleanScrubCountsPasses) {
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+  }
+  auto report = (*t)->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  const IntegrityStats& stats = (*t)->integrity_stats();
+  EXPECT_EQ(stats.scrub_passes, 1u);
+  EXPECT_GT(stats.scrub_pages, 0u);
+  EXPECT_EQ(stats.scrub_errors, 0u);
+  EXPECT_EQ(stats.corruption_detected, 0u);
+}
+
+TEST_F(DurableTreeTest, ScrubDetectsAndRepairsDiskCorruption) {
+  auto t = DurableTree::Open(Opts());
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k * 3).data()).ok());
+  }
+  ASSERT_TRUE((*t)->Checkpoint().ok());
+  ASSERT_TRUE((*t)->buffer_pool()->FlushAll().ok());
+
+  // Flip a payload byte of page 1 straight on the page store.  The pool's
+  // cached copy stays clean, so only the raw scrub pass can see it.
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE((*t)->disk()->Read(1, raw).ok());
+  raw[kPageHeaderSize + 5] ^= 0x40;
+  ASSERT_TRUE((*t)->disk()->Write(1, raw).ok());
+
+  auto report = (*t)->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  const IntegrityStats& stats = (*t)->integrity_stats();
+  EXPECT_GE(stats.corruption_detected, 1u);
+  EXPECT_GE(stats.corruption_repaired, 1u);
+  EXPECT_EQ(stats.corruption_quarantined, 0u);
+  EXPECT_GE(stats.scrub_errors, 1u);
+  EXPECT_FALSE((*t)->quarantined());
+  // The repair lost no acknowledged record.
+  EXPECT_EQ((*t)->size(), 200u);
+  for (int64_t k = 0; k < 200; ++k) {
+    auto v = (*t)->Find(k);
+    ASSERT_TRUE(v.ok()) << "key " << k;
+    int64_t got;
+    std::memcpy(&got, v->data(), 8);
+    EXPECT_EQ(got, k * 3);
+  }
+}
+
+TEST_F(DurableTreeTest, ReadsSelfHealAfterPageStoreCorruption) {
+  DurableTree::Options o = Opts();
+  o.buffer_pool_pages = 4;
+  auto t = DurableTree::Open(o);
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k * 2).data()).ok());
+  }
+  ASSERT_TRUE((*t)->Checkpoint().ok());
+  ASSERT_TRUE((*t)->buffer_pool()->FlushAll().ok());
+
+  // Corrupt every page on the store: the next cache miss trips checksum
+  // verification and must drive a transparent rebuild mid-read.
+  DiskManager* disk = (*t)->disk();
+  uint8_t raw[kPageSize];
+  for (PageId p = 0; p < disk->num_pages(); ++p) {
+    ASSERT_TRUE(disk->Read(p, raw).ok());
+    raw[kPageHeaderSize] ^= 0x01;
+    ASSERT_TRUE(disk->Write(p, raw).ok());
+  }
+  for (int64_t k = 0; k < 1000; ++k) {
+    auto v = (*t)->Find(k);
+    ASSERT_TRUE(v.ok()) << "key " << k << ": " << v.status().ToString();
+    int64_t got;
+    std::memcpy(&got, v->data(), 8);
+    EXPECT_EQ(got, k * 2);
+  }
+  EXPECT_GE((*t)->integrity_stats().corruption_detected, 1u);
+  EXPECT_GE((*t)->integrity_stats().corruption_repaired, 1u);
+  EXPECT_FALSE((*t)->quarantined());
+  ASSERT_TRUE((*t)->tree().CheckInvariants().ok());
+}
+
+TEST_F(DurableTreeTest, EphemeralStoreQuarantinesOnCorruption) {
+  DurableTree::Options o;
+  o.dir = "";  // no snapshot or WAL to repair from
+  auto t = DurableTree::Open(o);
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE((*t)->buffer_pool()->FlushAll().ok());
+
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE((*t)->disk()->Read(1, raw).ok());
+  raw[kPageHeaderSize + 9] ^= 0x08;
+  ASSERT_TRUE((*t)->disk()->Write(1, raw).ok());
+
+  auto report = (*t)->Scrub();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsCorruption())
+      << report.status().ToString();
+  EXPECT_TRUE((*t)->quarantined());
+  EXPECT_EQ((*t)->integrity_stats().corruption_quarantined, 1u);
+  // Every later operation keeps returning the typed quarantine status.
+  EXPECT_TRUE((*t)->Insert(9999, Value64(1).data()).IsCorruption());
+  EXPECT_TRUE((*t)->Find(1).status().IsCorruption());
+}
+
+TEST_F(DurableTreeTest, QuarantineMovesDurableFilesAside) {
+  faults::FaultPlan plan(7);
+  DurableTree::Options o = Opts();
+  o.buffer_pool_pages = 4;
+  o.fault_plan = &plan;
+  auto t = DurableTree::Open(o);
+  ASSERT_TRUE(t.ok());
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE((*t)->Insert(k, Value64(k).data()).ok());
+  }
+  ASSERT_TRUE((*t)->Checkpoint().ok());
+
+  // From here on every page-store read is silently bit-flipped, so a
+  // rebuild can never stick: the store must give up and quarantine.
+  plan.FailWithProbability(faults::FaultOp::kDiskRead, 1.0,
+                           faults::FaultKind::kBitFlip);
+  Status s = Status::OK();
+  for (int64_t k = 0; k < 1000 && s.ok(); ++k) {
+    s = (*t)->Find(k).status();
+  }
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_TRUE((*t)->quarantined());
+  EXPECT_GE((*t)->integrity_stats().corruption_quarantined, 1u);
+  EXPECT_TRUE(fs::exists(dir_ + "/snapshot.db.quarantined"));
+  EXPECT_TRUE(fs::exists(dir_ + "/wal.log.quarantined"));
+  EXPECT_FALSE(fs::exists(dir_ + "/snapshot.db"));
+  EXPECT_TRUE((*t)->Insert(5000, Value64(1).data()).IsCorruption());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/crash_points.h"
 #include "storage/crc32.h"
 
 namespace prorp::storage {
@@ -114,6 +115,31 @@ TEST(SnapshotTest, AtomicReplace) {
   }).ok());
   EXPECT_EQ(keys, (std::vector<int64_t>{2, 3}));
   // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CrashBeforeRenameSyncKeepsOldSnapshot) {
+  std::string path = TempPath("snapshot_pre_rename.db");
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteSnapshot(path, 8, {{1, std::vector<uint8_t>(8)}}).ok());
+
+  // Die at the durability barrier between writing the temp file and
+  // publishing it: the old snapshot must survive and no temp file may
+  // leak (a real crash would leave it; the abort path cleans up).
+  auto& registry = faults::CrashPointRegistry::Global();
+  registry.Arm(faults::kSnapshotPreRenameSync, 1);
+  Status s = WriteSnapshot(path, 8, {{2, std::vector<uint8_t>(8)},
+                                     {3, std::vector<uint8_t>(8)}});
+  registry.Reset();
+  EXPECT_EQ(s.code(), StatusCode::kAborted) << s.ToString();
+
+  std::vector<int64_t> keys;
+  ASSERT_TRUE(ReadSnapshot(path, 8, [&](int64_t key, const uint8_t*) {
+    keys.push_back(key);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(keys, (std::vector<int64_t>{1}));
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   std::remove(path.c_str());
 }
