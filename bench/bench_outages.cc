@@ -22,6 +22,7 @@ bool AccountingReconciles(const sim::SimReport& report) {
   const auto& d = report.diagnostics;
   return d.stuck_workflows == d.mitigated + d.incidents +
                                   d.failed_then_skipped +
+                                  d.failed_then_shed +
                                   report.pending_failed;
 }
 

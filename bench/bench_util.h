@@ -101,6 +101,16 @@ inline void PrintKpiRow(const std::string& label,
   std::printf("%-16s %s\n", label.c_str(), kpi.ToString().c_str());
 }
 
+/// "p50=.. p95=.. p99=.. max=.." row of a latency Summary.  The Summary
+/// keeps every sample, so the tail percentiles are exact, unlike the
+/// log-bucketed telemetry histograms.
+inline void PrintLatencyRow(const std::string& label, const Summary& s) {
+  std::printf("%-16s n=%zu p50=%.0fs p95=%.0fs p99=%.0fs max=%.0fs\n",
+              label.c_str(), s.count(), s.Percentile(0.50),
+              s.Percentile(0.95), s.Percentile(0.99),
+              s.empty() ? 0.0 : s.Max());
+}
+
 }  // namespace prorp::bench
 
 #endif  // PRORP_BENCH_BENCH_UTIL_H_

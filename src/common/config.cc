@@ -90,6 +90,33 @@ Status ControlPlaneConfig::Validate() const {
     return Status::InvalidArgument(
         "breaker_half_open_probes must be positive");
   }
+  if (!(brownout_l1 > 0.0 && brownout_l1 <= brownout_l2 &&
+        brownout_l2 <= brownout_l3 && brownout_l3 <= 1.0)) {
+    return Status::InvalidArgument(
+        "brownout thresholds must satisfy 0 < l1 <= l2 <= l3 <= 1");
+  }
+  if (deadline_reactive <= 0 || deadline_imminent <= 0 ||
+      deadline_speculative <= 0 || deadline_maintenance <= 0) {
+    return Status::InvalidArgument("workflow deadlines must be positive");
+  }
+  if (slow_start_initial_quota == 0) {
+    return Status::InvalidArgument(
+        "slow_start_initial_quota must be positive");
+  }
+  if (slow_start_quota_cap < slow_start_initial_quota) {
+    return Status::InvalidArgument(
+        "slow_start_quota_cap must be >= slow_start_initial_quota");
+  }
+  if (slow_start_jitter_fraction < 0.0 || slow_start_jitter_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "slow_start_jitter_fraction must be in [0, 1]");
+  }
+  if (storm_cooldown < 0) {
+    return Status::InvalidArgument("storm_cooldown must be non-negative");
+  }
+  if (catch_up_lookback <= 0) {
+    return Status::InvalidArgument("catch_up_lookback must be positive");
+  }
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef PRORP_COMMON_CONFIG_H_
 #define PRORP_COMMON_CONFIG_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -114,6 +115,71 @@ struct ControlPlaneConfig {
   double breaker_failure_ratio = 0.5;
   DurationSeconds breaker_open_duration = Minutes(5);
   int breaker_half_open_probes = 3;
+
+  // --- Overload resilience: resume storms (DESIGN.md section 8) ---
+  // Every knob below defaults to inert so a configuration that does not
+  // opt in behaves exactly like the pre-storm control plane.
+
+  /// Bound on the total number of queued NON-reactive workflows (imminent
+  /// proactive + speculative proactive + maintenance).  Reactive-login
+  /// resumes are never bounded and never shed.  0 = unbounded (legacy).
+  size_t queue_capacity = 0;
+
+  /// Enables brownout shedding and the slow-start admission quota during
+  /// detected storms.
+  bool admission_control_enabled = false;
+
+  /// Brownout engages by the fraction of queue_capacity occupied by
+  /// non-reactive work: level 1 sheds fresh maintenance arrivals, level 2
+  /// also speculative proactive, level 3 everything except reactive
+  /// logins.  Only meaningful with admission control + a finite capacity.
+  double brownout_l1 = 0.50;
+  double brownout_l2 = 0.75;
+  double brownout_l3 = 0.95;
+
+  /// Per-workflow deadlines with a single hedged retry: a workflow still
+  /// queued (or still in flight, for reactive resumes) past its class
+  /// deadline gets one extra attempt routed to a different node.  The
+  /// hedge bypasses backoff, breaker, and quota — it is the rescue path —
+  /// and is bounded at one per workflow.
+  bool deadline_hedging_enabled = false;
+  DurationSeconds deadline_reactive = Minutes(2);
+  DurationSeconds deadline_imminent = Minutes(10);
+  DurationSeconds deadline_speculative = Hours(1);
+  DurationSeconds deadline_maintenance = Hours(4);
+
+  /// Storm detector: a storm starts when one selection returns at least
+  /// storm_due_burst_threshold due databases, when at least
+  /// storm_login_spike_threshold reactive logins arrived since the last
+  /// iteration, or when the breaker leaves kOpen with at least
+  /// storm_recovery_backlog non-reactive workflows queued.  0 disables
+  /// the corresponding signal.  After a storm ends, a fresh one cannot
+  /// start for storm_cooldown — draining the recovery backlog must not
+  /// re-trigger the detector.
+  size_t storm_due_burst_threshold = 64;
+  uint64_t storm_login_spike_threshold = 32;
+  size_t storm_recovery_backlog = 16;
+  DurationSeconds storm_cooldown = Minutes(30);
+
+  /// Slow-start ramp while a storm is active: the non-reactive admission
+  /// quota per iteration is min(cap, initial * 2^tick) plus deterministic
+  /// jitter (the same capped-exponential + jitter helpers as the retry
+  /// backoff, growing instead of delaying).
+  uint64_t slow_start_initial_quota = 2;
+  uint64_t slow_start_quota_cap = 1ULL << 20;
+  double slow_start_jitter_fraction = 0.25;
+
+  /// Catch-up sweep at storm start: physically paused databases whose
+  /// predicted start was missed (shed or stuck while the resume path was
+  /// degraded) within [now - catch_up_lookback, now + prewarm_interval)
+  /// are re-enqueued as speculative/imminent work.
+  bool catch_up_enabled = false;
+  DurationSeconds catch_up_lookback = Hours(2);
+
+  /// True when any storm machinery (detector-driven) is active.
+  bool StormControlEnabled() const {
+    return admission_control_enabled || catch_up_enabled;
+  }
 
   Status Validate() const;
 };

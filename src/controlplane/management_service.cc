@@ -1,23 +1,11 @@
 #include "controlplane/management_service.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "common/backoff.h"
 
 namespace prorp::controlplane {
-namespace {
-
-/// SplitMix64 finalizer: deterministic jitter hash over (db, attempt).
-uint64_t JitterHash(DbId db, int attempt) {
-  uint64_t h = static_cast<uint64_t>(db) * 0x9e3779b97f4a7c15ULL +
-               static_cast<uint64_t>(attempt) * 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
-}
-
-}  // namespace
 
 std::string_view BreakerStateName(BreakerState state) {
   switch (state) {
@@ -31,6 +19,20 @@ std::string_view BreakerStateName(BreakerState state) {
   return "unknown";
 }
 
+std::string_view ResumeClassName(ResumeClass cls) {
+  switch (cls) {
+    case ResumeClass::kReactiveLogin:
+      return "reactive";
+    case ResumeClass::kImminentProactive:
+      return "imminent";
+    case ResumeClass::kSpeculativeProactive:
+      return "speculative";
+    case ResumeClass::kMaintenance:
+      return "maintenance";
+  }
+  return "unknown";
+}
+
 ManagementService::ManagementService(MetadataStore* metadata,
                                      ControlPlaneConfig config,
                                      ResumeCallback resume,
@@ -38,32 +40,82 @@ ManagementService::ManagementService(MetadataStore* metadata,
     : metadata_(metadata),
       config_(config),
       resume_(std::move(resume)),
-      max_attempts_(max_attempts) {}
+      max_attempts_(max_attempts),
+      storm_ended_at_(std::numeric_limits<EpochSeconds>::min() / 2) {}
+
+ManagementService::ManagementService(MetadataStore* metadata,
+                                     ControlPlaneConfig config,
+                                     SimpleResumeCallback resume,
+                                     int max_attempts)
+    : ManagementService(
+          metadata, config,
+          ResumeCallback([cb = std::move(resume)](const ResumeAttempt& a,
+                                                  EpochSeconds now) {
+            return cb(a.db, now);
+          }),
+          max_attempts) {}
+
+size_t ManagementService::pending_workflows() const {
+  size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
 
 size_t ManagementService::pending_failed() const {
   size_t n = 0;
-  for (const WorkItem& item : queue_) {
+  for (const auto& q : queues_) {
+    for (const WorkItem& item : q) {
+      if (item.attempts > 0) ++n;
+    }
+  }
+  return n;
+}
+
+size_t ManagementService::pending_failed(ResumeClass cls) const {
+  size_t n = 0;
+  for (const WorkItem& item : queues_[Idx(cls)]) {
     if (item.attempts > 0) ++n;
   }
   return n;
 }
 
+bool ManagementService::AccountingReconciles() const {
+  const DiagnosticsReport& d = diagnostics_;
+  if (d.stuck_workflows != d.mitigated + d.incidents +
+                               d.failed_then_skipped + d.failed_then_shed +
+                               pending_failed()) {
+    return false;
+  }
+  for (size_t i = 0; i < kNumResumeClasses; ++i) {
+    const ClassDiagnostics& c = d.per_class[i];
+    if (c.stuck != c.mitigated + c.incidents + c.failed_then_skipped +
+                       c.failed_then_shed +
+                       pending_failed(static_cast<ResumeClass>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 DurationSeconds ManagementService::BackoffDelay(DbId db, int attempt) const {
-  int exp = std::max(0, attempt - 1);
-  DurationSeconds delay = config_.retry_backoff_cap;
-  // base * 2^exp, saturating at the cap (62 guards the shift overflow).
-  if (exp < 62 &&
-      config_.retry_backoff_base <= (config_.retry_backoff_cap >> exp)) {
-    delay = config_.retry_backoff_base << exp;
+  return common::BackoffDelay(config_.retry_backoff_base,
+                              config_.retry_backoff_cap,
+                              config_.retry_jitter_fraction,
+                              static_cast<uint64_t>(db), attempt);
+}
+
+DurationSeconds ManagementService::DeadlineFor(ResumeClass cls) const {
+  switch (cls) {
+    case ResumeClass::kReactiveLogin:
+      return config_.deadline_reactive;
+    case ResumeClass::kImminentProactive:
+      return config_.deadline_imminent;
+    case ResumeClass::kSpeculativeProactive:
+      return config_.deadline_speculative;
+    case ResumeClass::kMaintenance:
+      return config_.deadline_maintenance;
   }
-  auto jitter_range =
-      static_cast<DurationSeconds>(config_.retry_jitter_fraction *
-                                   static_cast<double>(delay));
-  if (jitter_range > 0) {
-    delay += static_cast<DurationSeconds>(
-        JitterHash(db, attempt) % static_cast<uint64_t>(jitter_range + 1));
-  }
-  return delay;
+  return config_.deadline_imminent;
 }
 
 void ManagementService::SetBreaker(BreakerState next, EpochSeconds now) {
@@ -103,12 +155,353 @@ void ManagementService::RecordOutcome(bool success, EpochSeconds now) {
   }
 }
 
+size_t ManagementService::NonReactiveQueued() const {
+  return queues_[Idx(ResumeClass::kImminentProactive)].size() +
+         queues_[Idx(ResumeClass::kSpeculativeProactive)].size() +
+         queues_[Idx(ResumeClass::kMaintenance)].size();
+}
+
+int ManagementService::ComputeBrownoutLevel() const {
+  if (!config_.admission_control_enabled || config_.queue_capacity == 0) {
+    return 0;
+  }
+  double occupancy = static_cast<double>(NonReactiveQueued()) /
+                     static_cast<double>(config_.queue_capacity);
+  if (occupancy >= config_.brownout_l3) return 3;
+  if (occupancy >= config_.brownout_l2) return 2;
+  if (occupancy >= config_.brownout_l1) return 1;
+  return 0;
+}
+
+bool ManagementService::ClassAdmittedAt(ResumeClass cls, int level) const {
+  switch (cls) {
+    case ResumeClass::kReactiveLogin:
+      return true;  // never shed, at any level
+    case ResumeClass::kImminentProactive:
+      return level < 3;
+    case ResumeClass::kSpeculativeProactive:
+      return level < 2;
+    case ResumeClass::kMaintenance:
+      return level < 1;
+  }
+  return true;
+}
+
+bool ManagementService::EvictLowerClass(ResumeClass cls) {
+  for (size_t i = kNumResumeClasses; i-- > Idx(cls) + 1;) {
+    auto& q = queues_[i];
+    if (q.empty()) continue;
+    WorkItem victim = q.back();
+    q.pop_back();
+    queued_dbs_.erase(victim.db);
+    ClassDiagnostics& cd = diagnostics_.per_class[i];
+    ++cd.shed_evicted;
+    if (victim.attempts > 0) {
+      ++cd.failed_then_shed;
+      ++diagnostics_.failed_then_shed;
+    }
+    return true;
+  }
+  return false;
+}
+
+void ManagementService::EnqueueItem(DbId db, ResumeClass cls,
+                                    EpochSeconds now) {
+  queued_dbs_.emplace(db, cls);
+  WorkItem item;
+  item.db = db;
+  item.cls = cls;
+  item.not_before = now;
+  item.enqueued_at = now;
+  if (config_.deadline_hedging_enabled) {
+    item.deadline = now + DeadlineFor(cls);
+  }
+  queues_[Idx(cls)].push_back(item);
+  ++Cls(cls).enqueued;
+}
+
+bool ManagementService::AdmitNonReactive(DbId db, ResumeClass cls,
+                                         EpochSeconds now) {
+  // Breaker shed (pre-storm behavior): fresh non-reactive work is dropped
+  // rather than queued while the breaker is open, so an outage does not
+  // build an unbounded backlog of stale pre-warms.
+  if (breaker_ == BreakerState::kOpen) {
+    ++diagnostics_.shed_resumes;
+    ++Cls(cls).shed_admission;
+    return false;
+  }
+  int level = ComputeBrownoutLevel();
+  diagnostics_.max_brownout_level =
+      std::max(diagnostics_.max_brownout_level, level);
+  if (!ClassAdmittedAt(cls, level)) {
+    ++Cls(cls).shed_admission;
+    return false;
+  }
+  if (config_.queue_capacity > 0 &&
+      NonReactiveQueued() >= config_.queue_capacity &&
+      !EvictLowerClass(cls)) {
+    ++Cls(cls).shed_admission;
+    return false;
+  }
+  EnqueueItem(db, cls, now);
+  return true;
+}
+
+void ManagementService::RetireSkipped(const WorkItem& item) {
+  queued_dbs_.erase(item.db);
+  ++diagnostics_.skipped_state_changed;
+  ++Cls(item.cls).skipped_state_changed;
+  if (item.attempts > 0) {
+    ++diagnostics_.failed_then_skipped;
+    ++Cls(item.cls).failed_then_skipped;
+  }
+}
+
+Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
+  ++reactive_arrivals_;
+  if (in_flight_.count(db) != 0) return Status::OK();  // already resuming
+  auto it = queued_dbs_.find(db);
+  if (it != queued_dbs_.end()) {
+    if (it->second == ResumeClass::kReactiveLogin) return Status::OK();
+    // Promotion: the customer's login outruns a queued pre-warm of the
+    // same database.  The old item is retired through the
+    // skipped_state_changed path of its own class (keeping the per-class
+    // invariant closed) and a fresh reactive workflow starts.
+    auto& q = queues_[Idx(it->second)];
+    for (auto qi = q.begin(); qi != q.end(); ++qi) {
+      if (qi->db == db) {
+        RetireSkipped(*qi);
+        q.erase(qi);
+        break;
+      }
+    }
+  }
+  EnqueueItem(db, ResumeClass::kReactiveLogin, now);
+  return Status::OK();
+}
+
+Status ManagementService::EnqueueMaintenance(DbId db, EpochSeconds now) {
+  if (queued_dbs_.count(db) != 0 || in_flight_.count(db) != 0) {
+    return Status::OK();  // a same-or-higher-class workflow already exists
+  }
+  AdmitNonReactive(db, ResumeClass::kMaintenance, now);
+  return Status::OK();
+}
+
+void ManagementService::CompleteWorkflow(DbId db, EpochSeconds now) {
+  auto it = in_flight_.find(db);
+  if (it == in_flight_.end()) return;
+  diagnostics_.in_flight_duration.Add(now - it->second.started);
+  in_flight_.erase(it);
+}
+
+void ManagementService::Watchdog(EpochSeconds now) {
+  if (!config_.deadline_hedging_enabled) return;
+  for (auto& [db, f] : in_flight_) {
+    if (f.hedged || now <= f.deadline) continue;
+    f.hedged = true;
+    ClassDiagnostics& cd = Cls(f.cls);
+    ++cd.deadline_breaches;
+    ++cd.hedged;
+    ResumeAttempt attempt;
+    attempt.db = db;
+    attempt.cls = f.cls;
+    attempt.attempt = f.attempts;
+    attempt.hedge = true;
+    attempt.node_offset = 1;
+    attempt.enqueued_at = f.started;
+    // Best-effort rescue: the original dispatch is still in flight, so a
+    // hedge failure changes nothing — the completion (or an incident at a
+    // higher layer) still resolves the workflow.
+    Status s = resume_(attempt, now);
+    if (s.ok()) ++cd.hedge_wins;
+  }
+}
+
+void ManagementService::MaybeStartStorm(EpochSeconds now) {
+  if (storm_active_) return;
+  // Cooldown: draining the recovery backlog (and the breaker closing
+  // afterwards) must not re-trigger the detector.
+  if (now < storm_ended_at_ + config_.storm_cooldown) return;
+  storm_active_ = true;
+  ++storm_seq_;
+  ramp_step_ = 0;
+  ++diagnostics_.storms_detected;
+  if (config_.catch_up_enabled) CatchUpSweep(now);
+}
+
+void ManagementService::CatchUpSweep(EpochSeconds now) {
+  auto missed = metadata_->SelectMissedResume(now, config_.catch_up_lookback,
+                                              config_.prewarm_interval);
+  if (!missed.ok()) return;  // sweep is best-effort
+  for (const MissedResume& m : *missed) {
+    if (queued_dbs_.count(m.db) != 0 || in_flight_.count(m.db) != 0) {
+      continue;
+    }
+    // A start still ahead is imminent work; one already passed is a
+    // speculative catch-up (the customer may long since have moved on —
+    // these are the attempts that land in skipped_state_changed).
+    ResumeClass cls = m.predicted_start < now
+                          ? ResumeClass::kSpeculativeProactive
+                          : ResumeClass::kImminentProactive;
+    if (AdmitNonReactive(m.db, cls, now)) {
+      ++diagnostics_.catch_up_enqueued;
+    }
+  }
+}
+
+uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
+                                       uint64_t* quota) {
+  auto& q = queues_[Idx(cls)];
+  const bool gated = cls != ResumeClass::kReactiveLogin;
+  uint64_t resumed = 0;
+  // Each queued item is examined at most once per drain; retries land
+  // behind the fixed budget.
+  size_t budget = q.size();
+  for (size_t i = 0; i < budget; ++i) {
+    WorkItem item = q.front();
+    q.pop_front();
+    if (!metadata_->Contains(item.db)) {
+      // Deleted while queued: the workflow has no target any more.
+      ++diagnostics_.deleted_while_queued;
+      RetireSkipped(item);
+      continue;
+    }
+    bool hedge_now = config_.deadline_hedging_enabled && !item.hedged &&
+                     item.deadline > 0 && now > item.deadline;
+    if (item.not_before > now && !hedge_now) {
+      q.push_back(item);  // still backing off
+      continue;
+    }
+    // The single hedge bypasses backoff, breaker, and quota: it is the
+    // deadline-rescue path, bounded at one per workflow.
+    if (gated && !hedge_now) {
+      if (breaker_ == BreakerState::kOpen) {
+        q.push_back(item);  // held until the breaker half-opens
+        continue;
+      }
+      if (breaker_ == BreakerState::kHalfOpen &&
+          half_open_probes_issued_ >= config_.breaker_half_open_probes) {
+        q.push_back(item);  // probe budget exhausted this iteration
+        continue;
+      }
+      if (quota != nullptr && *quota == 0) {
+        ++diagnostics_.quota_deferrals;
+        q.push_back(item);  // slow-start quota exhausted this iteration
+        continue;
+      }
+      if (quota != nullptr) --*quota;
+      if (breaker_ == BreakerState::kHalfOpen) ++half_open_probes_issued_;
+    }
+    ClassDiagnostics& cd = Cls(item.cls);
+    if (hedge_now) {
+      item.hedged = true;
+      ++cd.deadline_breaches;
+      ++cd.hedged;
+    }
+    if (!item.wait_recorded) {
+      diagnostics_.queue_wait.Add(now - item.enqueued_at);
+      item.wait_recorded = true;
+    }
+    ResumeAttempt attempt;
+    attempt.db = item.db;
+    attempt.cls = item.cls;
+    attempt.attempt = item.attempts + 1;
+    attempt.hedge = hedge_now;
+    attempt.node_offset = hedge_now ? 1 : 0;
+    attempt.enqueued_at = item.enqueued_at;
+    Status s = resume_(attempt, now);
+    if (s.ok()) {
+      queued_dbs_.erase(item.db);
+      ++resumed;
+      ++cd.resumed;
+      if (item.attempts > 0) {
+        ++diagnostics_.mitigated;
+        ++cd.mitigated;
+      }
+      if (hedge_now) ++cd.hedge_wins;
+      if (gated && !hedge_now) {
+        if (breaker_ == BreakerState::kHalfOpen) {
+          ++half_open_successes_;
+          if (half_open_successes_ >= config_.breaker_half_open_probes) {
+            SetBreaker(BreakerState::kClosed, now);
+          }
+        } else {
+          RecordOutcome(/*success=*/true, now);
+        }
+      }
+      if (cls == ResumeClass::kReactiveLogin &&
+          config_.deadline_hedging_enabled) {
+        // Resources arrive asynchronously; the watchdog guards the wait.
+        InFlightItem f;
+        f.cls = item.cls;
+        f.attempts = item.attempts + 1;
+        f.started = now;
+        f.deadline = item.deadline > 0 ? item.deadline
+                                       : now + DeadlineFor(item.cls);
+        f.hedged = item.hedged;
+        in_flight_[item.db] = f;
+      }
+      continue;
+    }
+    if (s.code() == StatusCode::kFailedPrecondition) {
+      // The database is no longer physically paused (it resumed on its
+      // own or was already handled): nothing to do.  Breaker-neutral.
+      RetireSkipped(item);
+      continue;
+    }
+    // Transient workflow failure: the diagnostics runner mitigates by
+    // retrying after a capped exponential backoff.
+    ++item.attempts;
+    if (item.attempts == 1) {
+      ++diagnostics_.stuck_workflows;
+      ++cd.stuck;
+    }
+    if (gated && !hedge_now) {
+      if (breaker_ == BreakerState::kHalfOpen) {
+        SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
+      } else {
+        RecordOutcome(/*success=*/false, now);
+      }
+    }
+    if (item.attempts < max_attempts_) {
+      DurationSeconds delay = BackoffDelay(item.db, item.attempts);
+      item.not_before = now + delay;
+      ++diagnostics_.backoff_retries_scheduled;
+      diagnostics_.backoff_delay_seconds_total +=
+          static_cast<uint64_t>(delay);
+      q.push_back(item);
+    } else {
+      queued_dbs_.erase(item.db);
+      ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
+      ++cd.incidents;
+    }
+  }
+  return resumed;
+}
+
+uint64_t ManagementService::Pump(EpochSeconds now) {
+  Watchdog(now);
+  return DrainClass(ResumeClass::kReactiveLogin, now, nullptr);
+}
+
 Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
                                             bool use_sql_scan) {
   // Breaker cool-down is virtual-clock based, like everything else here.
   if (breaker_ == BreakerState::kOpen &&
       now >= breaker_opened_at_ + config_.breaker_open_duration) {
     SetBreaker(BreakerState::kHalfOpen, now);
+    // Recovery signal: a healed resume path facing a held backlog is the
+    // classic post-outage thundering herd.
+    if (config_.StormControlEnabled() && config_.storm_recovery_backlog > 0 &&
+        NonReactiveQueued() >= config_.storm_recovery_backlog) {
+      MaybeStartStorm(now);
+    }
+    // Recovery sweep: pre-warms that came due while the breaker was open
+    // were shed at admission, so an ongoing storm re-sweeps them now that
+    // the path is probing again (duplicate-safe; outside a storm the
+    // normal selection window takes over).
+    if (storm_active_ && config_.catch_up_enabled) CatchUpSweep(now);
   }
   half_open_probes_issued_ = 0;
 
@@ -125,90 +518,85 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
                  now, config_.prewarm_interval,
                  config_.resume_operation_period));
   }
-  // Step 2: enqueue one resume workflow per database — unless the breaker
-  // is open, in which case fresh work is shed: the database simply stays
-  // physically paused and the customer's own login resumes it reactively.
-  // Shedding fresh work (rather than queueing it) keeps an outage from
-  // building an unbounded backlog of stale pre-warms.
-  for (DbId db : due) {
-    if (queued_dbs_.count(db) != 0) continue;  // already queued/backing off
-    if (breaker_ == BreakerState::kOpen) {
-      ++diagnostics_.shed_resumes;
-      continue;
+  // Detector signals observed since the last iteration.
+  uint64_t reactive_spike = reactive_arrivals_;
+  reactive_arrivals_ = 0;
+  if (config_.StormControlEnabled()) {
+    if (config_.storm_due_burst_threshold > 0 &&
+        due.size() >= config_.storm_due_burst_threshold) {
+      MaybeStartStorm(now);
     }
-    queued_dbs_.insert(db);
-    queue_.push_back({db, 0, now});
+    if (config_.storm_login_spike_threshold > 0 &&
+        reactive_spike >= config_.storm_login_spike_threshold) {
+      MaybeStartStorm(now);
+    }
+  }
+  // Step 2: enqueue one resume workflow per due database.  Selection only
+  // returns predicted starts at or beyond now + k, so fresh selection
+  // work is always imminent-class; speculative items enter through the
+  // catch-up sweep.
+  for (DbId db : due) {
+    if (in_flight_.count(db) != 0) continue;  // already being resumed
+    auto it = queued_dbs_.find(db);
+    if (it != queued_dbs_.end()) {
+      if (Idx(it->second) <= Idx(ResumeClass::kImminentProactive)) {
+        continue;  // already queued at the same or a higher class
+      }
+      // Class upgrade: a maintenance touch or speculative catch-up queued
+      // for this database must not swallow its due pre-warm — the
+      // selection window only passes over each database once, so a
+      // skipped enqueue here would silently lose the pre-warm.  The old
+      // item retires through its own class (keeping the per-class
+      // invariant closed) and a fresh imminent workflow is admitted.
+      auto& q = queues_[Idx(it->second)];
+      for (auto qi = q.begin(); qi != q.end(); ++qi) {
+        if (qi->db == db) {
+          RetireSkipped(*qi);
+          q.erase(qi);
+          break;
+        }
+      }
+    }
+    AdmitNonReactive(db, ResumeClass::kImminentProactive, now);
   }
   ++diagnostics_.observed_iterations;
   diagnostics_.max_queue_depth =
-      std::max(diagnostics_.max_queue_depth, queue_.size());
+      std::max(diagnostics_.max_queue_depth, pending_workflows());
 
-  // Step 3: drain eligible queue entries (Algorithm 5 lines 7-8 with
-  // mitigation).  Each queued item is examined at most once per
-  // iteration; retries land behind the fixed budget.
-  uint64_t resumed = 0;
-  size_t budget = queue_.size();
-  for (size_t i = 0; i < budget; ++i) {
-    WorkItem item = queue_.front();
-    queue_.pop_front();
-    if (item.not_before > now) {
-      queue_.push_back(item);  // still backing off
-      continue;
-    }
-    if (breaker_ == BreakerState::kOpen) {
-      queue_.push_back(item);  // held until the breaker half-opens
-      continue;
-    }
-    if (breaker_ == BreakerState::kHalfOpen &&
-        half_open_probes_issued_ >= config_.breaker_half_open_probes) {
-      queue_.push_back(item);  // probe budget exhausted this iteration
-      continue;
-    }
-    if (breaker_ == BreakerState::kHalfOpen) ++half_open_probes_issued_;
+  // Slow-start ramp: while a storm is active and admission control is
+  // on, non-reactive drains share an exponentially growing quota (the
+  // same capped-exponential + jitter schedule as the retry backoff,
+  // growing instead of delaying).
+  uint64_t quota_value = 0;
+  uint64_t* quota = nullptr;
+  if (storm_active_ && config_.admission_control_enabled) {
+    quota_value = static_cast<uint64_t>(common::WithJitter(
+        common::CappedExponential(
+            static_cast<int64_t>(config_.slow_start_initial_quota),
+            static_cast<int64_t>(config_.slow_start_quota_cap), ramp_step_),
+        config_.slow_start_jitter_fraction, storm_seq_,
+        static_cast<uint64_t>(ramp_step_)));
+    ++ramp_step_;
+    ++diagnostics_.slow_start_ticks;
+    quota = &quota_value;
+  }
+  quota_this_iteration_ = quota != nullptr ? quota_value : 0;
 
-    Status s = resume_(item.db, now);
-    if (s.ok()) {
-      queued_dbs_.erase(item.db);
-      ++resumed;
-      if (item.attempts > 0) ++diagnostics_.mitigated;
-      if (breaker_ == BreakerState::kHalfOpen) {
-        ++half_open_successes_;
-        if (half_open_successes_ >= config_.breaker_half_open_probes) {
-          SetBreaker(BreakerState::kClosed, now);
-        }
-      } else {
-        RecordOutcome(/*success=*/true, now);
-      }
-      continue;
-    }
-    if (s.code() == StatusCode::kFailedPrecondition) {
-      // The database is no longer physically paused (it resumed on its
-      // own or was already handled): nothing to do.  Breaker-neutral.
-      queued_dbs_.erase(item.db);
-      ++diagnostics_.skipped_state_changed;
-      if (item.attempts > 0) ++diagnostics_.failed_then_skipped;
-      continue;
-    }
-    // Transient workflow failure: the diagnostics runner mitigates by
-    // retrying after a capped exponential backoff.
-    ++item.attempts;
-    if (item.attempts == 1) ++diagnostics_.stuck_workflows;
-    if (breaker_ == BreakerState::kHalfOpen) {
-      SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
-    } else {
-      RecordOutcome(/*success=*/false, now);
-    }
-    if (item.attempts < max_attempts_) {
-      DurationSeconds delay = BackoffDelay(item.db, item.attempts);
-      item.not_before = now + delay;
-      ++diagnostics_.backoff_retries_scheduled;
-      diagnostics_.backoff_delay_seconds_total +=
-          static_cast<uint64_t>(delay);
-      queue_.push_back(item);
-    } else {
-      queued_dbs_.erase(item.db);
-      ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
-    }
+  // Step 3: deadline watchdog, then drain in strict class order —
+  // reactive logins first and ungated, then the gated classes.
+  Watchdog(now);
+  DrainClass(ResumeClass::kReactiveLogin, now, nullptr);
+  uint64_t resumed =
+      DrainClass(ResumeClass::kImminentProactive, now, quota) +
+      DrainClass(ResumeClass::kSpeculativeProactive, now, quota);
+  DrainClass(ResumeClass::kMaintenance, now, quota);
+
+  // A storm ends when the non-reactive backlog has fully drained; the
+  // cooldown then keeps the tail of the recovery from re-triggering it.
+  if (storm_active_ && NonReactiveQueued() == 0) {
+    storm_active_ = false;
+    storm_ended_at_ = now;
+    quota_this_iteration_ = 0;
   }
 
   resumed_per_iteration_.Add(static_cast<double>(resumed));

@@ -1,14 +1,16 @@
 #ifndef PRORP_CONTROLPLANE_MANAGEMENT_SERVICE_H_
 #define PRORP_CONTROLPLANE_MANAGEMENT_SERVICE_H_
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <string_view>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/config.h"
 #include "common/stats.h"
 #include "controlplane/metadata_store.h"
+#include "telemetry/histogram.h"
 
 namespace prorp::controlplane {
 
@@ -21,6 +23,58 @@ enum class BreakerState {
 
 std::string_view BreakerStateName(BreakerState state);
 
+/// Workflow class of one resume request, in strict priority order: a
+/// lower value is drained first and shed last.
+enum class ResumeClass : uint8_t {
+  /// A customer login hit a physically paused database; the customer is
+  /// waiting.  Never bounded, never shed, breaker- and quota-exempt.
+  kReactiveLogin = 0,
+  /// Proactive pre-warm whose predicted activity start is still ahead.
+  kImminentProactive = 1,
+  /// Proactive pre-warm whose predicted start has already passed (a
+  /// catch-up after the resume path was degraded) — useful, not urgent.
+  kSpeculativeProactive = 2,
+  /// Background maintenance touch of a physically paused database.
+  kMaintenance = 3,
+};
+
+inline constexpr size_t kNumResumeClasses = 4;
+
+std::string_view ResumeClassName(ResumeClass cls);
+
+/// One resume-workflow attempt handed to the resume callback.
+struct ResumeAttempt {
+  DbId db = 0;
+  ResumeClass cls = ResumeClass::kImminentProactive;
+  int attempt = 1;    // 1-based; a hedge repeats the upcoming attempt no.
+  bool hedge = false;  // deadline-breach rescue, route to a different node
+  int node_offset = 0;  // 0 = the database's home node; hedges pass 1
+  EpochSeconds enqueued_at = 0;
+};
+
+/// Per-class slice of the mitigation accounting.  The invariant holds
+/// class by class:
+///   stuck == mitigated + incidents + failed_then_skipped
+///            + failed_then_shed + (queued items of the class with
+///                                  attempts > 0).
+struct ClassDiagnostics {
+  uint64_t enqueued = 0;
+  uint64_t resumed = 0;
+  uint64_t shed_admission = 0;  // refused at enqueue (breaker/brownout/full)
+  uint64_t shed_evicted = 0;    // evicted from the queue by a higher class
+  uint64_t stuck = 0;
+  uint64_t mitigated = 0;
+  uint64_t incidents = 0;
+  uint64_t skipped_state_changed = 0;
+  uint64_t failed_then_skipped = 0;
+  uint64_t failed_then_shed = 0;   // failed first, then shed/evicted
+  uint64_t deadline_breaches = 0;  // workflows that blew their deadline
+  uint64_t hedged = 0;             // hedge attempts dispatched
+  uint64_t hedge_wins = 0;         // hedge attempt itself succeeded
+
+  uint64_t shed() const { return shed_admission + shed_evicted; }
+};
+
 /// Outcome counters of the diagnostics and mitigation runner (Section 7):
 /// it monitors the proactive-resume queue, retries stuck workflows with
 /// capped exponential backoff, sheds load through a circuit breaker when
@@ -30,6 +84,7 @@ std::string_view BreakerStateName(BreakerState state);
 /// Accounting invariant (checked by tests): every workflow that failed at
 /// least once is eventually accounted for exactly once —
 ///   stuck_workflows == mitigated + incidents + failed_then_skipped
+///                      + failed_then_shed
 ///                      + (queued items with attempts > 0).
 struct DiagnosticsReport {
   uint64_t observed_iterations = 0;
@@ -38,6 +93,7 @@ struct DiagnosticsReport {
   uint64_t mitigated = 0;            // succeeded on retry
   uint64_t skipped_state_changed = 0;  // database resumed on its own
   uint64_t failed_then_skipped = 0;  // failed first, then state changed
+  uint64_t failed_then_shed = 0;     // failed first, then shed by brownout
   uint64_t incidents = 0;            // retries exhausted -> on-call
 
   // Graceful-degradation telemetry.
@@ -46,25 +102,51 @@ struct DiagnosticsReport {
   uint64_t shed_resumes = 0;          // dropped while the breaker was open
   uint64_t breaker_opens = 0;         // transitions into kOpen
   uint64_t breaker_state_changes = 0;  // all transitions
+
+  // Overload-resilience telemetry (inert-zero unless the storm layer or
+  // the multi-class queue is exercised).
+  std::array<ClassDiagnostics, kNumResumeClasses> per_class;
+  uint64_t storms_detected = 0;
+  uint64_t slow_start_ticks = 0;     // iterations run under a quota
+  uint64_t quota_deferrals = 0;      // drains deferred by the quota
+  uint64_t catch_up_enqueued = 0;    // stale pre-warms swept at storm start
+  uint64_t deleted_while_queued = 0;  // db vanished from the metadata store
+  int max_brownout_level = 0;
+  telemetry::Histogram queue_wait;          // enqueue -> first attempt
+  telemetry::Histogram in_flight_duration;  // dispatch -> completion
+
+  const ClassDiagnostics& cls(ResumeClass c) const {
+    return per_class[static_cast<size_t>(c)];
+  }
 };
 
 /// The periodic proactive resume operation of the Management Service
-/// (Algorithm 5), plus the workflow queue with stuck-workflow mitigation.
+/// (Algorithm 5), plus the workflow queue with stuck-workflow mitigation
+/// and the overload-resilience layer (DESIGN.md section 8).
 ///
 /// Each RunOnce(now):
 ///  1. selects physically paused databases whose predicted activity starts
 ///     within [now + k, now + k + period) from the metadata store,
-///  2. enqueues a resume workflow per database (unless the circuit
-///     breaker is open, in which case fresh work is shed — the database
-///     simply stays physically paused and resumes reactively), and
-///  3. drains the eligible queue entries by invoking the resume callback.
-///     A failed workflow is retried at a later iteration after a capped
-///     exponential backoff with deterministic jitter; `max_attempts`
-///     total attempts, then an incident is raised.
+///  2. enqueues a resume workflow per database into the bounded
+///     multi-class priority queue (unless the circuit breaker is open or a
+///     brownout level sheds the class, in which case the database simply
+///     stays physically paused and resumes reactively), and
+///  3. drains eligible queue entries in strict class-priority order by
+///     invoking the resume callback.  A failed workflow is retried at a
+///     later iteration after a capped exponential backoff with
+///     deterministic jitter; `max_attempts` total attempts, then an
+///     incident is raised.
 ///
-/// All scheduling is virtual-clock based: backoff deadlines and breaker
-/// cool-downs compare against the `now` passed to RunOnce, never against
-/// wall clock, so behavior is deterministic and simulation-friendly.
+/// Storms: when the detector trips (due-burst, login-spike, or breaker
+/// recovery with a backlog), draining of the non-reactive classes is
+/// throttled by a slow-start admission quota that doubles (with jitter)
+/// every iteration instead of dumping the backlog onto freshly healed
+/// nodes.  Reactive-login resumes are never throttled.
+///
+/// All scheduling is virtual-clock based: backoff deadlines, workflow
+/// deadlines, and breaker cool-downs compare against the `now` passed in,
+/// never against wall clock, so behavior is deterministic and
+/// simulation-friendly.
 ///
 /// The resume callback returns:
 ///   OK                  — resources allocated (LogicalPause entered),
@@ -74,15 +156,44 @@ struct DiagnosticsReport {
 class ManagementService {
  public:
   using ResumeCallback =
-      std::function<Status(DbId db, EpochSeconds now)>;
+      std::function<Status(const ResumeAttempt& attempt, EpochSeconds now)>;
+  /// Legacy signature: (db, now).  Attempts of every class and hedges are
+  /// routed through it identically; kept so pre-storm callers compile
+  /// unchanged.
+  using SimpleResumeCallback = std::function<Status(DbId db, EpochSeconds now)>;
 
   ManagementService(MetadataStore* metadata, ControlPlaneConfig config,
                     ResumeCallback resume, int max_attempts = 3);
+  ManagementService(MetadataStore* metadata, ControlPlaneConfig config,
+                    SimpleResumeCallback resume, int max_attempts = 3);
 
   /// One iteration of the proactive resume operation.  Returns the number
   /// of databases proactively resumed in this iteration (the Figure 11
-  /// metric).  Set `use_sql_scan` to exercise the faithful SQL path.
+  /// metric; reactive and maintenance successes are counted per class but
+  /// excluded here).  Set `use_sql_scan` to exercise the faithful SQL
+  /// path.
   Result<uint64_t> RunOnce(EpochSeconds now, bool use_sql_scan = false);
+
+  /// Admits a reactive-login resume: the customer is waiting, so the
+  /// workflow is never bounded, shed, throttled, or breaker-gated.  A
+  /// proactive workflow already queued for the same database is promoted:
+  /// the old item is retired through the skipped_state_changed path of
+  /// its own class and a fresh reactive workflow starts.
+  Status EnqueueReactive(DbId db, EpochSeconds now);
+
+  /// Admits a maintenance touch (lowest class; first to be shed).
+  Status EnqueueMaintenance(DbId db, EpochSeconds now);
+
+  /// Drains the reactive class and runs the deadline watchdog without an
+  /// Algorithm 5 selection — the between-iterations pump a login-path
+  /// driver calls as reactive work arrives.  Returns reactive workflows
+  /// completed synchronously.
+  uint64_t Pump(EpochSeconds now);
+
+  /// Marks an asynchronously completing workflow (a reactive resume whose
+  /// resources arrive later) as done: clears the in-flight entry and
+  /// records its duration.  Unknown ids are ignored.
+  void CompleteWorkflow(DbId db, EpochSeconds now);
 
   /// Number of databases resumed per iteration so far (box-plot source).
   const Summary& resumed_per_iteration() const {
@@ -93,25 +204,92 @@ class ManagementService {
   const ControlPlaneConfig& config() const { return config_; }
 
   BreakerState breaker_state() const { return breaker_; }
+  bool storm_active() const { return storm_active_; }
+  /// Non-reactive drains allowed this iteration while a storm is active
+  /// and admission control is on; 0 outside a throttled storm.
+  uint64_t current_quota() const { return quota_this_iteration_; }
+  /// Brownout level right now (0 = none, 3 = shedding all but reactive).
+  int brownout_level() const { return ComputeBrownoutLevel(); }
 
-  /// Queue depth right now (items awaiting attempt or backing off).
-  size_t pending_workflows() const { return queue_.size(); }
+  /// Queue depth right now (items awaiting attempt or backing off, all
+  /// classes; in-flight asynchronous workflows are not queued).
+  size_t pending_workflows() const;
+  size_t queued(ResumeClass cls) const {
+    return queues_[static_cast<size_t>(cls)].size();
+  }
+  size_t in_flight() const { return in_flight_.size(); }
 
   /// Queued items that have failed at least once (the open term of the
-  /// accounting invariant).
+  /// accounting invariant), total and per class.
   size_t pending_failed() const;
+  size_t pending_failed(ResumeClass cls) const;
+
+  /// True when the aggregate AND every per-class accounting invariant
+  /// reconciles against the live queues.
+  bool AccountingReconciles() const;
 
   /// Backoff before retry attempt `attempt` (1-based) of `db`:
   /// min(cap, base * 2^(attempt-1)) plus deterministic jitter.  Exposed
   /// for tests asserting the schedule.
   DurationSeconds BackoffDelay(DbId db, int attempt) const;
 
+  /// Deadline budget of a class (meaningful with deadline hedging on).
+  DurationSeconds DeadlineFor(ResumeClass cls) const;
+
  private:
   struct WorkItem {
     DbId db;
+    ResumeClass cls = ResumeClass::kImminentProactive;
     int attempts = 0;
     EpochSeconds not_before = 0;  // backoff deadline (virtual clock)
+    EpochSeconds enqueued_at = 0;
+    EpochSeconds deadline = 0;  // 0 = none
+    bool hedged = false;        // the single hedge has been spent
+    bool wait_recorded = false;  // queue-wait histogram sampled
   };
+
+  /// A dispatched workflow whose completion arrives asynchronously
+  /// (reactive resumes when deadline hedging is on).
+  struct InFlightItem {
+    ResumeClass cls = ResumeClass::kReactiveLogin;
+    int attempts = 0;
+    EpochSeconds started = 0;
+    EpochSeconds deadline = 0;
+    bool hedged = false;
+  };
+
+  static size_t Idx(ResumeClass cls) { return static_cast<size_t>(cls); }
+  ClassDiagnostics& Cls(ResumeClass cls) {
+    return diagnostics_.per_class[Idx(cls)];
+  }
+
+  size_t NonReactiveQueued() const;
+  int ComputeBrownoutLevel() const;
+  bool ClassAdmittedAt(ResumeClass cls, int level) const;
+
+  /// Full admission pipeline of a fresh non-reactive workflow: breaker
+  /// shed, brownout shed, capacity bound with lower-class eviction.
+  /// Returns false when the arrival was shed (accounted).
+  bool AdmitNonReactive(DbId db, ResumeClass cls, EpochSeconds now);
+  /// Frees one capacity slot by evicting the newest item of the lowest
+  /// class strictly below `cls`; false if no lower-class item exists.
+  bool EvictLowerClass(ResumeClass cls);
+  void EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now);
+  /// Retires a queued item without an attempt (promotion, deletion) via
+  /// the skipped_state_changed path of its class.
+  void RetireSkipped(const WorkItem& item);
+
+  /// Drains up to the queue length of `cls` at entry; `quota` (when
+  /// non-null) is the shared slow-start budget across the non-reactive
+  /// classes.  Returns successful attempts.
+  uint64_t DrainClass(ResumeClass cls, EpochSeconds now, uint64_t* quota);
+  /// Hedges in-flight workflows past their deadline (one hedge each).
+  void Watchdog(EpochSeconds now);
+
+  void MaybeStartStorm(EpochSeconds now);
+  /// Re-enqueues missed pre-warms (stale predicted starts) at storm
+  /// start.
+  void CatchUpSweep(EpochSeconds now);
 
   /// Records a success/failure outcome in the breaker window and opens
   /// the breaker when the failure ratio crosses the threshold.
@@ -122,11 +300,15 @@ class ManagementService {
   ControlPlaneConfig config_;
   ResumeCallback resume_;
   int max_attempts_;
-  std::deque<WorkItem> queue_;
-  // Databases currently in queue_: selection windows of consecutive
-  // iterations overlap, so a database backing off after a failure would
-  // otherwise be re-enqueued as a duplicate fresh workflow.
-  std::unordered_set<DbId> queued_dbs_;
+  /// One FIFO deque per class, drained in class order; with a single
+  /// populated class the drain is exactly the pre-storm FIFO.
+  std::array<std::deque<WorkItem>, kNumResumeClasses> queues_;
+  /// Databases currently queued, with their class: selection windows of
+  /// consecutive iterations overlap, so a database backing off after a
+  /// failure would otherwise be re-enqueued as a duplicate fresh
+  /// workflow; the class enables reactive promotion.
+  std::unordered_map<DbId, ResumeClass> queued_dbs_;
+  std::unordered_map<DbId, InFlightItem> in_flight_;
   Summary resumed_per_iteration_;
   DiagnosticsReport diagnostics_;
   uint64_t total_resumed_ = 0;
@@ -137,6 +319,15 @@ class ManagementService {
   EpochSeconds breaker_opened_at_ = 0;
   int half_open_probes_issued_ = 0;
   int half_open_successes_ = 0;
+
+  // Storm machinery.
+  bool storm_active_ = false;
+  uint64_t storm_seq_ = 0;  // jitter key: distinct storms ramp differently
+  int ramp_step_ = 0;
+  uint64_t quota_this_iteration_ = 0;
+  /// End time of the last storm (cooldown anchor); far past initially.
+  EpochSeconds storm_ended_at_;
+  uint64_t reactive_arrivals_ = 0;  // since the last RunOnce
 };
 
 }  // namespace prorp::controlplane

@@ -42,6 +42,9 @@ Result<std::unique_ptr<MetadataStore>> MetadataStore::Open() {
       sql::Parse("SELECT database_id FROM sys.databases "
                  "WHERE state = 2 AND @lo <= start_of_pred_activity AND "
                  "start_of_pred_activity < @hi"));
+  PRORP_ASSIGN_OR_RETURN(
+      store->delete_stmt_,
+      sql::Parse("DELETE FROM sys.databases WHERE database_id = @db"));
   return store;
 }
 
@@ -96,6 +99,31 @@ Result<std::vector<DbId>> MetadataStore::SelectDueForResumeSql(
     due.push_back(static_cast<DbId>(row[0]));
   }
   return due;
+}
+
+Result<std::vector<MissedResume>> MetadataStore::SelectMissedResume(
+    EpochSeconds now, DurationSeconds lookback, DurationSeconds k) const {
+  std::vector<MissedResume> missed;
+  EpochSeconds lo = now - lookback;
+  EpochSeconds hi = now + k;
+  for (auto it = resume_index_.lower_bound({lo, 0});
+       it != resume_index_.end() && it->first.first < hi; ++it) {
+    missed.push_back({it->first.second, it->first.first});
+  }
+  return missed;
+}
+
+Status MetadataStore::Remove(DbId db) {
+  auto it = entries_.find(db);
+  if (it == entries_.end()) return Status::OK();
+  if (it->second.state == policy::DbState::kPhysicallyPaused &&
+      it->second.predicted_start > 0) {
+    resume_index_.erase({it->second.predicted_start, db});
+  }
+  sql::Params params{{"db", static_cast<int64_t>(db)}};
+  PRORP_RETURN_IF_ERROR(db_->ExecuteStatement(delete_stmt_, params).status());
+  entries_.erase(it);
+  return Status::OK();
 }
 
 uint64_t MetadataStore::CountInState(policy::DbState state) const {

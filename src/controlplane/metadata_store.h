@@ -18,6 +18,14 @@ namespace prorp::controlplane {
 
 using telemetry::DbId;
 
+/// One pre-warm the fleet missed while the resume path was degraded: a
+/// physically paused database whose predicted activity start fell inside
+/// the catch-up window instead of being handled on time.
+struct MissedResume {
+  DbId db = 0;
+  EpochSeconds predicted_start = 0;
+};
+
 /// The metadata store of the Management Service: the sys.databases table
 /// Algorithm 5 queries (database_id, state, start_of_pred_activity).
 ///
@@ -51,6 +59,22 @@ class MetadataStore {
   Result<std::vector<DbId>> SelectDueForResumeSql(
       EpochSeconds now, DurationSeconds k, DurationSeconds period) const;
 
+  /// Catch-up selection of the storm layer: physically paused databases
+  /// whose predicted start lies in [now - lookback, now + k) — i.e. work
+  /// the regular sliding window has already passed over (it only ever
+  /// looks at [now + k, now + k + period)), typically because the breaker
+  /// shed it or the workflow stayed stuck through its window.
+  Result<std::vector<MissedResume>> SelectMissedResume(
+      EpochSeconds now, DurationSeconds lookback, DurationSeconds k) const;
+
+  /// Whether the database still exists (a queued workflow whose target
+  /// was dropped must be retired, not attempted).
+  bool Contains(DbId db) const { return entries_.count(db) != 0; }
+
+  /// Deletes the database's row, entry, and index slot (customer dropped
+  /// the database).  Deleting an unknown id is a no-op.
+  Status Remove(DbId db);
+
   /// Number of databases currently in the given state.
   uint64_t CountInState(policy::DbState state) const;
 
@@ -68,6 +92,7 @@ class MetadataStore {
   sql::Statement insert_stmt_;
   sql::Statement update_stmt_;
   sql::Statement select_due_stmt_;
+  sql::Statement delete_stmt_;
   std::unordered_map<DbId, Entry> entries_;
   /// (predicted_start, db) for physically paused databases with a
   /// prediction.

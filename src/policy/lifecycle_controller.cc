@@ -174,6 +174,16 @@ Status LifecycleController::OnForcedEviction(EpochSeconds now) {
   return Status::OK();
 }
 
+Status LifecycleController::OnMaintenanceTouch(EpochSeconds now) {
+  (void)now;  // virtual-clock signature symmetry; the touch is stateless
+  if (state_ != DbState::kPhysicallyPaused) {
+    return Status::FailedPrecondition(
+        "maintenance touch requires a physically paused database");
+  }
+  ++stats_.maintenance_touches;
+  return Status::OK();
+}
+
 void LifecycleController::RefreshPrediction(EpochSeconds now) {
   auto old_result =
       history_->DeleteOldHistory(config_.prediction.history_length, now);

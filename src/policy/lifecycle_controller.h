@@ -67,6 +67,7 @@ class LifecycleController {
     uint64_t predictions_made = 0;
     uint64_t reactive_fallbacks = 0;      // prediction component failures
     uint64_t forced_evictions = 0;
+    uint64_t maintenance_touches = 0;
     uint64_t history_errors = 0;          // failed history-store operations
     uint64_t corruption_errors = 0;       // history errors typed Corruption
     uint64_t degraded_enters = 0;         // transitions into degraded mode
@@ -106,6 +107,14 @@ class LifecycleController {
 
   /// Node capacity pressure reclaims a logically paused database early.
   Status OnForcedEviction(EpochSeconds now);
+
+  /// Control-plane maintenance touch: a background workflow briefly
+  /// visits a physically paused database (integrity check, metadata
+  /// refresh) without changing its lifecycle state.  Valid only while
+  /// physically paused — any other state returns FailedPrecondition,
+  /// giving maintenance workflows the same skipped-on-state-change
+  /// semantics as pre-warms.
+  Status OnMaintenanceTouch(EpochSeconds now);
 
   DbState state() const { return state_; }
   bool active() const { return active_; }

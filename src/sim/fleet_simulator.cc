@@ -5,11 +5,13 @@
 #include <memory>
 #include <queue>
 
+#include "common/backoff.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
 #include "history/sql_history_store.h"
+#include "sim/resume_capacity.h"
 #include "telemetry/usage_ledger.h"
 
 namespace prorp::sim {
@@ -36,6 +38,8 @@ enum class SimEventType : uint8_t {
   kEviction,         // capacity-pressure reclamation attempt
   kResumeLatencyDone,  // reactive resume finished; resources usable
   kMeasureStart,     // KPI window begins: swap ledger/recorder
+  kPumpTick,         // storm layer: periodic reactive drain + watchdog
+  kMaintenanceTick,  // storm layer: enqueue background maintenance load
 };
 
 /// Deterministic per-node outage windows over [0, end).  Derived from the
@@ -46,26 +50,54 @@ class OutageSchedule {
  public:
   static OutageSchedule Build(const SimOptions& options) {
     OutageSchedule schedule;
-    if (options.num_nodes <= 0 || options.outage_rate_per_day <= 0 ||
-        options.outage_duration <= 0) {
-      return schedule;
+    bool random_on = options.num_nodes > 0 &&
+                     options.outage_rate_per_day > 0 &&
+                     options.outage_duration > 0;
+    bool fleet_on = options.fleet_outage_duration > 0 &&
+                    options.fleet_outage_at < options.end;
+    if (!random_on && !fleet_on) return schedule;
+    size_t num_nodes =
+        options.num_nodes > 0 ? static_cast<size_t>(options.num_nodes) : 1;
+    schedule.nodes_.resize(num_nodes);
+    if (random_on) {
+      double mean_gap = static_cast<double>(kSecondsPerDay) /
+                        options.outage_rate_per_day;
+      for (size_t node = 0; node < schedule.nodes_.size(); ++node) {
+        Rng rng(options.seed ^
+                (0xA24BAED4963EE407ULL * (static_cast<uint64_t>(node) + 1)));
+        EpochSeconds t = 0;
+        for (;;) {
+          t += static_cast<DurationSeconds>(rng.NextExponential(mean_gap));
+          if (t >= options.end) break;
+          EpochSeconds down_until =
+              std::min(t + options.outage_duration, options.end);
+          schedule.nodes_[node].push_back({t, down_until});
+          t = down_until;
+        }
+      }
     }
-    schedule.nodes_.resize(static_cast<size_t>(options.num_nodes));
-    double mean_gap = static_cast<double>(kSecondsPerDay) /
-                      options.outage_rate_per_day;
-    for (size_t node = 0; node < schedule.nodes_.size(); ++node) {
-      Rng rng(options.seed ^
-              (0xA24BAED4963EE407ULL * (static_cast<uint64_t>(node) + 1)));
-      EpochSeconds t = 0;
-      for (;;) {
-        t += static_cast<DurationSeconds>(rng.NextExponential(mean_gap));
-        if (t >= options.end) break;
-        EpochSeconds down_until =
-            std::min(t + options.outage_duration, options.end);
-        schedule.nodes_[node].push_back({t, down_until});
+    if (fleet_on) {
+      // The fleet-wide correlated window hits every node; overlapping
+      // windows are merged below so DownAt's prev-window invariant holds.
+      EpochSeconds at = std::max<EpochSeconds>(0, options.fleet_outage_at);
+      EpochSeconds until =
+          std::min(at + options.fleet_outage_duration, options.end);
+      for (auto& wins : schedule.nodes_) wins.push_back({at, until});
+    }
+    for (auto& wins : schedule.nodes_) {
+      std::sort(wins.begin(), wins.end());
+      std::vector<std::pair<EpochSeconds, EpochSeconds>> merged;
+      for (const auto& w : wins) {
+        if (!merged.empty() && w.first <= merged.back().second) {
+          merged.back().second = std::max(merged.back().second, w.second);
+        } else {
+          merged.push_back(w);
+        }
+      }
+      wins = std::move(merged);
+      for (const auto& w : wins) {
         ++schedule.windows_;
-        schedule.seconds_ += static_cast<uint64_t>(down_until - t);
-        t = down_until;
+        schedule.seconds_ += static_cast<uint64_t>(w.second - w.first);
       }
     }
     return schedule;
@@ -76,15 +108,24 @@ class OutageSchedule {
   uint64_t seconds() const { return seconds_; }
 
   bool DownAt(size_t node, EpochSeconds t) const {
+    return DownUntil(node, t) != 0;
+  }
+
+  /// End of the outage window covering t on the node, or 0 when the node
+  /// is up at t.
+  EpochSeconds DownUntil(size_t node, EpochSeconds t) const {
     const auto& wins = nodes_[node % nodes_.size()];
     // First window starting after t; the one before it is the only
-    // candidate containing t.
+    // candidate containing t (windows are merged, hence disjoint).
     auto it = std::upper_bound(
         wins.begin(), wins.end(), t,
         [](EpochSeconds v, const std::pair<EpochSeconds, EpochSeconds>& w) {
           return v < w.first;
         });
-    return it != wins.begin() && t < std::prev(it)->second;
+    if (it != wins.begin() && t < std::prev(it)->second) {
+      return std::prev(it)->second;
+    }
+    return 0;
   }
 
  private:
@@ -122,6 +163,12 @@ struct DbRuntime {
   /// database's fleet-global id so the draws are identical whether the
   /// fleet runs in one piece or sharded across workers.
   Rng eviction_rng{0};
+  /// Storm layer: time of the reactive login currently waiting for
+  /// resources (0 = none) and the generation it was issued under, so the
+  /// first matching completion event records the login delay exactly once
+  /// (a hedge produces a second, ignored, completion).
+  EpochSeconds reactive_login_at = 0;
+  uint64_t reactive_login_gen = 0;
 };
 
 /// One discrete-event simulation over a contiguous slice of the fleet.
@@ -184,6 +231,12 @@ class FleetSimulation {
   /// eviction scheduling, reactive-resume latency.
   void OnTransition(DbId db, const policy::TransitionEvent& e);
 
+  /// Home node of a database (fleet-global id modulo the node count).
+  size_t NodeOf(DbId db) const {
+    return static_cast<size_t>(db_offset_ + db) %
+           static_cast<size_t>(std::max(1, options_.num_nodes));
+  }
+
   Status HandleDbCreated(const SimEvent& ev);
   Status HandleSessionStart(const SimEvent& ev);
   Status HandleSessionEnd(const SimEvent& ev);
@@ -193,6 +246,8 @@ class FleetSimulation {
   Status HandleEviction(const SimEvent& ev);
   Status HandleResumeLatencyDone(const SimEvent& ev);
   void HandleMeasureStart(const SimEvent& ev);
+  Status HandlePumpTick(const SimEvent& ev);
+  Status HandleMaintenanceTick(const SimEvent& ev);
 
   const workload::DbTrace* traces_;
   size_t num_traces_;
@@ -206,6 +261,12 @@ class FleetSimulation {
 
   OutageSchedule outages_;
   telemetry::RobustnessReport robustness_;
+  /// Storm layer (null when disabled): finite per-node resume capacity.
+  std::unique_ptr<NodeCapacityModel> capacity_;
+  /// Reactive login-to-resources delays inside the measurement window.
+  Summary login_delay_;
+  /// Round-robin cursor of the maintenance sweep.
+  DbId maint_cursor_ = 0;
   std::vector<DbRuntime> dbs_;
   std::vector<Phase> current_phase_;
   std::vector<bool> phase_known_;
@@ -233,8 +294,18 @@ void FleetSimulation::OnTransition(DbId db,
       if (e.cause == TransitionCause::kReactiveResume) {
         // Resources take resume_latency to come back; the customer waits.
         SetPhase(db, Phase::kUnavailable, e.time);
-        Push(e.time + options_.resume_latency,
-             SimEventType::kResumeLatencyDone, db, rt.generation);
+        if (options_.storm_layer_enabled()) {
+          // The reactive resume routes through the control plane's
+          // multi-class queue and the finite node capacity: the delay is
+          // base service time plus whatever congestion the node has.
+          rt.reactive_login_at = e.time;
+          rt.reactive_login_gen = rt.generation;
+          (void)management_->EnqueueReactive(db, e.time);
+          (void)management_->Pump(e.time);
+        } else {
+          Push(e.time + options_.resume_latency,
+               SimEventType::kResumeLatencyDone, db, rt.generation);
+        }
       } else {
         SetPhase(db, Phase::kActive, e.time);
       }
@@ -386,13 +457,53 @@ Status FleetSimulation::HandleEviction(const SimEvent& ev) {
 
 Status FleetSimulation::HandleResumeLatencyDone(const SimEvent& ev) {
   DbRuntime& rt = dbs_[ev.db];
-  if (rt.controller == nullptr || rt.generation != ev.aux) {
-    return Status::OK();
+  if (rt.controller == nullptr) return Status::OK();
+  if (options_.storm_layer_enabled() && rt.reactive_login_at > 0 &&
+      ev.aux == rt.reactive_login_gen) {
+    // First completion (original or hedge) wins; later ones fall through
+    // to the generation check below and are dropped as stale.
+    management_->CompleteWorkflow(ev.db, ev.time);
+    if (rt.reactive_login_at >= options_.measure_from) {
+      login_delay_.Add(static_cast<double>(ev.time - rt.reactive_login_at));
+    }
+    rt.reactive_login_at = 0;
   }
+  if (rt.generation != ev.aux) return Status::OK();
   if (rt.controller->active() &&
       current_phase_[ev.db] == Phase::kUnavailable) {
     SetPhase(ev.db, Phase::kActive, ev.time);
   }
+  return Status::OK();
+}
+
+Status FleetSimulation::HandlePumpTick(const SimEvent& ev) {
+  // Reactive work arriving between proactive iterations must not wait for
+  // the next RunOnce: drain the reactive class and run the watchdog.
+  (void)management_->Pump(ev.time);
+  EpochSeconds next =
+      ev.time + options_.config.control_plane.resume_operation_period;
+  if (next < options_.end) Push(next, SimEventType::kPumpTick, 0, 0);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleMaintenanceTick(const SimEvent& ev) {
+  // Enqueue up to maintenance_batch physically paused idle databases as
+  // lowest-class touches, round-robin over the fleet slice.
+  size_t enqueued = 0;
+  for (size_t scanned = 0;
+       scanned < dbs_.size() && enqueued < options_.maintenance_batch;
+       ++scanned) {
+    DbId db = maint_cursor_;
+    maint_cursor_ = (maint_cursor_ + 1) % dbs_.size();
+    DbRuntime& rt = dbs_[db];
+    if (rt.controller == nullptr ||
+        rt.controller->state() != DbState::kPhysicallyPaused) {
+      continue;
+    }
+    if (management_->EnqueueMaintenance(db, ev.time).ok()) ++enqueued;
+  }
+  EpochSeconds next = ev.time + options_.maintenance_interval;
+  if (next < options_.end) Push(next, SimEventType::kMaintenanceTick, 0, 0);
   return Status::OK();
 }
 
@@ -427,28 +538,84 @@ Result<SimReport> FleetSimulation::Run() {
   robustness_.outage_windows = outages_.windows();
   robustness_.outage_seconds = outages_.seconds();
 
+  if (options_.storm_layer_enabled()) {
+    CapacityOptions cap;
+    cap.num_nodes = static_cast<size_t>(std::max(1, options_.num_nodes));
+    cap.concurrency_per_node = options_.resume_concurrency_per_node;
+    cap.service_time = options_.resume_latency;
+    cap.admission_rate = options_.node_admission_rate;
+    cap.admission_burst = options_.node_admission_burst;
+    cap.queue_jitter_max = options_.resume_queue_jitter_max;
+    cap.seed = options_.seed;
+    capacity_ = std::make_unique<NodeCapacityModel>(cap);
+  }
+
   Rng failure_rng = rng_.Fork();
   management_ = std::make_unique<controlplane::ManagementService>(
       metadata_.get(), options_.config.control_plane,
-      [this, failure_rng](DbId db, EpochSeconds now) mutable -> Status {
-        if (outages_.enabled() &&
-            outages_.DownAt(static_cast<size_t>(db_offset_ + db) %
-                                static_cast<size_t>(options_.num_nodes),
-                            now)) {
+      [this, failure_rng](const controlplane::ResumeAttempt& a,
+                          EpochSeconds now) mutable -> Status {
+        size_t node = NodeOf(a.db);
+        if (a.node_offset != 0) {
+          // Hedge: route to a different (least-loaded) node.
+          node = capacity_ != nullptr
+                     ? capacity_->LeastLoadedOther(node, now)
+                     : (node + static_cast<size_t>(a.node_offset)) %
+                           static_cast<size_t>(
+                               std::max(1, options_.num_nodes));
+        }
+        if (a.cls == controlplane::ResumeClass::kReactiveLogin) {
+          // The customer's connection retry loop rides out outages and
+          // congestion: the workflow never fails, it just takes longer.
+          DbRuntime& rt = dbs_[a.db];
+          if (rt.controller == nullptr || rt.reactive_login_at == 0 ||
+              current_phase_[a.db] != Phase::kUnavailable) {
+            return Status::FailedPrecondition("login no longer waiting");
+          }
+          EpochSeconds blocked_until =
+              outages_.enabled() ? outages_.DownUntil(node, now) : 0;
+          NodeCapacityModel::Grant g = capacity_->Acquire(
+              node, now, common::JitterHash(a.db, a.attempt), blocked_until,
+              /*limited=*/false);
+          Push(g.done, SimEventType::kResumeLatencyDone, a.db,
+               rt.reactive_login_gen);
+          return Status::OK();
+        }
+        if (outages_.enabled() && outages_.DownAt(node, now)) {
           ++robustness_.resume_failures_outage;
           return Status::Unavailable("node outage");
+        }
+        if (a.cls == controlplane::ResumeClass::kMaintenance) {
+          DbRuntime& rt = dbs_[a.db];
+          if (rt.controller == nullptr) {
+            return Status::FailedPrecondition("database not yet created");
+          }
+          Status s = rt.controller->OnMaintenanceTouch(now);
+          if (s.ok() && capacity_ != nullptr) {
+            (void)capacity_->Acquire(node, now,
+                                     common::JitterHash(a.db, a.attempt), 0);
+          }
+          return s;
         }
         if (options_.resume_failure_probability > 0 &&
             failure_rng.NextBool(options_.resume_failure_probability)) {
           ++robustness_.resume_failures_injected;
           return Status::Unavailable("injected workflow failure");
         }
-        DbRuntime& rt = dbs_[db];
+        DbRuntime& rt = dbs_[a.db];
         if (rt.controller == nullptr) {
           return Status::FailedPrecondition("database not yet created");
         }
         Status s = rt.controller->OnProactiveResume(now);
-        if (s.ok()) SyncTimer(db);
+        if (s.ok()) {
+          SyncTimer(a.db);
+          if (capacity_ != nullptr) {
+            // Pre-warms consume node capacity too — this is exactly the
+            // coupling a naive post-outage catch-up abuses.
+            (void)capacity_->Acquire(node, now,
+                                     common::JitterHash(a.db, a.attempt), 0);
+          }
+        }
         return s;
       });
 
@@ -476,6 +643,20 @@ Result<SimReport> FleetSimulation::Run() {
     // would only scan an empty metadata store.
     if (earliest_start + 1 < options_.end) {
       Push(earliest_start + 1, SimEventType::kResumeOpTick, 0, 0);
+    }
+  } else if (options_.storm_layer_enabled()) {
+    // No RunOnce iterations: the pump tick keeps the reactive drain and
+    // the deadline watchdog running between logins.
+    if (earliest_start + 1 < options_.end) {
+      Push(earliest_start + 1, SimEventType::kPumpTick, 0, 0);
+    }
+  }
+  if (options_.storm_layer_enabled() &&
+      options_.maintenance_interval > 0 && options_.maintenance_batch > 0 &&
+      options_.mode == PolicyMode::kProactive) {
+    EpochSeconds first = earliest_start + options_.maintenance_interval;
+    if (first < options_.end) {
+      Push(first, SimEventType::kMaintenanceTick, 0, 0);
     }
   }
   if (options_.scrub_interval > 0 && options_.sql_history_count > 0) {
@@ -524,6 +705,12 @@ Result<SimReport> FleetSimulation::Run() {
       case SimEventType::kMeasureStart:
         HandleMeasureStart(ev);
         break;
+      case SimEventType::kPumpTick:
+        PRORP_RETURN_IF_ERROR(HandlePumpTick(ev));
+        break;
+      case SimEventType::kMaintenanceTick:
+        PRORP_RETURN_IF_ERROR(HandleMaintenanceTick(ev));
+        break;
       case SimEventType::kAllocationSample: {
         allocated_samples_.Add(static_cast<double>(allocated_now_));
         EpochSeconds next_sample = ev.time + Minutes(5);
@@ -549,6 +736,8 @@ Result<SimReport> FleetSimulation::Run() {
       robustness_.history_errors += rt.controller->stats().history_errors;
       robustness_.corruption_errors +=
           rt.controller->stats().corruption_errors;
+      robustness_.maintenance_touches +=
+          rt.controller->stats().maintenance_touches;
     }
     if (rt.sql_history != nullptr) {
       const storage::IntegrityStats& is = rt.sql_history->integrity_stats();
@@ -565,6 +754,8 @@ Result<SimReport> FleetSimulation::Run() {
   report.robustness = robustness_;
   report.pending_failed = management_->pending_failed();
   report.resumed_per_iteration = management_->resumed_per_iteration();
+  report.login_delay = login_delay_;
+  if (capacity_ != nullptr) report.resume_waits = capacity_->waits();
   report.measure_from = measure_from;
   report.measure_end = options_.end;
   report.allocated_samples = allocated_samples_;
@@ -618,6 +809,7 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
         s.diagnostics.skipped_state_changed;
     merged.diagnostics.failed_then_skipped +=
         s.diagnostics.failed_then_skipped;
+    merged.diagnostics.failed_then_shed += s.diagnostics.failed_then_shed;
     merged.diagnostics.incidents += s.diagnostics.incidents;
     merged.diagnostics.backoff_retries_scheduled +=
         s.diagnostics.backoff_retries_scheduled;
@@ -627,6 +819,37 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
     merged.diagnostics.breaker_opens += s.diagnostics.breaker_opens;
     merged.diagnostics.breaker_state_changes +=
         s.diagnostics.breaker_state_changes;
+    for (size_t c = 0; c < controlplane::kNumResumeClasses; ++c) {
+      controlplane::ClassDiagnostics& m = merged.diagnostics.per_class[c];
+      const controlplane::ClassDiagnostics& v = s.diagnostics.per_class[c];
+      m.enqueued += v.enqueued;
+      m.resumed += v.resumed;
+      m.shed_admission += v.shed_admission;
+      m.shed_evicted += v.shed_evicted;
+      m.stuck += v.stuck;
+      m.mitigated += v.mitigated;
+      m.incidents += v.incidents;
+      m.skipped_state_changed += v.skipped_state_changed;
+      m.failed_then_skipped += v.failed_then_skipped;
+      m.failed_then_shed += v.failed_then_shed;
+      m.deadline_breaches += v.deadline_breaches;
+      m.hedged += v.hedged;
+      m.hedge_wins += v.hedge_wins;
+    }
+    merged.diagnostics.storms_detected += s.diagnostics.storms_detected;
+    merged.diagnostics.slow_start_ticks += s.diagnostics.slow_start_ticks;
+    merged.diagnostics.quota_deferrals += s.diagnostics.quota_deferrals;
+    merged.diagnostics.catch_up_enqueued += s.diagnostics.catch_up_enqueued;
+    merged.diagnostics.deleted_while_queued +=
+        s.diagnostics.deleted_while_queued;
+    merged.diagnostics.max_brownout_level =
+        std::max(merged.diagnostics.max_brownout_level,
+                 s.diagnostics.max_brownout_level);
+    merged.diagnostics.queue_wait.Merge(s.diagnostics.queue_wait);
+    merged.diagnostics.in_flight_duration.Merge(
+        s.diagnostics.in_flight_duration);
+    merged.login_delay.Merge(s.login_delay);
+    merged.resume_waits.Merge(s.resume_waits);
     merged.pending_failed += s.pending_failed;
     merged.robustness.AccumulateShard(s.robustness);
   }
@@ -660,8 +883,10 @@ Result<SimReport> RunFleetSimulation(
                              traces.size())
           : 1;
   // Proactive mode couples databases through the shared metadata store
-  // and management service; it always runs as one event loop.
-  if (options.mode == PolicyMode::kProactive || num_shards <= 1) {
+  // and management service, and the storm layer couples them through the
+  // shared node capacity; both always run as one event loop.
+  if (options.mode == PolicyMode::kProactive || num_shards <= 1 ||
+      options.storm_layer_enabled()) {
     FleetSimulation simulation(traces.data(), traces.size(), options, 0);
     return simulation.Run();
   }

@@ -28,8 +28,38 @@ struct SimOptions {
 
   /// Reaction time between a demand signal against a physically paused
   /// database and resources becoming available (the reactive-resume delay
-  /// of Section 2.2).
+  /// of Section 2.2).  With the storm layer enabled this becomes the BASE
+  /// service time of the per-node queueing model: actual latency is base
+  /// plus congestion wait (slots, tokens, outages).
   DurationSeconds resume_latency = 60;
+
+  // --- Resume-storm layer (DESIGN.md section 8) ---
+  /// Finite per-node resume concurrency; > 0 enables the storm layer:
+  /// resumes run through a NodeCapacityModel (slots + token bucket),
+  /// reactive logins route through the management service's multi-class
+  /// queue, and resume latency inflates under load.  0 keeps the legacy
+  /// scalar resume_latency model.  The storm layer couples the fleet
+  /// through shared node capacity, so it always runs the serial event
+  /// loop (num_threads is ignored).
+  int resume_concurrency_per_node = 0;
+  /// Token-bucket admission limiter per node: resume starts per second
+  /// (0 = unlimited) and burst allowance.
+  double node_admission_rate = 0;
+  double node_admission_burst = 4;
+  /// Deterministic jitter bound on contended resume grants.
+  DurationSeconds resume_queue_jitter_max = 5;
+  /// One fleet-wide correlated outage window [at, at + duration): every
+  /// node is down — the storm scenario's trigger.  duration <= 0
+  /// disables.  Composes with the per-node random outages below.
+  EpochSeconds fleet_outage_at = 0;
+  DurationSeconds fleet_outage_duration = 0;
+  /// Periodic maintenance-resume load (storm layer + proactive mode):
+  /// every interval, up to `batch` physically paused databases are
+  /// enqueued as lowest-class maintenance touches.  0 disables.
+  DurationSeconds maintenance_interval = 0;
+  size_t maintenance_batch = 0;
+
+  bool storm_layer_enabled() const { return resume_concurrency_per_node > 0; }
 
   /// Per-hour hazard of a logically paused database being reclaimed early
   /// by node capacity pressure (0 disables).
@@ -107,6 +137,12 @@ struct SimReport {
   uint64_t pending_failed = 0;
   /// Databases proactively resumed per operation iteration (Figure 11).
   Summary resumed_per_iteration;
+  /// Reactive login-to-resources delay samples inside the measurement
+  /// window (storm layer only; empty otherwise — the legacy model's delay
+  /// is the constant resume_latency).
+  Summary login_delay;
+  /// Congestion waits of every capacity grant (storm layer only).
+  Summary resume_waits;
   /// Per-database history sizes at simulation end (Figure 10(a)/(b)).
   Summary history_tuples;
   Summary history_bytes;

@@ -1,0 +1,86 @@
+#ifndef PRORP_SIM_RESUME_CAPACITY_H_
+#define PRORP_SIM_RESUME_CAPACITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time_util.h"
+
+namespace prorp::sim {
+
+/// Knobs of the per-node resume queueing model (SimOptions mirrors these;
+/// see DESIGN.md section 8).
+struct CapacityOptions {
+  size_t num_nodes = 1;
+  /// Resume workflows a node executes concurrently.
+  int concurrency_per_node = 4;
+  /// Service time of one resume once it starts executing (the base term
+  /// of base + congestion).
+  DurationSeconds service_time = 60;
+  /// Token-bucket admission limiter: resume starts per second per node
+  /// (0 = unlimited) with a burst allowance.  Tokens throttle how fast a
+  /// freshly healed node accepts work — the knob a storm abuses.
+  double admission_rate = 0;
+  double admission_burst = 4;
+  /// Deterministic jitter in [0, max] added ONLY to contended grants
+  /// (start > now), de-synchronizing a herd that queued up at the same
+  /// instant.  Uncontended grants start exactly at `now`, which is what
+  /// keeps a fault-free run bit-identical to the scalar-latency model.
+  DurationSeconds queue_jitter_max = 5;
+  uint64_t seed = 0;
+};
+
+/// Finite resume capacity of the simulated fleet's nodes: each node owns
+/// `concurrency_per_node` slots and a token bucket.  A resume request is
+/// granted the earliest start compatible with a free slot, an available
+/// token, and any outage (`blocked_until`), so resume latency inflates
+/// under load (base service time + congestion wait) instead of staying
+/// the scalar `resume_latency`.
+///
+/// Purely arithmetic and driven by the caller's virtual clock: identical
+/// call sequences yield identical grants, whatever the wall clock does.
+class NodeCapacityModel {
+ public:
+  explicit NodeCapacityModel(const CapacityOptions& options);
+
+  struct Grant {
+    EpochSeconds start = 0;  // when the resume begins executing
+    EpochSeconds done = 0;   // when resources are usable
+    DurationSeconds wait = 0;  // start - now (queueing + token + outage)
+  };
+
+  /// Books one resume on `node` (modulo the node count) at virtual time
+  /// `now`.  `jitter_key` seeds the deterministic contention jitter;
+  /// `blocked_until` defers the start past an outage (0 = none).
+  /// `limited` = false bypasses the token bucket (reactive logins are
+  /// never admission-limited — only physical slots and outages delay
+  /// them); control-plane-initiated work passes true.
+  Grant Acquire(size_t node, EpochSeconds now, uint64_t jitter_key,
+                EpochSeconds blocked_until = 0, bool limited = true);
+
+  /// The node (!= home unless there is only one) whose earliest slot
+  /// frees soonest — the hedge-routing target.
+  size_t LeastLoadedOther(size_t home, EpochSeconds now) const;
+
+  uint64_t grants() const { return grants_; }
+  /// Waits of every grant (congestion telemetry; all zeros when the
+  /// fleet is uncontended).
+  const Summary& waits() const { return waits_; }
+
+ private:
+  struct Node {
+    std::vector<EpochSeconds> slot_free;  // per-slot next-free time
+    double tokens = 0;
+    EpochSeconds refilled_at = 0;
+  };
+
+  CapacityOptions options_;
+  std::vector<Node> nodes_;
+  Summary waits_;
+  uint64_t grants_ = 0;
+};
+
+}  // namespace prorp::sim
+
+#endif  // PRORP_SIM_RESUME_CAPACITY_H_

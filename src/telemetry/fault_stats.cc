@@ -18,6 +18,7 @@ void RobustnessReport::AccumulateShard(const RobustnessReport& shard) {
   scrub_passes += shard.scrub_passes;
   scrub_pages += shard.scrub_pages;
   scrub_errors += shard.scrub_errors;
+  maintenance_touches += shard.maintenance_touches;
 }
 
 std::string RobustnessReport::ToString() const {

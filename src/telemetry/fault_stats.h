@@ -48,6 +48,9 @@ struct RobustnessReport {
   uint64_t scrub_passes = 0;
   uint64_t scrub_pages = 0;
   uint64_t scrub_errors = 0;
+  /// Maintenance resume workflows that touched a physically paused
+  /// database (the lowest workflow class of the storm layer).
+  uint64_t maintenance_touches = 0;
 
   /// Sums the per-shard counters; leaves the fleet-global schedule
   /// fields untouched (callers copy those from one shard).

@@ -1,0 +1,47 @@
+#ifndef PRORP_TELEMETRY_HISTOGRAM_H_
+#define PRORP_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace prorp::telemetry {
+
+/// Fixed-footprint log2-bucketed histogram of non-negative integer
+/// samples (latencies and waits in seconds).  Bucket 0 holds the value 0;
+/// bucket b >= 1 holds [2^(b-1), 2^b).  Unlike Summary it never grows
+/// with the sample count, so it can sit inside DiagnosticsReport and be
+/// bumped on every workflow without memory concerns; the price is that
+/// percentiles are bucket-resolution estimates, reported as the upper
+/// edge of the bucket holding the requested rank (clamped to the observed
+/// max, so Percentile(1.0) is exact).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Add(int64_t value);
+
+  /// Adds the other histogram's buckets to this one (shard merging).
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Upper-edge estimate of the q-quantile (q in [0, 1]); 0 on an empty
+  /// histogram.
+  double Percentile(double q) const;
+
+  /// "n=.. p50=.. p95=.. p99=.. max=.." row for bench output.
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t max_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace prorp::telemetry
+
+#endif  // PRORP_TELEMETRY_HISTOGRAM_H_

@@ -1,0 +1,162 @@
+#include "sim/resume_capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace prorp::sim {
+namespace {
+
+CapacityOptions Base() {
+  CapacityOptions o;
+  o.num_nodes = 1;
+  o.concurrency_per_node = 2;
+  o.service_time = 60;
+  o.admission_rate = 0;  // token bucket off unless a test opts in
+  o.queue_jitter_max = 0;
+  return o;
+}
+
+TEST(NodeCapacityModelTest, UncontendedGrantsStartImmediately) {
+  NodeCapacityModel m(Base());
+  NodeCapacityModel::Grant g = m.Acquire(0, 100, 1);
+  EXPECT_EQ(g.start, 100);
+  EXPECT_EQ(g.wait, 0);
+  EXPECT_EQ(g.done, 160);
+  // The second slot is free too.
+  EXPECT_EQ(m.Acquire(0, 100, 2).start, 100);
+  EXPECT_EQ(m.grants(), 2u);
+  EXPECT_DOUBLE_EQ(m.waits().Max(), 0.0);
+}
+
+TEST(NodeCapacityModelTest, SlotContentionQueuesExactly) {
+  CapacityOptions o = Base();
+  o.concurrency_per_node = 1;
+  NodeCapacityModel m(o);
+  EXPECT_EQ(m.Acquire(0, 100, 1).done, 160);
+  NodeCapacityModel::Grant g2 = m.Acquire(0, 100, 2);
+  EXPECT_EQ(g2.start, 160);
+  EXPECT_EQ(g2.wait, 60);
+  EXPECT_EQ(g2.done, 220);
+  EXPECT_EQ(m.Acquire(0, 100, 3).start, 220);
+  EXPECT_EQ(m.waits().count(), 3u);
+  EXPECT_DOUBLE_EQ(m.waits().Max(), 120.0);
+}
+
+TEST(NodeCapacityModelTest, JitterAppliesOnlyToContendedGrants) {
+  CapacityOptions o = Base();
+  o.concurrency_per_node = 1;
+  o.queue_jitter_max = 5;
+  NodeCapacityModel m(o);
+  // Uncontended: exact, even with jitter configured.  This is what keeps
+  // a fault-free simulator run bit-identical to the scalar-latency model.
+  EXPECT_EQ(m.Acquire(0, 100, 1).start, 100);
+  NodeCapacityModel::Grant g2 = m.Acquire(0, 100, 2);
+  EXPECT_GE(g2.start, 160);
+  EXPECT_LE(g2.start, 165);
+}
+
+TEST(NodeCapacityModelTest, TokenBucketPacesGrantsFromTheDeficit) {
+  CapacityOptions o = Base();
+  o.concurrency_per_node = 8;  // slots never bind here
+  o.admission_rate = 0.5;      // one token every 2 seconds
+  o.admission_burst = 1;
+  NodeCapacityModel m(o);
+  EXPECT_EQ(m.Acquire(0, 100, 1).start, 100);  // burst token
+  EXPECT_EQ(m.Acquire(0, 100, 2).start, 102);
+  // Deficit waits must stack: the third grant pays for a token accrued
+  // AFTER the one promised to the second grant, not from `now`.
+  EXPECT_EQ(m.Acquire(0, 100, 3).start, 104);
+  EXPECT_EQ(m.Acquire(0, 100, 4).start, 106);
+}
+
+TEST(NodeCapacityModelTest, BurstAllowsBackToBackGrantsAfterIdle) {
+  CapacityOptions o = Base();
+  o.concurrency_per_node = 8;
+  o.admission_rate = 0.5;
+  o.admission_burst = 2;
+  NodeCapacityModel m(o);
+  // A long idle period refills the bucket to the burst cap, no further.
+  EXPECT_EQ(m.Acquire(0, 1000, 1).start, 1000);
+  EXPECT_EQ(m.Acquire(0, 1000, 2).start, 1000);
+  EXPECT_EQ(m.Acquire(0, 1000, 3).start, 1002);
+}
+
+TEST(NodeCapacityModelTest, UnlimitedGrantBypassesTheTokenBucket) {
+  CapacityOptions o = Base();
+  o.concurrency_per_node = 8;
+  o.admission_rate = 0.01;
+  o.admission_burst = 1;
+  NodeCapacityModel m(o);
+  EXPECT_EQ(m.Acquire(0, 100, 1).start, 100);  // consumes the only token
+  // Reactive logins (limited = false) are slot- and outage-bound only.
+  EXPECT_EQ(m.Acquire(0, 100, 2, 0, /*limited=*/false).start, 100);
+  EXPECT_EQ(m.Acquire(0, 100, 3, 0, /*limited=*/false).start, 100);
+  // Control-plane work still pays: one token per 100 seconds.
+  EXPECT_EQ(m.Acquire(0, 100, 4).start, 200);
+}
+
+TEST(NodeCapacityModelTest, OutageDefersTheStart) {
+  NodeCapacityModel m(Base());
+  NodeCapacityModel::Grant g = m.Acquire(0, 100, 1, /*blocked_until=*/500);
+  EXPECT_EQ(g.start, 500);
+  EXPECT_EQ(g.wait, 400);
+  EXPECT_EQ(g.done, 560);
+}
+
+TEST(NodeCapacityModelTest, NodeIndexWrapsModuloNodeCount) {
+  CapacityOptions o = Base();
+  o.num_nodes = 3;
+  o.concurrency_per_node = 1;
+  NodeCapacityModel m(o);
+  m.Acquire(4, 100, 1);  // node 1
+  // Node 1's single slot is busy until 160; nodes 0 and 2 are idle.
+  EXPECT_EQ(m.Acquire(1, 100, 2).start, 160);
+  EXPECT_EQ(m.Acquire(0, 100, 3).start, 100);
+}
+
+TEST(NodeCapacityModelTest, LeastLoadedOtherPicksEarliestFreeNode) {
+  CapacityOptions o = Base();
+  o.num_nodes = 3;
+  o.concurrency_per_node = 1;
+  NodeCapacityModel m(o);
+  m.Acquire(1, 100, 1);  // node 1 free at 160
+  m.Acquire(2, 100, 2);  // node 2 free at 220 after the second grant
+  m.Acquire(2, 160, 3);
+  EXPECT_EQ(m.LeastLoadedOther(0, 100), 1u);
+  // The home node is excluded even when it is the idlest.
+  EXPECT_EQ(m.LeastLoadedOther(1, 100), 0u);
+}
+
+TEST(NodeCapacityModelTest, SingleNodeHedgesBackToHome) {
+  NodeCapacityModel m(Base());
+  EXPECT_EQ(m.LeastLoadedOther(0, 100), 0u);
+}
+
+TEST(NodeCapacityModelTest, IdenticalCallSequencesYieldIdenticalGrants) {
+  CapacityOptions o;
+  o.num_nodes = 4;
+  o.concurrency_per_node = 2;
+  o.service_time = 45;
+  o.admission_rate = 0.3;
+  o.admission_burst = 2;
+  o.queue_jitter_max = 7;
+  o.seed = 42;
+  NodeCapacityModel a(o);
+  NodeCapacityModel b(o);
+  for (int i = 0; i < 50; ++i) {
+    EpochSeconds now = 1000 + i * 3;
+    EpochSeconds blocked = (i % 7 == 0) ? now + 30 : 0;
+    bool limited = (i % 5) != 0;
+    NodeCapacityModel::Grant ga =
+        a.Acquire(i % 4, now, 100 + i, blocked, limited);
+    NodeCapacityModel::Grant gb =
+        b.Acquire(i % 4, now, 100 + i, blocked, limited);
+    EXPECT_EQ(ga.start, gb.start) << "grant " << i;
+    EXPECT_EQ(ga.done, gb.done) << "grant " << i;
+    EXPECT_EQ(ga.wait, gb.wait) << "grant " << i;
+  }
+  EXPECT_EQ(a.grants(), b.grants());
+  EXPECT_DOUBLE_EQ(a.waits().Sum(), b.waits().Sum());
+}
+
+}  // namespace
+}  // namespace prorp::sim
