@@ -111,6 +111,71 @@ inline void PrintLatencyRow(const std::string& label, const Summary& s) {
               s.empty() ? 0.0 : s.Max());
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable microbench output (BENCH_*.json).
+//
+// The micro harnesses persist one JSON document per run so the perf
+// trajectory of the storage hot path is diffable across PRs instead of
+// living in scrollback.  The schema is intentionally flat: one row per
+// workload plus a "derived" map of cross-workload ratios (speedups) that
+// the CI smoke gate asserts on.
+// ---------------------------------------------------------------------------
+
+/// One measured workload of a micro harness.
+struct MicroResult {
+  std::string name;    // e.g. "wal_append_group_sync" — snake_case, no quotes
+  int threads = 1;     // concurrent worker threads driving the workload
+  double ops = 0;      // total operations completed across all threads
+  double seconds = 0;  // wall-clock duration of the measured region
+  double p50_us = 0;   // per-op latency percentiles, microseconds
+  double p95_us = 0;
+  double p99_us = 0;
+
+  double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+inline void PrintMicroRow(const MicroResult& r) {
+  std::printf("%-28s threads=%-2d ops=%-9.0f %12.0f ops/s  "
+              "p50=%8.2fus p95=%8.2fus p99=%8.2fus\n",
+              r.name.c_str(), r.threads, r.ops, r.ops_per_sec(), r.p50_us,
+              r.p95_us, r.p99_us);
+}
+
+/// Writes `results` (+ derived ratios) as a JSON document at `path`.
+/// Returns false (after printing to stderr) if the file cannot be written;
+/// the numbers on stdout are unaffected.
+inline bool WriteMicroJson(
+    const std::string& path, const std::string& benchmark,
+    const std::string& mode, const std::vector<MicroResult>& results,
+    const std::vector<std::pair<std::string, double>>& derived) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"mode\": \"%s\",\n",
+               benchmark.c_str(), mode.c_str());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const MicroResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %d, \"ops\": %.0f, "
+                 "\"seconds\": %.6f, \"ops_per_sec\": %.1f, "
+                 "\"p50_us\": %.3f, \"p95_us\": %.3f, \"p99_us\": %.3f}%s\n",
+                 r.name.c_str(), r.threads, r.ops, r.seconds, r.ops_per_sec(),
+                 r.p50_us, r.p95_us, r.p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"derived\": {\n");
+  for (size_t i = 0; i < derived.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.3f%s\n", derived[i].first.c_str(),
+                 derived[i].second, i + 1 < derived.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace prorp::bench
 
 #endif  // PRORP_BENCH_BENCH_UTIL_H_

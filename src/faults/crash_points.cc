@@ -3,8 +3,8 @@
 namespace prorp::faults {
 
 std::vector<std::string_view> AllCrashPoints() {
-  return {kWalAppendPartial, kWalPreSync, kBtreeMidSplit, kSnapshotMidCopy,
-          kSnapshotPreRenameSync};
+  return {kWalAppendPartial, kWalPreSync, kWalGroupPreSync, kBtreeMidSplit,
+          kSnapshotMidCopy, kSnapshotPreRenameSync};
 }
 
 CrashPointRegistry& CrashPointRegistry::Global() {

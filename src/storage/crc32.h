@@ -6,9 +6,38 @@
 
 namespace prorp::storage {
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected).  Used to checksum WAL records
-/// and snapshot files so torn writes are detected during recovery.
+/// CRC-32 (IEEE 802.3 polynomial 0xEDB88320, reflected).  Used to checksum
+/// WAL frames, snapshot files, and v2 page headers so torn writes and
+/// silent medium corruption are detected.
+///
+/// Computed slice-by-8 (8 input bytes per table round) with an optional
+/// hardware path behind a one-time runtime dispatch; every path is
+/// bit-identical to the original byte-at-a-time table implementation, so
+/// checksums already on disk verify unchanged.
+///
+/// Chaining: the CRC of a concatenation can be computed piecewise by
+/// seeding each chunk with the CRC of the prefix:
+///   Crc32(a+b) == Crc32(b, /*seed=*/Crc32(a))
 uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+namespace internal {
+
+/// The original byte-at-a-time table implementation, kept as the
+/// bit-exactness reference for tests and as the portable fallback.
+uint32_t Crc32ByteAtATime(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+/// The slice-by-8 software path (exposed so tests can cover it even on
+/// machines where the dispatcher picks the hardware path).
+uint32_t Crc32SliceBy8(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+/// True when the runtime dispatch selected a hardware-accelerated path
+/// (ARMv8 CRC32 extension).  x86 SSE4.2's crc32 instruction implements
+/// the Castagnoli polynomial (0x82F63B78), not IEEE, so it can never be
+/// used here without changing every checksum on disk — on x86 the fast
+/// path is slice-by-8.
+bool Crc32UsesHardware();
+
+}  // namespace internal
 
 }  // namespace prorp::storage
 

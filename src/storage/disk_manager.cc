@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/io_util.h"
+
 namespace prorp::storage {
 
 Result<PageId> InMemoryDiskManager::Allocate() {
@@ -82,10 +84,8 @@ Result<PageId> FileDiskManager::Allocate() {
   if (!free_ids_.empty()) {
     PageId id = free_ids_.back();
     off_t offset = static_cast<off_t>(id) * kPageSize;
-    ssize_t written = ::pwrite(fd_, zeros, kPageSize, offset);
-    if (written != static_cast<ssize_t>(kPageSize)) {
-      return Status::IoError("pwrite failed while recycling page");
-    }
+    PRORP_RETURN_IF_ERROR(
+        io::PWriteFull(fd_, zeros, kPageSize, offset, "page recycle"));
     free_ids_.pop_back();
     return id;
   }
@@ -93,10 +93,8 @@ Result<PageId> FileDiskManager::Allocate() {
     return Status::ResourceExhausted("page id space exhausted");
   }
   off_t offset = static_cast<off_t>(num_pages_) * kPageSize;
-  ssize_t written = ::pwrite(fd_, zeros, kPageSize, offset);
-  if (written != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite failed while allocating page");
-  }
+  PRORP_RETURN_IF_ERROR(
+      io::PWriteFull(fd_, zeros, kPageSize, offset, "page allocate"));
   return num_pages_++;
 }
 
@@ -113,11 +111,7 @@ Status FileDiskManager::Read(PageId id, uint8_t* buf) {
     return Status::OutOfRange("read of unallocated page");
   }
   off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t got = ::pread(fd_, buf, kPageSize, offset);
-  if (got != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pread failed");
-  }
-  return Status::OK();
+  return io::PReadFull(fd_, buf, kPageSize, offset, "page read");
 }
 
 Status FileDiskManager::Write(PageId id, const uint8_t* buf) {
@@ -125,11 +119,7 @@ Status FileDiskManager::Write(PageId id, const uint8_t* buf) {
     return Status::OutOfRange("write of unallocated page");
   }
   off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t written = ::pwrite(fd_, buf, kPageSize, offset);
-  if (written != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite failed");
-  }
-  return Status::OK();
+  return io::PWriteFull(fd_, buf, kPageSize, offset, "page write");
 }
 
 uint32_t FileDiskManager::num_pages() const { return num_pages_; }

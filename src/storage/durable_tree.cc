@@ -156,9 +156,14 @@ Status DurableTree::LogAndMaybeSync(const WalRecord& rec) {
   ++lsn_;
   pool_->set_current_lsn(lsn_);
   if (wal_ == nullptr) return Status::OK();
-  PRORP_RETURN_IF_ERROR(wal_->Append(rec));
   if (options_.fsync_each_append) {
-    PRORP_RETURN_IF_ERROR(wal_->Sync());
+    // Group-commit path: append + durability in one blocking call.  A
+    // DurableTree is single-writer, so its batches degenerate to size 1,
+    // but routing through the group path keeps its crash points and
+    // batch-rollback logic under the same torture coverage as the tree.
+    PRORP_RETURN_IF_ERROR(wal_->AppendDurable(rec).status());
+  } else {
+    PRORP_RETURN_IF_ERROR(wal_->Append(rec));
   }
   return MaybeAutoCheckpoint();
 }

@@ -1,0 +1,140 @@
+#include "storage/io_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace prorp::storage::io {
+namespace {
+
+std::atomic<size_t> g_max_bytes_per_call{0};
+std::atomic<uint64_t> g_eintr_burst{0};
+
+/// Returns true when this call should fail with EINTR (test hook).
+bool ConsumeEintr() {
+  uint64_t n = g_eintr_burst.load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (g_eintr_burst.compare_exchange_weak(n, n - 1,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ClampChunk(size_t n) {
+  size_t cap = g_max_bytes_per_call.load(std::memory_order_relaxed);
+  return (cap != 0 && cap < n) ? cap : n;
+}
+
+Status Errno(const char* what, const char* verb) {
+  return Status::IoError(std::string(what) + ": " + verb + " failed: " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Status PReadFull(int fd, void* buf, size_t n, off_t off, const char* what) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    if (ConsumeEintr()) {
+      errno = EINTR;
+      continue;
+    }
+    ssize_t got = ::pread(fd, p + done, ClampChunk(n - done),
+                          off + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what, "pread");
+    }
+    if (got == 0) {
+      return Status::IoError(std::string(what) + ": short read (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const void* buf, size_t n, off_t off,
+                  const char* what) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    if (ConsumeEintr()) {
+      errno = EINTR;
+      continue;
+    }
+    ssize_t put = ::pwrite(fd, p + done, ClampChunk(n - done),
+                           off + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what, "pwrite");
+    }
+    if (put == 0) {
+      return Status::IoError(std::string(what) + ": pwrite made no progress");
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadUpTo(int fd, void* buf, size_t n, const char* what) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    if (ConsumeEintr()) {
+      errno = EINTR;
+      continue;
+    }
+    ssize_t got = ::read(fd, p + done, ClampChunk(n - done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what, "read");
+    }
+    if (got == 0) break;  // true end-of-file
+    done += static_cast<size_t>(got);
+  }
+  return done;
+}
+
+Status WriteFull(int fd, const void* buf, size_t n, const char* what) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    if (ConsumeEintr()) {
+      errno = EINTR;
+      continue;
+    }
+    ssize_t put = ::write(fd, p + done, ClampChunk(n - done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what, "write");
+    }
+    if (put == 0) {
+      return Status::IoError(std::string(what) + ": write made no progress");
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+void SetMaxBytesPerCallForTest(size_t max_bytes) {
+  g_max_bytes_per_call.store(max_bytes, std::memory_order_relaxed);
+}
+
+void SetEintrBurstForTest(uint64_t count) {
+  g_eintr_burst.store(count, std::memory_order_relaxed);
+}
+
+void ResetIoFaultsForTest() {
+  g_max_bytes_per_call.store(0, std::memory_order_relaxed);
+  g_eintr_burst.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace prorp::storage::io

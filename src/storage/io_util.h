@@ -1,0 +1,60 @@
+#ifndef PRORP_STORAGE_IO_UTIL_H_
+#define PRORP_STORAGE_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace prorp::storage::io {
+
+/// Full-transfer syscall wrappers.  POSIX allows pread/pwrite/read/write
+/// to transfer fewer bytes than requested (signal interruption, pipe-ish
+/// media, RLIMIT_FSIZE edges) and to fail outright with EINTR.  The
+/// storage engine treats any partial transfer of a page or WAL frame as
+/// an I/O error, so every call site goes through these wrappers, which
+/// retry on EINTR and resume after short transfers until the full count
+/// is moved or a real error occurs.
+///
+/// `what` names the caller in error messages ("WAL append", "page read").
+
+/// Reads exactly `n` bytes at `off`.  Hitting end-of-file before `n`
+/// bytes is an IoError (pages and frames are never legitimately split by
+/// EOF at these call sites).
+Status PReadFull(int fd, void* buf, size_t n, off_t off, const char* what);
+
+/// Writes exactly `n` bytes at `off`.
+Status PWriteFull(int fd, const void* buf, size_t n, off_t off,
+                  const char* what);
+
+/// Reads up to `n` bytes from the current offset, retrying EINTR and
+/// resuming after short reads.  Returns the number of bytes actually
+/// read, which is < `n` only at end-of-file.  The WAL replay loop uses
+/// this: a genuinely missing tail is a torn record, but a signal must
+/// not masquerade as one.
+Result<size_t> ReadUpTo(int fd, void* buf, size_t n, const char* what);
+
+/// Writes exactly `n` bytes at the current offset (append-mode fds).
+Status WriteFull(int fd, const void* buf, size_t n, const char* what);
+
+// ---------------------------------------------------------------------------
+// Test-only fault interposition
+// ---------------------------------------------------------------------------
+
+/// Caps the bytes any single underlying syscall transfers (0 = no cap).
+/// Lets tests prove the wrappers reassemble partial transfers.
+void SetMaxBytesPerCallForTest(size_t max_bytes);
+
+/// Makes the next `count` underlying syscalls fail with EINTR before
+/// touching the fd.  Decrements per intercepted call across all wrappers.
+void SetEintrBurstForTest(uint64_t count);
+
+/// Clears both interposition hooks.
+void ResetIoFaultsForTest();
+
+}  // namespace prorp::storage::io
+
+#endif  // PRORP_STORAGE_IO_UTIL_H_

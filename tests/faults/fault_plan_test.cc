@@ -126,7 +126,7 @@ TEST(CrashPointRegistryTest, DisarmedHitsAreFree) {
 
 TEST(CrashPointRegistryTest, AllCrashPointsAreEnumerated) {
   auto points = AllCrashPoints();
-  EXPECT_EQ(points.size(), 5u);
+  EXPECT_EQ(points.size(), 6u);
 }
 
 }  // namespace

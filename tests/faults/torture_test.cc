@@ -81,17 +81,24 @@ TEST_P(TortureMatrixTest, TreeSurvivesCrashBeforeSync) {
   auto hits_or = ObserveCrashPoints(
       opts, FreshDir("torture_sync_observe_" + std::to_string(seed)));
   ASSERT_TRUE(hits_or.ok()) << hits_or.status().ToString();
-  uint64_t count = (*hits_or)[std::string(kWalPreSync)];
-  ASSERT_GT(count, 0u);
 
-  for (uint64_t nth : NthChoices(count)) {
-    std::string dir = FreshDir("torture_sync_" + std::to_string(seed) +
-                               "_" + std::to_string(nth));
-    auto result = RunCrashTorture(opts, dir, kWalPreSync, nth);
-    ASSERT_TRUE(result.ok())
-        << "nth=" << nth << " seed=" << seed << ": "
-        << result.status().ToString();
-    EXPECT_TRUE(result->crashed);
+  // wal_group_pre_sync sits after the batched write but before the group
+  // fsync: crashing there is exactly the "batch written, nothing durable,
+  // nothing acked" window the group-commit rollback audit cares about.
+  for (std::string_view point : {kWalPreSync, kWalGroupPreSync}) {
+    uint64_t count = (*hits_or)[std::string(point)];
+    ASSERT_GT(count, 0u) << point;
+
+    for (uint64_t nth : NthChoices(count)) {
+      std::string dir = FreshDir("torture_sync_" + std::string(point) + "_" +
+                                 std::to_string(seed) + "_" +
+                                 std::to_string(nth));
+      auto result = RunCrashTorture(opts, dir, point, nth);
+      ASSERT_TRUE(result.ok())
+          << "point=" << point << " nth=" << nth << " seed=" << seed << ": "
+          << result.status().ToString();
+      EXPECT_TRUE(result->crashed) << point;
+    }
   }
 }
 
