@@ -1,0 +1,274 @@
+// Control-plane recovery cost: journal replay throughput as a function
+// of journal length, and the recovery-time bound checkpoints buy.  The
+// durability design (DESIGN.md section 10) journals every externally
+// visible control-plane transition, so the practical question is how
+// fast a restarted control plane gets back to serving — replay must be
+// memory-speed, and a checkpoint must cap the replayed tail at the
+// checkpoint interval regardless of journal age.  Exits non-zero if a
+// recovery fails, loses state (metadata export differs from the
+// pre-crash export), breaks the accounting invariant, or replays a
+// different record count than was appended.
+//
+// Usage: bench_recovery [--smoke]
+//   --smoke runs one bounded-time point (100k-record journal, with and
+//   without checkpoints) for CI gating.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "controlplane/durable_control_plane.h"
+
+namespace fs = std::filesystem;
+using namespace prorp;                // NOLINT: bench brevity
+using namespace prorp::controlplane;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr EpochSeconds kStart = 1'000'000;
+constexpr int kNumDbs = 512;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = fs::temp_directory_path().string() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct Point {
+  uint64_t records = 0;        // journal records at the simulated crash
+  uint64_t checkpoint_every = 0;  // 0 = no checkpoints
+  uint64_t replayed = 0;       // records replayed by recovery
+  uint64_t skipped = 0;        // records folded into the checkpoint
+  double journal_mb = 0;
+  double build_s = 0;
+  double recover_ms = 0;
+  double replay_per_sec = 0;
+};
+
+/// Always-succeeding node side: resumes take effect immediately and the
+/// oracle answers from the effect set.
+struct NodeSide {
+  std::unordered_set<DbId> resumed;
+
+  ManagementService::ResumeCallback Callback() {
+    return [this](const ResumeAttempt& a, EpochSeconds) -> Status {
+      resumed.insert(a.db);
+      return Status::OK();
+    };
+  }
+  std::function<bool(DbId)> Oracle() {
+    return [this](DbId db) { return resumed.count(db) != 0; };
+  }
+};
+
+/// Drives metadata churn + reactive logins through a DurableControlPlane
+/// until the journal holds at least `target_records`, then kills the
+/// plane abruptly and times the recovery Open.  Returns non-zero on any
+/// correctness failure.
+int RunPoint(uint64_t target_records, uint64_t checkpoint_every,
+             Point* point) {
+  std::string dir = FreshDir("bench_recovery_" +
+                             std::to_string(target_records) + "_" +
+                             std::to_string(checkpoint_every));
+  DurableControlPlane::Options options;
+  options.dir = dir;
+  options.sync_mode = ControlPlaneJournal::SyncMode::kBuffered;
+  options.checkpoint_every = checkpoint_every;
+  NodeSide node;
+
+  auto plane = DurableControlPlane::Open(options, node.Callback(),
+                                         node.Oracle(), kStart);
+  if (!plane.ok()) {
+    std::fprintf(stderr, "open: %s\n", plane.status().ToString().c_str());
+    return 1;
+  }
+
+  // Each step journals ~4 records: a metadata upsert (physical pause with
+  // a predicted start), an accepted reactive login, its dispatch, and its
+  // completion — the same record mix a real region produces.
+  auto build_start = Clock::now();
+  EpochSeconds now = kStart;
+  DbId db = 0;
+  while ((*plane)->journal().appended_records() < target_records) {
+    db = (db + 1) % kNumDbs;
+    now += 1;
+    node.resumed.erase(db);
+    if (Status s = (*plane)->metadata().UpsertState(
+            db, policy::DbState::kPhysicallyPaused, now + 600);
+        !s.ok()) {
+      std::fprintf(stderr, "upsert: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = (*plane)->service().EnqueueReactive(db, now); !s.ok()) {
+      std::fprintf(stderr, "enqueue: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    (void)(*plane)->service().Pump(now);
+    (*plane)->service().CompleteWorkflow(db, now + 30);
+    if (Status s = (*plane)->metadata().UpsertState(
+            db, policy::DbState::kResumed, 0);
+        !s.ok()) {
+      std::fprintf(stderr, "upsert: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (checkpoint_every > 0) {
+      if (Status s = (*plane)->MaybeCheckpoint(); !s.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  point->records = (*plane)->journal().appended_records();
+  point->checkpoint_every = checkpoint_every;
+  point->build_s = SecondsSince(build_start);
+  if (auto sz = (*plane)->journal().SizeBytes(); sz.ok()) {
+    point->journal_mb = static_cast<double>(*sz) / (1024.0 * 1024.0);
+  }
+  std::vector<MetadataStore::ExportedEntry> before =
+      (*plane)->metadata().Export();
+
+  // Abrupt death: no shutdown handshake, no final checkpoint.
+  plane->reset();
+
+  auto recover_start = Clock::now();
+  auto recovered = DurableControlPlane::Open(options, node.Callback(),
+                                             node.Oracle(), now + 1);
+  double recover_s = SecondsSince(recover_start);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  point->replayed = (*recovered)->recovery_stats().replayed;
+  point->skipped = (*recovered)->recovery_stats().skipped;
+  point->recover_ms = recover_s * 1e3;
+  point->replay_per_sec =
+      recover_s > 0 ? static_cast<double>(point->replayed) / recover_s : 0;
+
+  // Correctness gates: nothing replayed twice or dropped, metadata state
+  // bit-identical, accounting invariant intact.  Without checkpoints the
+  // whole journal must replay; with them the truncated journal's tail —
+  // and so the replay — is capped by the interval (plus one step's worth
+  // of records between the threshold crossing and the MaybeCheckpoint).
+  if (checkpoint_every == 0 &&
+      point->replayed + point->skipped < point->records) {
+    std::fprintf(stderr, "replayed %llu + skipped %llu < appended %llu\n",
+                 static_cast<unsigned long long>(point->replayed),
+                 static_cast<unsigned long long>(point->skipped),
+                 static_cast<unsigned long long>(point->records));
+    return 1;
+  }
+  if (checkpoint_every > 0 && point->replayed > checkpoint_every + 16) {
+    std::fprintf(stderr,
+                 "checkpoint interval %llu did not cap replay (%llu)\n",
+                 static_cast<unsigned long long>(checkpoint_every),
+                 static_cast<unsigned long long>(point->replayed));
+    return 1;
+  }
+  std::vector<MetadataStore::ExportedEntry> after =
+      (*recovered)->metadata().Export();
+  if (before.size() != after.size()) {
+    std::fprintf(stderr, "metadata size diverged: %zu != %zu\n",
+                 before.size(), after.size());
+    return 1;
+  }
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i].db != after[i].db ||
+        before[i].state_code != after[i].state_code ||
+        before[i].predicted_start != after[i].predicted_start) {
+      std::fprintf(stderr, "metadata entry %zu diverged after recovery\n",
+                   i);
+      return 1;
+    }
+  }
+  if (!(*recovered)->service().AccountingReconciles()) {
+    std::fprintf(stderr, "accounting invariant broken after recovery\n");
+    return 1;
+  }
+  if (!(*recovered)->healthy()) {
+    std::fprintf(stderr, "recovered plane unhealthy\n");
+    return 1;
+  }
+  fs::remove_all(dir);
+  return 0;
+}
+
+void PrintRow(const Point& p) {
+  char every[24];
+  if (p.checkpoint_every == 0) {
+    std::snprintf(every, sizeof(every), "%s", "never");
+  } else {
+    std::snprintf(every, sizeof(every), "%llu",
+                  static_cast<unsigned long long>(p.checkpoint_every));
+  }
+  std::printf("  %9llu %11s %9.2f %10llu %9llu %12.2f %14.0f\n",
+              static_cast<unsigned long long>(p.records), every,
+              p.journal_mb, static_cast<unsigned long long>(p.replayed),
+              static_cast<unsigned long long>(p.skipped), p.recover_ms,
+              p.replay_per_sec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("Control-plane recovery: journal replay cost vs length and "
+              "checkpoint interval%s\n", smoke ? " (smoke)" : "");
+  std::printf("Pass criteria: recovery succeeds, metadata bit-identical, "
+              "accounting reconciles, replayed+skipped covers the "
+              "journal\n\n");
+  std::printf("  %9s %11s %9s %10s %9s %12s %14s\n", "records",
+              "ckpt every", "journalMB", "replayed", "skipped",
+              "recover ms", "replayed/s");
+
+  int failures = 0;
+  if (smoke) {
+    // One bounded-time point each for the uncheckpointed worst case and
+    // the checkpoint-capped common case.
+    for (auto [records, every] :
+         std::vector<std::pair<uint64_t, uint64_t>>{{100'000, 0},
+                                                    {100'000, 8'192}}) {
+      Point p;
+      failures += RunPoint(records, every, &p);
+      PrintRow(p);
+    }
+  } else {
+    // Journal-length sweep: replay cost must scale linearly.
+    for (uint64_t records : {10'000, 50'000, 100'000, 200'000}) {
+      Point p;
+      failures += RunPoint(records, 0, &p);
+      PrintRow(p);
+    }
+    // Checkpoint-interval sweep at fixed journal age: the replayed tail
+    // — and with it recovery time — must track the interval, not the
+    // total history.
+    for (uint64_t every : {2'048, 16'384, 65'536}) {
+      Point p;
+      failures += RunPoint(200'000, every, &p);
+      PrintRow(p);
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("\nFAIL: %d recovery point(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nPASS\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef PRORP_CONTROLPLANE_CHECKPOINT_H_
+#define PRORP_CONTROLPLANE_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "controlplane/management_service.h"
+#include "controlplane/metadata_store.h"
+
+namespace prorp::controlplane {
+
+/// Identity of a loaded checkpoint.
+struct LoadedCheckpoint {
+  /// Incarnation that wrote the checkpoint.
+  uint64_t epoch = 0;
+  /// Journal records with seq <= last_seq are folded into the checkpoint;
+  /// replay after a crash between checkpoint publication and journal
+  /// truncation must skip them (that skip is what makes recovery
+  /// exactly-once).
+  uint64_t last_seq = 0;
+};
+
+/// Writes one atomic control-plane checkpoint: metadata-store rows plus
+/// the full externally visible ManagementService state (queues, in-flight
+/// workflows, diagnostics, breaker and storm posture), CRC-framed and
+/// published by tmp-write + fsync + rename + parent-dir fsync.  Crash
+/// points kSnapshotMidCopy and kCpCheckpointMidWrite both fire mid-body,
+/// leaving a partial .tmp the next recovery ignores.
+Status SaveCheckpoint(const std::string& path, const MetadataStore& meta,
+                      const ManagementService& svc, uint64_t epoch,
+                      uint64_t last_seq);
+
+/// Loads a checkpoint into a freshly opened store and service.  Returns
+/// NotFound when no checkpoint exists (cold start); Corruption when the
+/// published file fails its CRC.
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& path,
+                                        MetadataStore* meta,
+                                        ManagementService* svc);
+
+}  // namespace prorp::controlplane
+
+#endif  // PRORP_CONTROLPLANE_CHECKPOINT_H_

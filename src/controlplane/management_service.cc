@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "common/backoff.h"
+#include "controlplane/journal.h"
+#include "faults/crash_points.h"
 
 namespace prorp::controlplane {
 
@@ -118,8 +122,51 @@ DurationSeconds ManagementService::DeadlineFor(ResumeClass cls) const {
   return config_.deadline_imminent;
 }
 
+bool ManagementService::Journal(JournalRecord rec) {
+  if (journal_ == nullptr) return true;
+  if (fenced_) return false;
+  rec.epoch = epoch_;
+  Status s = journal_->Append(rec);
+  if (!s.ok()) {
+    Fence(s);
+    return false;
+  }
+  // The record is durable but its in-memory transition has not been
+  // applied yet: a crash here is exactly the window recovery closes by
+  // replaying the journal.
+  if (Status crash = faults::HitCrashPoint(faults::kCpPostJournalPreApply);
+      !crash.ok()) {
+    Fence(crash);
+    return false;
+  }
+  return true;
+}
+
+void ManagementService::Fence(const Status& status) {
+  if (fenced_) return;
+  fenced_ = true;
+  fence_status_ = status;
+}
+
+ManagementService::WorkItem* ManagementService::FindQueued(ResumeClass cls,
+                                                           DbId db) {
+  for (WorkItem& item : queues_[Idx(cls)]) {
+    if (item.db == db) return &item;
+  }
+  return nullptr;
+}
+
 void ManagementService::SetBreaker(BreakerState next, EpochSeconds now) {
   if (next == breaker_) return;
+  JournalRecord rec;
+  rec.event = JournalEvent::kBreaker;
+  rec.cls = static_cast<uint8_t>(next);
+  rec.time = now;
+  if (!Journal(rec)) return;
+  ApplyBreaker(next, now);
+}
+
+void ManagementService::ApplyBreaker(BreakerState next, EpochSeconds now) {
   breaker_ = next;
   ++diagnostics_.breaker_state_changes;
   switch (next) {
@@ -187,11 +234,19 @@ bool ManagementService::ClassAdmittedAt(ResumeClass cls, int level) const {
   return true;
 }
 
-bool ManagementService::EvictLowerClass(ResumeClass cls) {
+bool ManagementService::EvictLowerClass(ResumeClass cls, EpochSeconds now) {
   for (size_t i = kNumResumeClasses; i-- > Idx(cls) + 1;) {
     auto& q = queues_[i];
     if (q.empty()) continue;
     WorkItem victim = q.back();
+    JournalRecord rec;
+    rec.event = JournalEvent::kEvicted;
+    rec.db = victim.db;
+    rec.cls = static_cast<uint8_t>(i);
+    rec.attempt = victim.attempts;
+    rec.time = now;
+    if (victim.attempts > 0) rec.flags |= kJfWasFailed;
+    if (!Journal(rec)) return false;
     q.pop_back();
     queued_dbs_.erase(victim.db);
     ClassDiagnostics& cd = diagnostics_.per_class[i];
@@ -205,9 +260,8 @@ bool ManagementService::EvictLowerClass(ResumeClass cls) {
   return false;
 }
 
-void ManagementService::EnqueueItem(DbId db, ResumeClass cls,
-                                    EpochSeconds now) {
-  queued_dbs_.emplace(db, cls);
+void ManagementService::EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now,
+                                    int brownout_level, bool catch_up) {
   WorkItem item;
   item.db = db;
   item.cls = cls;
@@ -216,16 +270,37 @@ void ManagementService::EnqueueItem(DbId db, ResumeClass cls,
   if (config_.deadline_hedging_enabled) {
     item.deadline = now + DeadlineFor(cls);
   }
+  JournalRecord rec;
+  rec.event = JournalEvent::kAccepted;
+  rec.db = db;
+  rec.cls = static_cast<uint8_t>(cls);
+  rec.attempt = brownout_level;
+  rec.time = now;
+  rec.enqueued_at = now;
+  rec.deadline = item.deadline;
+  if (catch_up) rec.flags |= kJfCatchUp;
+  if (cls == ResumeClass::kReactiveLogin) rec.flags |= kJfReactive;
+  if (!Journal(rec)) return;
+  queued_dbs_.emplace(db, cls);
   queues_[Idx(cls)].push_back(item);
   ++Cls(cls).enqueued;
 }
 
 bool ManagementService::AdmitNonReactive(DbId db, ResumeClass cls,
-                                         EpochSeconds now) {
+                                         EpochSeconds now, bool catch_up) {
+  if (fenced_) return false;
   // Breaker shed (pre-storm behavior): fresh non-reactive work is dropped
   // rather than queued while the breaker is open, so an outage does not
   // build an unbounded backlog of stale pre-warms.
   if (breaker_ == BreakerState::kOpen) {
+    JournalRecord rec;
+    rec.event = JournalEvent::kAdmissionShed;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(cls);
+    rec.attempt = -1;
+    rec.time = now;
+    rec.flags |= kJfBreakerShed;
+    if (!Journal(rec)) return false;
     ++diagnostics_.shed_resumes;
     ++Cls(cls).shed_admission;
     return false;
@@ -233,21 +308,37 @@ bool ManagementService::AdmitNonReactive(DbId db, ResumeClass cls,
   int level = ComputeBrownoutLevel();
   diagnostics_.max_brownout_level =
       std::max(diagnostics_.max_brownout_level, level);
-  if (!ClassAdmittedAt(cls, level)) {
-    ++Cls(cls).shed_admission;
-    return false;
-  }
-  if (config_.queue_capacity > 0 &&
+  bool shed = !ClassAdmittedAt(cls, level);
+  if (!shed && config_.queue_capacity > 0 &&
       NonReactiveQueued() >= config_.queue_capacity &&
-      !EvictLowerClass(cls)) {
+      !EvictLowerClass(cls, now)) {
+    if (fenced_) return false;  // eviction fenced mid-journal
+    shed = true;
+  }
+  if (shed) {
+    JournalRecord rec;
+    rec.event = JournalEvent::kAdmissionShed;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(cls);
+    rec.attempt = level;
+    rec.time = now;
+    if (!Journal(rec)) return false;
     ++Cls(cls).shed_admission;
     return false;
   }
-  EnqueueItem(db, cls, now);
-  return true;
+  EnqueueItem(db, cls, now, level, catch_up);
+  return !fenced_;
 }
 
-void ManagementService::RetireSkipped(const WorkItem& item) {
+void ManagementService::RetireSkipped(const WorkItem& item, bool deleted) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kRetired;
+  rec.db = item.db;
+  rec.cls = static_cast<uint8_t>(item.cls);
+  rec.attempt = item.attempts;
+  if (item.attempts > 0) rec.flags |= kJfWasFailed;
+  if (deleted) rec.flags |= kJfDeleted;
+  if (!Journal(rec)) return;
   queued_dbs_.erase(item.db);
   ++diagnostics_.skipped_state_changed;
   ++Cls(item.cls).skipped_state_changed;
@@ -255,9 +346,11 @@ void ManagementService::RetireSkipped(const WorkItem& item) {
     ++diagnostics_.failed_then_skipped;
     ++Cls(item.cls).failed_then_skipped;
   }
+  if (deleted) ++diagnostics_.deleted_while_queued;
 }
 
 Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
+  if (fenced_) return fence_status_;
   ++reactive_arrivals_;
   if (in_flight_.count(db) != 0) return Status::OK();  // already resuming
   auto it = queued_dbs_.find(db);
@@ -271,34 +364,57 @@ Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
     for (auto qi = q.begin(); qi != q.end(); ++qi) {
       if (qi->db == db) {
         RetireSkipped(*qi);
+        if (fenced_) return fence_status_;
         q.erase(qi);
         break;
       }
     }
   }
   EnqueueItem(db, ResumeClass::kReactiveLogin, now);
+  if (fenced_) return fence_status_;
   return Status::OK();
 }
 
 Status ManagementService::EnqueueMaintenance(DbId db, EpochSeconds now) {
+  if (fenced_) return fence_status_;
   if (queued_dbs_.count(db) != 0 || in_flight_.count(db) != 0) {
     return Status::OK();  // a same-or-higher-class workflow already exists
   }
   AdmitNonReactive(db, ResumeClass::kMaintenance, now);
+  if (fenced_) return fence_status_;
   return Status::OK();
 }
 
 void ManagementService::CompleteWorkflow(DbId db, EpochSeconds now) {
+  if (fenced_) return;
   auto it = in_flight_.find(db);
   if (it == in_flight_.end()) return;
+  JournalRecord rec;
+  rec.event = JournalEvent::kCompleted;
+  rec.db = db;
+  rec.cls = static_cast<uint8_t>(it->second.cls);
+  rec.time = now;
+  if (!Journal(rec)) return;
   diagnostics_.in_flight_duration.Add(now - it->second.started);
   in_flight_.erase(it);
 }
 
 void ManagementService::Watchdog(EpochSeconds now) {
-  if (!config_.deadline_hedging_enabled) return;
+  if (!config_.deadline_hedging_enabled || fenced_) return;
   for (auto& [db, f] : in_flight_) {
+    if (fenced_) break;
     if (f.hedged || now <= f.deadline) continue;
+    // Journal the hedge before dispatching it: hedging is bounded at one
+    // per workflow, and that bound must hold across a crash — a recovered
+    // control plane must never re-hedge a workflow whose hedge already
+    // went out.
+    JournalRecord rec;
+    rec.event = JournalEvent::kHedge;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(f.cls);
+    rec.attempt = f.attempts;
+    rec.time = now;
+    if (!Journal(rec)) break;
     f.hedged = true;
     ClassDiagnostics& cd = Cls(f.cls);
     ++cd.deadline_breaches;
@@ -314,15 +430,34 @@ void ManagementService::Watchdog(EpochSeconds now) {
     // hedge failure changes nothing — the completion (or an incident at a
     // higher layer) still resolves the workflow.
     Status s = resume_(attempt, now);
-    if (s.ok()) ++cd.hedge_wins;
+    if (s.code() == StatusCode::kAborted) {
+      // Simulated process death inside the resume path, not a workflow
+      // failure.
+      Fence(s);
+      break;
+    }
+    if (s.ok()) {
+      JournalRecord win;
+      win.event = JournalEvent::kHedge;
+      win.db = db;
+      win.cls = static_cast<uint8_t>(f.cls);
+      win.time = now;
+      win.flags |= kJfHedgeWin;
+      if (!Journal(win)) break;
+      ++cd.hedge_wins;
+    }
   }
 }
 
 void ManagementService::MaybeStartStorm(EpochSeconds now) {
-  if (storm_active_) return;
+  if (storm_active_ || fenced_) return;
   // Cooldown: draining the recovery backlog (and the breaker closing
   // afterwards) must not re-trigger the detector.
   if (now < storm_ended_at_ + config_.storm_cooldown) return;
+  JournalRecord rec;
+  rec.event = JournalEvent::kStormStart;
+  rec.time = now;
+  if (!Journal(rec)) return;
   storm_active_ = true;
   ++storm_seq_;
   ramp_step_ = 0;
@@ -335,6 +470,7 @@ void ManagementService::CatchUpSweep(EpochSeconds now) {
                                               config_.prewarm_interval);
   if (!missed.ok()) return;  // sweep is best-effort
   for (const MissedResume& m : *missed) {
+    if (fenced_) break;
     if (queued_dbs_.count(m.db) != 0 || in_flight_.count(m.db) != 0) {
       continue;
     }
@@ -344,7 +480,7 @@ void ManagementService::CatchUpSweep(EpochSeconds now) {
     ResumeClass cls = m.predicted_start < now
                           ? ResumeClass::kSpeculativeProactive
                           : ResumeClass::kImminentProactive;
-    if (AdmitNonReactive(m.db, cls, now)) {
+    if (AdmitNonReactive(m.db, cls, now, /*catch_up=*/true)) {
       ++diagnostics_.catch_up_enqueued;
     }
   }
@@ -359,12 +495,12 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
   // behind the fixed budget.
   size_t budget = q.size();
   for (size_t i = 0; i < budget; ++i) {
+    if (fenced_) break;
     WorkItem item = q.front();
     q.pop_front();
     if (!metadata_->Contains(item.db)) {
       // Deleted while queued: the workflow has no target any more.
-      ++diagnostics_.deleted_while_queued;
-      RetireSkipped(item);
+      RetireSkipped(item, /*deleted=*/true);
       continue;
     }
     bool hedge_now = config_.deadline_hedging_enabled && !item.hedged &&
@@ -394,6 +530,25 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
       if (breaker_ == BreakerState::kHalfOpen) ++half_open_probes_issued_;
     }
     ClassDiagnostics& cd = Cls(item.cls);
+    // Journal the dispatch before the callback runs: a crash between the
+    // two leaves a dispatched-but-unacked workflow, the one case recovery
+    // must reconcile against the node instead of deciding alone.
+    {
+      JournalRecord rec;
+      rec.event = JournalEvent::kDispatched;
+      rec.db = item.db;
+      rec.cls = static_cast<uint8_t>(item.cls);
+      rec.attempt = item.attempts + 1;
+      rec.time = now;
+      rec.enqueued_at = item.enqueued_at;
+      rec.deadline = item.deadline;
+      if (hedge_now) rec.flags |= kJfHedge;
+      if (!item.wait_recorded) rec.flags |= kJfFirstWait;
+      if (!Journal(rec)) {
+        q.push_front(item);
+        break;
+      }
+    }
     if (hedge_now) {
       item.hedged = true;
       ++cd.deadline_breaches;
@@ -411,7 +566,43 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
     attempt.node_offset = hedge_now ? 1 : 0;
     attempt.enqueued_at = item.enqueued_at;
     Status s = resume_(attempt, now);
+    if (s.code() == StatusCode::kAborted) {
+      // An injected crash fired inside the resume path (e.g. a journaled
+      // metadata mutation died): simulated process death, not a workflow
+      // failure.
+      Fence(s);
+      q.push_front(item);
+      break;
+    }
+    if (journal_ != nullptr) {
+      // The callback's side effect may exist on the node, but the outcome
+      // has not been journaled: dying here is the double-resume hazard.
+      if (Status crash = faults::HitCrashPoint(faults::kCpDispatchPreAck);
+          !crash.ok()) {
+        Fence(crash);
+        q.push_front(item);
+        break;
+      }
+    }
     if (s.ok()) {
+      const bool went_async = cls == ResumeClass::kReactiveLogin &&
+                              config_.deadline_hedging_enabled;
+      EpochSeconds effective_deadline =
+          item.deadline > 0 ? item.deadline : now + DeadlineFor(item.cls);
+      JournalRecord rec;
+      rec.event = JournalEvent::kOutcomeOk;
+      rec.db = item.db;
+      rec.cls = static_cast<uint8_t>(item.cls);
+      rec.attempt = item.attempts + 1;
+      rec.time = now;
+      rec.deadline = went_async ? effective_deadline : item.deadline;
+      if (hedge_now) rec.flags |= kJfHedge;
+      if (item.attempts > 0) rec.flags |= kJfWasFailed;
+      if (went_async) rec.flags |= kJfAsync;
+      if (!Journal(rec)) {
+        q.push_front(item);
+        break;
+      }
       queued_dbs_.erase(item.db);
       ++resumed;
       ++cd.resumed;
@@ -430,15 +621,13 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
           RecordOutcome(/*success=*/true, now);
         }
       }
-      if (cls == ResumeClass::kReactiveLogin &&
-          config_.deadline_hedging_enabled) {
+      if (went_async) {
         // Resources arrive asynchronously; the watchdog guards the wait.
         InFlightItem f;
         f.cls = item.cls;
         f.attempts = item.attempts + 1;
         f.started = now;
-        f.deadline = item.deadline > 0 ? item.deadline
-                                       : now + DeadlineFor(item.cls);
+        f.deadline = effective_deadline;
         f.hedged = item.hedged;
         in_flight_[item.db] = f;
       }
@@ -452,45 +641,66 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
     }
     // Transient workflow failure: the diagnostics runner mitigates by
     // retrying after a capped exponential backoff.
-    ++item.attempts;
-    if (item.attempts == 1) {
-      ++diagnostics_.stuck_workflows;
-      ++cd.stuck;
-    }
-    if (gated && !hedge_now) {
-      if (breaker_ == BreakerState::kHalfOpen) {
-        SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
-      } else {
-        RecordOutcome(/*success=*/false, now);
+    {
+      int new_attempts = item.attempts + 1;
+      const bool incident = new_attempts >= max_attempts_;
+      DurationSeconds delay =
+          incident ? 0 : BackoffDelay(item.db, new_attempts);
+      JournalRecord rec;
+      rec.event = JournalEvent::kOutcomeFailed;
+      rec.db = item.db;
+      rec.cls = static_cast<uint8_t>(item.cls);
+      rec.attempt = new_attempts;
+      rec.time = now;
+      if (!incident) rec.not_before = now + delay;
+      if (new_attempts == 1) rec.flags |= kJfFirstFailure;
+      if (incident) rec.flags |= kJfIncident;
+      if (!Journal(rec)) {
+        q.push_front(item);
+        break;
       }
-    }
-    if (item.attempts < max_attempts_) {
-      DurationSeconds delay = BackoffDelay(item.db, item.attempts);
-      item.not_before = now + delay;
-      ++diagnostics_.backoff_retries_scheduled;
-      diagnostics_.backoff_delay_seconds_total +=
-          static_cast<uint64_t>(delay);
-      q.push_back(item);
-    } else {
-      queued_dbs_.erase(item.db);
-      ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
-      ++cd.incidents;
+      item.attempts = new_attempts;
+      if (item.attempts == 1) {
+        ++diagnostics_.stuck_workflows;
+        ++cd.stuck;
+      }
+      if (gated && !hedge_now) {
+        if (breaker_ == BreakerState::kHalfOpen) {
+          SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
+        } else {
+          RecordOutcome(/*success=*/false, now);
+        }
+      }
+      if (!incident) {
+        item.not_before = now + delay;
+        ++diagnostics_.backoff_retries_scheduled;
+        diagnostics_.backoff_delay_seconds_total +=
+            static_cast<uint64_t>(delay);
+        q.push_back(item);
+      } else {
+        queued_dbs_.erase(item.db);
+        ++diagnostics_.incidents;  // mitigation failed -> on-call engineer
+        ++cd.incidents;
+      }
     }
   }
   return resumed;
 }
 
 uint64_t ManagementService::Pump(EpochSeconds now) {
+  if (fenced_) return 0;
   Watchdog(now);
   return DrainClass(ResumeClass::kReactiveLogin, now, nullptr);
 }
 
 Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
                                             bool use_sql_scan) {
+  if (fenced_) return fence_status_;
   // Breaker cool-down is virtual-clock based, like everything else here.
   if (breaker_ == BreakerState::kOpen &&
       now >= breaker_opened_at_ + config_.breaker_open_duration) {
     SetBreaker(BreakerState::kHalfOpen, now);
+    if (fenced_) return fence_status_;
     // Recovery signal: a healed resume path facing a held backlog is the
     // classic post-outage thundering herd.
     if (config_.StormControlEnabled() && config_.storm_recovery_backlog > 0 &&
@@ -502,6 +712,7 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
     // the path is probing again (duplicate-safe; outside a storm the
     // normal selection window takes over).
     if (storm_active_ && config_.catch_up_enabled) CatchUpSweep(now);
+    if (fenced_) return fence_status_;
   }
   half_open_probes_issued_ = 0;
 
@@ -531,11 +742,13 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
       MaybeStartStorm(now);
     }
   }
+  if (fenced_) return fence_status_;
   // Step 2: enqueue one resume workflow per due database.  Selection only
   // returns predicted starts at or beyond now + k, so fresh selection
   // work is always imminent-class; speculative items enter through the
   // catch-up sweep.
   for (DbId db : due) {
+    if (fenced_) return fence_status_;
     if (in_flight_.count(db) != 0) continue;  // already being resumed
     auto it = queued_dbs_.find(db);
     if (it != queued_dbs_.end()) {
@@ -552,6 +765,7 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
       for (auto qi = q.begin(); qi != q.end(); ++qi) {
         if (qi->db == db) {
           RetireSkipped(*qi);
+          if (fenced_) return fence_status_;
           q.erase(qi);
           break;
         }
@@ -559,6 +773,7 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
     }
     AdmitNonReactive(db, ResumeClass::kImminentProactive, now);
   }
+  if (fenced_) return fence_status_;
   ++diagnostics_.observed_iterations;
   diagnostics_.max_queue_depth =
       std::max(diagnostics_.max_queue_depth, pending_workflows());
@@ -590,18 +805,362 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
       DrainClass(ResumeClass::kImminentProactive, now, quota) +
       DrainClass(ResumeClass::kSpeculativeProactive, now, quota);
   DrainClass(ResumeClass::kMaintenance, now, quota);
+  if (fenced_) return fence_status_;
 
   // A storm ends when the non-reactive backlog has fully drained; the
   // cooldown then keeps the tail of the recovery from re-triggering it.
   if (storm_active_ && NonReactiveQueued() == 0) {
+    JournalRecord rec;
+    rec.event = JournalEvent::kStormEnd;
+    rec.time = now;
+    if (!Journal(rec)) return fence_status_;
     storm_active_ = false;
     storm_ended_at_ = now;
     quota_this_iteration_ = 0;
   }
 
+  // Iteration aggregates are journaled as absolutes so replay is
+  // idempotent; a fence mid-iteration loses only this iteration's
+  // aggregate sample, never an accounted workflow.
+  {
+    JournalRecord rec;
+    rec.event = JournalEvent::kIteration;
+    rec.time = now;
+    rec.stats[0] = resumed;
+    rec.stats[1] = static_cast<uint64_t>(diagnostics_.max_queue_depth);
+    rec.stats[2] = diagnostics_.quota_deferrals;
+    rec.stats[3] = quota_this_iteration_;
+    if (quota != nullptr) rec.flags |= kJfSlowStart;
+    if (!Journal(rec)) return fence_status_;
+  }
   resumed_per_iteration_.Add(static_cast<double>(resumed));
   total_resumed_ += resumed;
   return resumed;
+}
+
+Status ManagementService::ApplyForRecovery(const JournalRecord& rec) {
+  const ResumeClass cls = static_cast<ResumeClass>(rec.cls);
+  switch (rec.event) {
+    case JournalEvent::kEpochStart:
+    case JournalEvent::kMetaUpsert:
+    case JournalEvent::kMetaRemove:
+      // Epoch tracking and metadata records are applied by the owner
+      // (DurableControlPlane), not the service.
+      return Status::OK();
+    case JournalEvent::kAccepted: {
+      if (queued_dbs_.count(rec.db) != 0) {
+        return Status::Corruption(
+            "journal replay: kAccepted for an already-queued database");
+      }
+      WorkItem item;
+      item.db = rec.db;
+      item.cls = cls;
+      item.not_before = rec.time;
+      item.enqueued_at = rec.enqueued_at;
+      item.deadline = rec.deadline;
+      queued_dbs_.emplace(rec.db, cls);
+      queues_[Idx(cls)].push_back(item);
+      ++Cls(cls).enqueued;
+      if ((rec.flags & kJfCatchUp) != 0) ++diagnostics_.catch_up_enqueued;
+      if ((rec.flags & kJfReactive) != 0) ++reactive_arrivals_;
+      if (rec.attempt > 0) {
+        diagnostics_.max_brownout_level =
+            std::max(diagnostics_.max_brownout_level, rec.attempt);
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kAdmissionShed: {
+      if ((rec.flags & kJfBreakerShed) != 0) ++diagnostics_.shed_resumes;
+      ++Cls(cls).shed_admission;
+      if (rec.attempt > 0) {
+        diagnostics_.max_brownout_level =
+            std::max(diagnostics_.max_brownout_level, rec.attempt);
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kEvicted: {
+      auto& q = queues_[Idx(cls)];
+      for (auto qi = q.end(); qi != q.begin();) {
+        --qi;
+        if (qi->db != rec.db) continue;
+        q.erase(qi);
+        break;
+      }
+      queued_dbs_.erase(rec.db);
+      ++Cls(cls).shed_evicted;
+      if ((rec.flags & kJfWasFailed) != 0) {
+        ++Cls(cls).failed_then_shed;
+        ++diagnostics_.failed_then_shed;
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kRetired: {
+      auto& q = queues_[Idx(cls)];
+      for (auto qi = q.begin(); qi != q.end(); ++qi) {
+        if (qi->db != rec.db) continue;
+        q.erase(qi);
+        break;
+      }
+      queued_dbs_.erase(rec.db);
+      recovery_pending_.erase(rec.db);
+      ++diagnostics_.skipped_state_changed;
+      ++Cls(cls).skipped_state_changed;
+      if ((rec.flags & kJfWasFailed) != 0) {
+        ++diagnostics_.failed_then_skipped;
+        ++Cls(cls).failed_then_skipped;
+      }
+      if ((rec.flags & kJfDeleted) != 0) ++diagnostics_.deleted_while_queued;
+      return Status::OK();
+    }
+    case JournalEvent::kDispatched: {
+      WorkItem* item = FindQueued(cls, rec.db);
+      if (item == nullptr) {
+        return Status::Corruption(
+            "journal replay: kDispatched for a database not queued");
+      }
+      if ((rec.flags & kJfFirstWait) != 0) {
+        diagnostics_.queue_wait.Add(rec.time - rec.enqueued_at);
+        item->wait_recorded = true;
+      }
+      if ((rec.flags & kJfHedge) != 0) {
+        item->hedged = true;
+        ++Cls(cls).deadline_breaches;
+        ++Cls(cls).hedged;
+      }
+      recovery_pending_[rec.db] = cls;
+      return Status::OK();
+    }
+    case JournalEvent::kOutcomeOk:
+      ReplaySuccess(rec, (rec.flags & kJfAsync) != 0);
+      return Status::OK();
+    case JournalEvent::kOutcomeFailed: {
+      recovery_pending_.erase(rec.db);
+      ClassDiagnostics& cd = Cls(cls);
+      if ((rec.flags & kJfFirstFailure) != 0) {
+        ++diagnostics_.stuck_workflows;
+        ++cd.stuck;
+      }
+      auto& q = queues_[Idx(cls)];
+      if ((rec.flags & kJfIncident) != 0) {
+        for (auto qi = q.begin(); qi != q.end(); ++qi) {
+          if (qi->db != rec.db) continue;
+          q.erase(qi);
+          break;
+        }
+        queued_dbs_.erase(rec.db);
+        ++diagnostics_.incidents;
+        ++cd.incidents;
+      } else if (WorkItem* item = FindQueued(cls, rec.db); item != nullptr) {
+        item->attempts = rec.attempt;
+        item->not_before = rec.not_before;
+        ++diagnostics_.backoff_retries_scheduled;
+        diagnostics_.backoff_delay_seconds_total +=
+            static_cast<uint64_t>(rec.not_before - rec.time);
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kHedge: {
+      if ((rec.flags & kJfHedgeWin) != 0) {
+        ++Cls(cls).hedge_wins;
+        return Status::OK();
+      }
+      auto it = in_flight_.find(rec.db);
+      if (it != in_flight_.end()) {
+        it->second.hedged = true;
+        ++Cls(cls).deadline_breaches;
+        ++Cls(cls).hedged;
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kCompleted: {
+      auto it = in_flight_.find(rec.db);
+      if (it != in_flight_.end()) {
+        diagnostics_.in_flight_duration.Add(rec.time - it->second.started);
+        in_flight_.erase(it);
+      }
+      return Status::OK();
+    }
+    case JournalEvent::kBreaker:
+      ApplyBreaker(static_cast<BreakerState>(rec.cls), rec.time);
+      return Status::OK();
+    case JournalEvent::kStormStart:
+      storm_active_ = true;
+      ++storm_seq_;
+      ramp_step_ = 0;
+      ++diagnostics_.storms_detected;
+      return Status::OK();
+    case JournalEvent::kStormEnd:
+      storm_active_ = false;
+      storm_ended_at_ = rec.time;
+      quota_this_iteration_ = 0;
+      return Status::OK();
+    case JournalEvent::kIteration:
+      ++diagnostics_.observed_iterations;
+      diagnostics_.max_queue_depth = std::max(
+          diagnostics_.max_queue_depth, static_cast<size_t>(rec.stats[1]));
+      diagnostics_.quota_deferrals = rec.stats[2];
+      if ((rec.flags & kJfSlowStart) != 0) {
+        ++diagnostics_.slow_start_ticks;
+        ++ramp_step_;
+      }
+      resumed_per_iteration_.Add(static_cast<double>(rec.stats[0]));
+      total_resumed_ += rec.stats[0];
+      quota_this_iteration_ = rec.stats[3];
+      reactive_arrivals_ = 0;
+      return Status::OK();
+    case JournalEvent::kReconcileComplete:
+      ReplaySuccess(rec, /*async=*/false);
+      return Status::OK();
+    case JournalEvent::kReconcileRequeue: {
+      recovery_pending_.erase(rec.db);
+      if ((rec.flags & kJfAsync) != 0) {
+        // An in-flight resume the node lost: a fresh reactive workflow
+        // was started for the still-waiting customer.
+        in_flight_.erase(rec.db);
+        if (queued_dbs_.count(rec.db) == 0) {
+          WorkItem item;
+          item.db = rec.db;
+          item.cls = ResumeClass::kReactiveLogin;
+          item.not_before = rec.time;
+          item.enqueued_at = rec.enqueued_at;
+          item.deadline = rec.deadline;
+          queued_dbs_.emplace(rec.db, ResumeClass::kReactiveLogin);
+          queues_[Idx(ResumeClass::kReactiveLogin)].push_back(item);
+          ++Cls(ResumeClass::kReactiveLogin).enqueued;
+        }
+      } else if (WorkItem* item = FindQueued(cls, rec.db); item != nullptr) {
+        item->not_before = rec.time;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("journal replay: unknown event type");
+}
+
+void ManagementService::ReplaySuccess(const JournalRecord& rec, bool async) {
+  const ResumeClass cls = static_cast<ResumeClass>(rec.cls);
+  recovery_pending_.erase(rec.db);
+  bool hedged = false;
+  auto& q = queues_[Idx(cls)];
+  for (auto qi = q.begin(); qi != q.end(); ++qi) {
+    if (qi->db != rec.db) continue;
+    hedged = qi->hedged;
+    q.erase(qi);
+    break;
+  }
+  queued_dbs_.erase(rec.db);
+  ClassDiagnostics& cd = Cls(cls);
+  ++cd.resumed;
+  if ((rec.flags & kJfWasFailed) != 0) {
+    ++diagnostics_.mitigated;
+    ++cd.mitigated;
+  }
+  if ((rec.flags & kJfHedge) != 0) ++cd.hedge_wins;
+  if (async) {
+    InFlightItem f;
+    f.cls = cls;
+    f.attempts = rec.attempt;
+    f.started = rec.time;
+    f.deadline = rec.deadline;
+    f.hedged = hedged || (rec.flags & kJfHedge) != 0;
+    in_flight_[rec.db] = f;
+  }
+}
+
+ManagementService::ReconcileStats ManagementService::FinishRecovery(
+    const std::function<bool(DbId)>& node_resumed, EpochSeconds now) {
+  ReconcileStats stats;
+  // Deterministic reconcile order, so a crash during recovery replays the
+  // same prefix of decisions on the next attempt.
+  std::vector<std::pair<DbId, ResumeClass>> pending(recovery_pending_.begin(),
+                                                    recovery_pending_.end());
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [db, cls] : pending) {
+    if (fenced_) break;
+    WorkItem* item = FindQueued(cls, db);
+    if (item == nullptr) {
+      recovery_pending_.erase(db);
+      continue;
+    }
+    if (node_resumed(db)) {
+      // The dispatch went through before the crash; acknowledging it now
+      // (instead of re-dispatching) is what keeps resumes exactly-once.
+      JournalRecord rec;
+      rec.event = JournalEvent::kReconcileComplete;
+      rec.db = db;
+      rec.cls = static_cast<uint8_t>(cls);
+      rec.attempt = item->attempts + 1;
+      rec.time = now;
+      if (item->attempts > 0) rec.flags |= kJfWasFailed;
+      if (!Journal(rec)) break;
+      ReplaySuccess(rec, /*async=*/false);
+      ++stats.completed;
+    } else {
+      // The dispatch never reached the node: requeue, attempts unchanged.
+      JournalRecord rec;
+      rec.event = JournalEvent::kReconcileRequeue;
+      rec.db = db;
+      rec.cls = static_cast<uint8_t>(cls);
+      rec.attempt = item->attempts;
+      rec.time = now;
+      if (!Journal(rec)) break;
+      item->not_before = now;
+      recovery_pending_.erase(db);
+      ++stats.requeued;
+    }
+  }
+  if (!fenced_) recovery_pending_.clear();
+
+  // In-flight workflows whose node no longer shows the resume: the
+  // customer is still waiting, so a fresh reactive workflow starts (the
+  // original workflow's accounting closed at its success).
+  std::vector<DbId> lost;
+  for (const auto& [db, f] : in_flight_) {
+    if (!node_resumed(db)) lost.push_back(db);
+  }
+  std::sort(lost.begin(), lost.end());
+  for (DbId db : lost) {
+    if (fenced_) break;
+    JournalRecord rec;
+    rec.event = JournalEvent::kReconcileRequeue;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(ResumeClass::kReactiveLogin);
+    rec.time = now;
+    rec.enqueued_at = now;
+    rec.flags |= kJfAsync;
+    if (config_.deadline_hedging_enabled) {
+      rec.deadline = now + DeadlineFor(ResumeClass::kReactiveLogin);
+    }
+    if (!Journal(rec)) break;
+    in_flight_.erase(db);
+    if (queued_dbs_.count(db) == 0) {
+      WorkItem item;
+      item.db = db;
+      item.cls = ResumeClass::kReactiveLogin;
+      item.not_before = now;
+      item.enqueued_at = now;
+      item.deadline = rec.deadline;
+      queued_dbs_.emplace(db, ResumeClass::kReactiveLogin);
+      queues_[Idx(ResumeClass::kReactiveLogin)].push_back(item);
+      ++Cls(ResumeClass::kReactiveLogin).enqueued;
+    }
+    ++stats.in_flight_requeued;
+  }
+
+  // Conservative degradation posture: the breaker's outcome window and
+  // half-open probe progress are deliberately not journaled — rebuilding
+  // them optimistically could let a crash bypass an open breaker.  The
+  // journaled breaker STATE is restored exactly (open stays open until
+  // its cool-down elapses on the virtual clock); the window restarts
+  // empty, half-open progress restarts at zero, and an active storm
+  // restarts its slow-start ramp from the first step.
+  outcomes_.clear();
+  window_failures_ = 0;
+  half_open_probes_issued_ = 0;
+  half_open_successes_ = 0;
+  if (storm_active_) ramp_step_ = 0;
+  return stats;
 }
 
 }  // namespace prorp::controlplane

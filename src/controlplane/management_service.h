@@ -14,6 +14,10 @@
 
 namespace prorp::controlplane {
 
+class ControlPlaneJournal;
+struct JournalRecord;
+struct ServiceStateCodec;
+
 /// Circuit-breaker state of the resume-workflow path.
 enum class BreakerState {
   kClosed,    // normal operation
@@ -236,6 +240,48 @@ class ManagementService {
   /// Deadline budget of a class (meaningful with deadline hedging on).
   DurationSeconds DeadlineFor(ResumeClass cls) const;
 
+  // --- Durability & recovery (DESIGN.md section 10) ---
+
+  /// Attaches the control-plane journal: every externally visible
+  /// transition is journaled before it takes effect, and the service
+  /// fences itself (refusing all further work) the moment an append
+  /// fails.  nullptr detaches and restores the exact legacy in-memory
+  /// behavior.
+  void AttachJournal(ControlPlaneJournal* journal) { journal_ = journal; }
+
+  /// Incarnation number, bumped by every recovery; workflow identity for
+  /// cross-incarnation dedup is (db, epoch).
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// True once a journal append failed or an injected crash fired inside
+  /// an operation: the control plane is dead.  Every entry point refuses
+  /// (nothing is acknowledged after the journal stopped recording), and
+  /// the owner must recover from disk.
+  bool fenced() const { return fenced_; }
+  const Status& fence_status() const { return fence_status_; }
+
+  /// Applies one replayed journal record during recovery.  Must only be
+  /// called on a freshly constructed (or checkpoint-restored) service
+  /// with no journal attached; replay never re-journals.
+  Status ApplyForRecovery(const JournalRecord& rec);
+
+  struct ReconcileStats {
+    uint64_t completed = 0;           // unacked dispatch found resumed
+    uint64_t requeued = 0;            // unacked dispatch found not resumed
+    uint64_t in_flight_requeued = 0;  // in-flight resume lost by the node
+  };
+
+  /// Final recovery step: resolves dispatched-but-unacked workflows
+  /// against the simulated node state (`node_resumed`) so nothing is lost
+  /// and nothing is double-resumed, and re-arms a conservative
+  /// degradation posture (an open breaker stays open, the outcome window
+  /// restarts empty, a storm in progress restarts its slow-start ramp).
+  /// Reconcile decisions are journaled, so a crash during or after
+  /// recovery replays them instead of re-deciding.
+  ReconcileStats FinishRecovery(const std::function<bool(DbId)>& node_resumed,
+                                EpochSeconds now);
+
  private:
   struct WorkItem {
     DbId db;
@@ -270,14 +316,16 @@ class ManagementService {
   /// Full admission pipeline of a fresh non-reactive workflow: breaker
   /// shed, brownout shed, capacity bound with lower-class eviction.
   /// Returns false when the arrival was shed (accounted).
-  bool AdmitNonReactive(DbId db, ResumeClass cls, EpochSeconds now);
+  bool AdmitNonReactive(DbId db, ResumeClass cls, EpochSeconds now,
+                        bool catch_up = false);
   /// Frees one capacity slot by evicting the newest item of the lowest
   /// class strictly below `cls`; false if no lower-class item exists.
-  bool EvictLowerClass(ResumeClass cls);
-  void EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now);
+  bool EvictLowerClass(ResumeClass cls, EpochSeconds now);
+  void EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now,
+                   int brownout_level = -1, bool catch_up = false);
   /// Retires a queued item without an attempt (promotion, deletion) via
   /// the skipped_state_changed path of its class.
-  void RetireSkipped(const WorkItem& item);
+  void RetireSkipped(const WorkItem& item, bool deleted = false);
 
   /// Drains up to the queue length of `cls` at entry; `quota` (when
   /// non-null) is the shared slow-start budget across the non-reactive
@@ -295,6 +343,21 @@ class ManagementService {
   /// the breaker when the failure ratio crosses the threshold.
   void RecordOutcome(bool success, EpochSeconds now);
   void SetBreaker(BreakerState next, EpochSeconds now);
+  /// The in-memory half of a breaker transition (shared with replay).
+  void ApplyBreaker(BreakerState next, EpochSeconds now);
+
+  /// Journals one record (journal-before-apply).  Returns true when the
+  /// caller may apply the transition; false when the service just fenced
+  /// (append failed or an injected crash fired) — the caller must apply
+  /// NOTHING and unwind.  Without an attached journal this is a no-op
+  /// returning true (exact legacy behavior).
+  bool Journal(JournalRecord rec);
+  void Fence(const Status& status);
+  /// Locates a queued item of `cls` by database id; nullptr if absent.
+  WorkItem* FindQueued(ResumeClass cls, DbId db);
+  /// Replay-time outcome application shared by kOutcomeOk and the
+  /// reconcile events.
+  void ReplaySuccess(const JournalRecord& rec, bool async);
 
   MetadataStore* metadata_;
   ControlPlaneConfig config_;
@@ -328,6 +391,18 @@ class ManagementService {
   /// End time of the last storm (cooldown anchor); far past initially.
   EpochSeconds storm_ended_at_;
   uint64_t reactive_arrivals_ = 0;  // since the last RunOnce
+
+  // Durability & recovery state (inert when journal_ == nullptr).
+  ControlPlaneJournal* journal_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool fenced_ = false;
+  Status fence_status_ = Status::OK();
+  /// Databases with a journaled kDispatched but no journaled outcome yet,
+  /// populated only during replay; FinishRecovery resolves them against
+  /// the node state.  Value: the class the dispatch targeted.
+  std::unordered_map<DbId, ResumeClass> recovery_pending_;
+
+  friend struct ServiceStateCodec;
 };
 
 }  // namespace prorp::controlplane

@@ -1,5 +1,8 @@
 #include "controlplane/metadata_store.h"
 
+#include <algorithm>
+
+#include "controlplane/journal.h"
 #include "sql/parser.h"
 
 namespace prorp::controlplane {
@@ -15,6 +18,19 @@ int64_t StateCode(policy::DbState state) {
       return 2;
   }
   return -1;
+}
+
+Result<policy::DbState> StateFromCode(int32_t code) {
+  switch (code) {
+    case 0:
+      return policy::DbState::kResumed;
+    case 1:
+      return policy::DbState::kLogicallyPaused;
+    case 2:
+      return policy::DbState::kPhysicallyPaused;
+    default:
+      return Status::Corruption("unknown db state code in journal");
+  }
 }
 
 }  // namespace
@@ -49,6 +65,29 @@ Result<std::unique_ptr<MetadataStore>> MetadataStore::Open() {
 }
 
 Status MetadataStore::UpsertState(DbId db, policy::DbState state,
+                                  EpochSeconds predicted_start) {
+  if (journal_ != nullptr) {
+    // Journal-before-apply: the mutation must be recoverable before any
+    // caller can observe it.  A refused append means the control plane is
+    // dead — nothing is applied, nothing acknowledged.
+    JournalRecord rec;
+    rec.event = JournalEvent::kMetaUpsert;
+    rec.epoch = epoch_;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(StateCode(state));
+    rec.predicted_start = predicted_start;
+    PRORP_RETURN_IF_ERROR(journal_->Append(rec));
+  }
+  return ApplyUpsert(db, state, predicted_start);
+}
+
+Status MetadataStore::RestoreUpsert(DbId db, int32_t state_code,
+                                    EpochSeconds predicted_start) {
+  PRORP_ASSIGN_OR_RETURN(policy::DbState state, StateFromCode(state_code));
+  return ApplyUpsert(db, state, predicted_start);
+}
+
+Status MetadataStore::ApplyUpsert(DbId db, policy::DbState state,
                                   EpochSeconds predicted_start) {
   if (state != policy::DbState::kPhysicallyPaused) predicted_start = 0;
   sql::Params params{{"db", static_cast<int64_t>(db)},
@@ -114,6 +153,17 @@ Result<std::vector<MissedResume>> MetadataStore::SelectMissedResume(
 }
 
 Status MetadataStore::Remove(DbId db) {
+  if (journal_ != nullptr && entries_.count(db) != 0) {
+    JournalRecord rec;
+    rec.event = JournalEvent::kMetaRemove;
+    rec.epoch = epoch_;
+    rec.db = db;
+    PRORP_RETURN_IF_ERROR(journal_->Append(rec));
+  }
+  return ApplyRemove(db);
+}
+
+Status MetadataStore::ApplyRemove(DbId db) {
   auto it = entries_.find(db);
   if (it == entries_.end()) return Status::OK();
   if (it->second.state == policy::DbState::kPhysicallyPaused &&
@@ -124,6 +174,20 @@ Status MetadataStore::Remove(DbId db) {
   PRORP_RETURN_IF_ERROR(db_->ExecuteStatement(delete_stmt_, params).status());
   entries_.erase(it);
   return Status::OK();
+}
+
+std::vector<MetadataStore::ExportedEntry> MetadataStore::Export() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [db, entry] : entries_) {
+    out.push_back({db, static_cast<int32_t>(StateCode(entry.state)),
+                   entry.predicted_start});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedEntry& a, const ExportedEntry& b) {
+              return a.db < b.db;
+            });
+  return out;
 }
 
 uint64_t MetadataStore::CountInState(policy::DbState state) const {

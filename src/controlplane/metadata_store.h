@@ -18,6 +18,8 @@ namespace prorp::controlplane {
 
 using telemetry::DbId;
 
+class ControlPlaneJournal;
+
 /// One pre-warm the fleet missed while the resume path was degraded: a
 /// physically paused database whose predicted activity start fell inside
 /// the catch-up window instead of being handled on time.
@@ -80,6 +82,31 @@ class MetadataStore {
 
   uint64_t size() const { return entries_.size(); }
 
+  // --- Durability & recovery (DESIGN.md section 10) ---
+
+  /// Attaches the control-plane journal: every UpsertState/Remove is
+  /// journaled (kMetaUpsert/kMetaRemove, stamped with `epoch`) before it
+  /// takes effect, and fails without applying if the journal refuses.
+  /// nullptr detaches (restore paths apply unjournaled).
+  void AttachJournal(ControlPlaneJournal* journal, uint64_t epoch) {
+    journal_ = journal;
+    epoch_ = epoch;
+  }
+
+  /// One exported row for checkpoint serialization, sorted by db id.
+  struct ExportedEntry {
+    DbId db = 0;
+    int32_t state_code = 0;
+    EpochSeconds predicted_start = 0;
+  };
+  std::vector<ExportedEntry> Export() const;
+
+  /// Re-applies a mutation without journaling (checkpoint load and
+  /// journal replay — the record is already durable).
+  Status RestoreUpsert(DbId db, int32_t state_code,
+                       EpochSeconds predicted_start);
+  Status RestoreRemove(DbId db) { return ApplyRemove(db); }
+
  private:
   MetadataStore() = default;
 
@@ -87,6 +114,10 @@ class MetadataStore {
     policy::DbState state = policy::DbState::kResumed;
     EpochSeconds predicted_start = 0;
   };
+
+  Status ApplyUpsert(DbId db, policy::DbState state,
+                     EpochSeconds predicted_start);
+  Status ApplyRemove(DbId db);
 
   mutable std::unique_ptr<sql::Database> db_;
   sql::Statement insert_stmt_;
@@ -97,6 +128,8 @@ class MetadataStore {
   /// (predicted_start, db) for physically paused databases with a
   /// prediction.
   std::map<std::pair<EpochSeconds, DbId>, bool> resume_index_;
+  ControlPlaneJournal* journal_ = nullptr;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace prorp::controlplane

@@ -1,0 +1,373 @@
+#include "controlplane/recovery_torture.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "faults/crash_points.h"
+#include "faults/fault_plan.h"
+#include "policy/lifecycle.h"
+
+namespace prorp::controlplane {
+namespace {
+
+constexpr EpochSeconds kStart = 1'000'000;
+constexpr DurationSeconds kStep = 60;
+
+/// The node-side truth about one database.  This state lives in the
+/// harness, outside the control plane: it survives control-plane crashes
+/// the way real nodes survive a control-plane failover, and is the oracle
+/// recovery reconciles against.
+struct SimDb {
+  bool resumed = false;
+  EpochSeconds resumed_at = 0;
+  EpochSeconds pending_completion = 0;  // 0 = none
+  bool outstanding_reactive = false;    // acked login awaiting resources
+};
+
+ControlPlaneConfig TortureConfig(const RecoveryTortureOptions& opt) {
+  ControlPlaneConfig config;
+  config.prewarm_interval = 300;
+  config.resume_operation_period = kStep;
+  // Backoff short enough that an outage window's failures retry well
+  // within the run, long enough that max_attempts spans any outage — a
+  // reactive workflow must never exhaust into an incident (that would be
+  // an accepted-login loss the harness would rightly flag).
+  config.retry_backoff_base = 60;
+  config.retry_backoff_cap = 240;
+  config.breaker_window = 10;
+  config.breaker_failure_ratio = 0.5;
+  config.breaker_open_duration = 300;
+  config.queue_capacity = 32;
+  config.admission_control_enabled = true;
+  config.deadline_hedging_enabled = true;
+  config.deadline_reactive = 120;
+  config.deadline_imminent = 600;
+  config.storm_login_spike_threshold = opt.storm ? 16 : 0;
+  config.storm_recovery_backlog = 8;
+  config.storm_cooldown = 900;
+  config.catch_up_enabled = true;
+  config.catch_up_lookback = 3600;
+  return config;
+}
+
+class Harness {
+ public:
+  explicit Harness(const RecoveryTortureOptions& opt)
+      : opt_(opt),
+        dbs_(static_cast<size_t>(opt.num_dbs)),
+        rng_(opt.seed * 0x9e3779b97f4a7c15ULL + 1),
+        fail_rng_(opt.seed ^ 0xdeadbeefcafef00dULL) {}
+
+  Result<RecoveryTortureResult> Run() {
+    auto& registry = faults::CrashPointRegistry::Global();
+    if (!opt_.crash_point.empty()) {
+      registry.Arm(opt_.crash_point, opt_.crash_nth, opt_.crash_payload);
+    }
+    PRORP_RETURN_IF_ERROR(Reopen(kStart));
+
+    // Bootstrap: every database starts physically paused; roughly half
+    // get an activity prediction (the proactive path), the rest will only
+    // come back through reactive logins.
+    now_ = kStart;
+    for (int i = 0; i < opt_.num_dbs; ++i) {
+      EpochSeconds pred =
+          rng_.NextBool(0.5)
+              ? now_ + 120 + static_cast<EpochSeconds>(rng_.NextBelow(
+                                 static_cast<uint64_t>(opt_.steps) * kStep))
+              : 0;
+      // Every database must end up registered: an unacknowledged
+      // bootstrap mutation is retried after the recovery (otherwise a
+      // later login would target a database the metadata never saw).
+      for (;;) {
+        PRORP_ASSIGN_OR_RETURN(
+            bool acked, TryUpsert(static_cast<DbId>(i),
+                                  policy::DbState::kPhysicallyPaused, pred));
+        if (acked) break;
+      }
+    }
+
+    const int outage_start = opt_.steps / 3;
+    const int outage_end = outage_start + 5;
+    const int storm_step = opt_.steps / 2;
+    for (int step = 0; step < opt_.steps; ++step) {
+      now_ = kStart + static_cast<EpochSeconds>(step + 1) * kStep;
+      outage_now_ = opt_.outage && step >= outage_start && step < outage_end;
+
+      // Pause churn: completed databases go idle again with fresh
+      // predictions, creating new pause episodes.
+      for (int i = 0; i < opt_.num_dbs; ++i) {
+        SimDb& d = dbs_[static_cast<size_t>(i)];
+        if (!d.resumed || d.pending_completion != 0) continue;
+        if (!rng_.NextBool(0.05)) continue;
+        EpochSeconds pred =
+            rng_.NextBool(0.5)
+                ? now_ + 120 + static_cast<EpochSeconds>(rng_.NextBelow(600))
+                : 0;
+        PRORP_ASSIGN_OR_RETURN(
+            bool acked, TryUpsert(static_cast<DbId>(i),
+                                  policy::DbState::kPhysicallyPaused, pred));
+        if (!acked) continue;  // pause not acknowledged; stay resumed
+        d.resumed = false;
+      }
+
+      // Reactive logins: a base trickle, plus a spike at the storm step.
+      int logins = static_cast<int>(rng_.NextBelow(3));
+      if (opt_.storm && step == storm_step) logins = 24;
+      for (int n = 0; n < logins; ++n) {
+        int i = static_cast<int>(rng_.NextBelow(
+            static_cast<uint64_t>(opt_.num_dbs)));
+        SimDb& d = dbs_[static_cast<size_t>(i)];
+        if (d.resumed || d.outstanding_reactive) continue;
+        Status s = plane_->service().EnqueueReactive(
+            static_cast<DbId>(i), now_);
+        if (Crashed()) {
+          PRORP_RETURN_IF_ERROR(Recover());
+          continue;  // login not acknowledged; the customer retries later
+        }
+        PRORP_RETURN_IF_ERROR(s);
+        ++result_.accepted_reactive;
+        d.outstanding_reactive = true;
+      }
+
+      // One iteration of the proactive resume operation.
+      Result<uint64_t> ran = plane_->service().RunOnce(now_);
+      if (Crashed()) {
+        PRORP_RETURN_IF_ERROR(Recover());
+      } else if (!ran.ok()) {
+        return ran.status();
+      }
+
+      PRORP_RETURN_IF_ERROR(DeliverCompletions());
+
+      plane_->service().Pump(now_ + kStep / 2);
+      if (Crashed()) PRORP_RETURN_IF_ERROR(Recover());
+
+      Status ck = plane_->MaybeCheckpoint();
+      if (Crashed() || ck.code() == StatusCode::kAborted) {
+        // An injected crash inside the checkpoint writer is a process
+        // death even though the journal stayed healthy: the tmp file is
+        // abandoned and the previous checkpoint still rules recovery.
+        PRORP_RETURN_IF_ERROR(Recover());
+      } else if (!ck.ok()) {
+        return ck;
+      }
+    }
+
+    PRORP_RETURN_IF_ERROR(Drain());
+
+    for (const SimDb& d : dbs_) {
+      if (d.outstanding_reactive && !d.resumed) ++result_.lost_reactive;
+    }
+    result_.accounting_ok = plane_->service().AccountingReconciles();
+    result_.incidents = plane_->service().diagnostics().incidents;
+    result_.total_resumed = plane_->service().total_resumed();
+    result_.last_recovery = plane_->recovery_stats();
+    if (!opt_.crash_point.empty()) {
+      result_.crash_fired = registry.fired();
+      registry.Reset();
+    }
+    return result_;
+  }
+
+ private:
+  /// The resume workflow as the node executes it.  Everything here
+  /// survives a control-plane crash: the effect (allocating resources) is
+  /// on the node, and recovery must reconcile against it.
+  Status ResumeCb(const ResumeAttempt& a, EpochSeconds now) {
+    SimDb& d = dbs_[a.db];
+    if (outage_now_) return Status::Unavailable("resume path outage");
+    if (d.resumed) {
+      // A non-hedge dispatch re-executing a workflow whose resume already
+      // happened is exactly the double-resume recovery must prevent.
+      // (Workflows accepted after the resume — enqueued_at beyond
+      // resumed_at — are ordinary stale pre-warms, not duplicates.)
+      if (!a.hedge && a.enqueued_at <= d.resumed_at) {
+        ++result_.duplicate_resumes;
+      }
+      return Status::FailedPrecondition("already resumed");
+    }
+    if (!drain_mode_ && fail_rng_.NextBool(0.10)) {
+      return Status::Unavailable("transient workflow failure");
+    }
+    // Effect: the node allocates resources.  The metadata mutation is
+    // part of the workflow and journals through the control plane; an
+    // injected crash inside it surfaces as Aborted (simulated death).
+    d.resumed = true;
+    d.resumed_at = now;
+    d.pending_completion = now + 30;
+    return plane_->metadata().UpsertState(a.db, policy::DbState::kResumed, 0);
+  }
+
+  /// Attempts a metadata mutation.  Returns true when acknowledged;
+  /// false when the control plane died mid-mutation (already recovered —
+  /// the caller decides whether to retry or let the fleet converge later).
+  Result<bool> TryUpsert(DbId db, policy::DbState state, EpochSeconds pred) {
+    Status s = plane_->metadata().UpsertState(db, state, pred);
+    if (Crashed()) {
+      PRORP_RETURN_IF_ERROR(Recover());
+      return false;
+    }
+    PRORP_RETURN_IF_ERROR(s);
+    return true;
+  }
+
+  Status DeliverCompletions() {
+    for (int i = 0; i < opt_.num_dbs; ++i) {
+      SimDb& d = dbs_[static_cast<size_t>(i)];
+      if (d.pending_completion == 0 || d.pending_completion > now_) continue;
+      if (!d.resumed) {
+        d.pending_completion = 0;  // paused again before delivery
+        continue;
+      }
+      // The node reports the workflow done.  Re-assert the metadata state
+      // first: if the crash ate the in-workflow upsert, this repair is
+      // how the fleet converges (idempotent when nothing was lost).
+      PRORP_ASSIGN_OR_RETURN(
+          bool acked, TryUpsert(static_cast<DbId>(i),
+                                policy::DbState::kResumed, 0));
+      if (!acked) continue;  // not cleared; redelivered next step
+      plane_->service().CompleteWorkflow(static_cast<DbId>(i), now_);
+      if (Crashed()) {
+        PRORP_RETURN_IF_ERROR(Recover());
+        continue;
+      }
+      d.pending_completion = 0;
+      d.outstanding_reactive = false;
+    }
+    return Status::OK();
+  }
+
+  /// Runs the clock forward with faults disarmed until every queued and
+  /// in-flight workflow resolved (backoffs elapse, the breaker cools
+  /// down, storms ramp out).
+  Status Drain() {
+    drain_mode_ = true;
+    outage_now_ = false;
+    plane_->journal().set_fault_plan(nullptr);
+    for (int iter = 0; iter < 600; ++iter) {
+      if (plane_->service().pending_workflows() == 0 &&
+          plane_->service().in_flight() == 0) {
+        return Status::OK();
+      }
+      now_ += kStep;
+      Result<uint64_t> ran = plane_->service().RunOnce(now_);
+      if (Crashed()) {
+        PRORP_RETURN_IF_ERROR(Recover());
+        plane_->journal().set_fault_plan(nullptr);
+        continue;
+      }
+      if (!ran.ok()) return ran.status();
+      PRORP_RETURN_IF_ERROR(DeliverCompletions());
+      plane_->service().Pump(now_ + kStep / 2);
+      if (Crashed()) {
+        PRORP_RETURN_IF_ERROR(Recover());
+        plane_->journal().set_fault_plan(nullptr);
+      }
+    }
+    return Status::TimedOut("torture drain did not converge");
+  }
+
+  bool Crashed() const { return plane_ == nullptr || !plane_->healthy(); }
+
+  Status Recover() {
+    if (result_.recoveries >= opt_.max_recoveries) {
+      return Status::ResourceExhausted("too many control-plane recoveries");
+    }
+    // Conservative-restore check: an open breaker must never recover
+    // closed (the window restarts empty; open waits out its cool-down).
+    bool was_open =
+        plane_->service().breaker_state() == BreakerState::kOpen;
+    plane_.reset();
+    ++result_.recoveries;
+    PRORP_RETURN_IF_ERROR(Reopen(now_));
+    if (was_open &&
+        plane_->service().breaker_state() == BreakerState::kClosed) {
+      result_.breaker_recovered_closed_early = true;
+    }
+    return Status::OK();
+  }
+
+  Status Reopen(EpochSeconds now) {
+    DurableControlPlane::Options popt;
+    popt.dir = opt_.dir;
+    popt.config = TortureConfig(opt_);
+    popt.max_attempts = 8;
+    popt.checkpoint_every = opt_.checkpoint_every;
+    plan_ = nullptr;
+    if (opt_.journal_fault_probability > 0) {
+      plan_ = std::make_unique<faults::FaultPlan>(
+          opt_.seed + 0x1000ull * static_cast<uint64_t>(result_.recoveries));
+      // Alternate the failure flavor so both plain I/O errors and ENOSPC
+      // fail-stops hit the journal across recoveries.
+      faults::FaultKind kind = result_.recoveries % 2 == 0
+                                   ? faults::FaultKind::kIoError
+                                   : faults::FaultKind::kDiskFull;
+      plan_->FailWithProbability(faults::FaultOp::kWalAppend,
+                                 opt_.journal_fault_probability, kind);
+      plan_->FailWithProbability(faults::FaultOp::kWalSync,
+                                 opt_.journal_fault_probability / 2,
+                                 faults::FaultKind::kIoError);
+    }
+    popt.fault_plan = plan_.get();
+    for (;;) {
+      auto opened = DurableControlPlane::Open(
+          popt,
+          [this](const ResumeAttempt& a, EpochSeconds t) {
+            return ResumeCb(a, t);
+          },
+          [this](DbId db) { return dbs_[db].resumed; }, now);
+      if (opened.ok()) {
+        plane_ = std::move(*opened);
+        return Status::OK();
+      }
+      // A crash or journal fault fired inside recovery itself: the
+      // journaled reconcile prefix replays on the next attempt.
+      if (result_.recoveries >= opt_.max_recoveries) {
+        return opened.status();
+      }
+      ++result_.recoveries;
+    }
+  }
+
+  const RecoveryTortureOptions& opt_;
+  std::vector<SimDb> dbs_;
+  std::unique_ptr<DurableControlPlane> plane_;
+  std::unique_ptr<faults::FaultPlan> plan_;
+  RecoveryTortureResult result_;
+  EpochSeconds now_ = kStart;
+  bool outage_now_ = false;
+  bool drain_mode_ = false;
+  Rng rng_;
+  Rng fail_rng_;
+};
+
+}  // namespace
+
+Result<RecoveryTortureResult> RunRecoveryTorture(
+    const RecoveryTortureOptions& options) {
+  Harness harness(options);
+  return harness.Run();
+}
+
+Result<std::map<std::string, uint64_t>> ObserveControlPlaneCrashPoints(
+    const RecoveryTortureOptions& options) {
+  auto& registry = faults::CrashPointRegistry::Global();
+  registry.Reset();
+  registry.SetCounting(true);
+  RecoveryTortureOptions observe = options;
+  observe.crash_point.clear();
+  observe.journal_fault_probability = 0;
+  Result<RecoveryTortureResult> run = RunRecoveryTorture(observe);
+  std::map<std::string, uint64_t> hits;
+  for (std::string_view point :
+       {faults::kCpJournalPreSync, faults::kCpPostJournalPreApply,
+        faults::kCpCheckpointMidWrite, faults::kCpDispatchPreAck}) {
+    hits[std::string(point)] = registry.hits(point);
+  }
+  registry.Reset();
+  if (!run.ok()) return run.status();
+  return hits;
+}
+
+}  // namespace prorp::controlplane

@@ -1,0 +1,72 @@
+#ifndef PRORP_CONTROLPLANE_RECOVERY_TORTURE_H_
+#define PRORP_CONTROLPLANE_RECOVERY_TORTURE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "controlplane/durable_control_plane.h"
+
+namespace prorp::controlplane {
+
+/// One control-plane crash-torture run: a deterministic workload
+/// (proactive selections, reactive logins, pause/resume churn, optional
+/// storm and resume-path outage) drives a DurableControlPlane; an armed
+/// crash point kills the control plane mid-transition; recovery reopens
+/// the directory and the workload continues, as many times as it takes.
+struct RecoveryTortureOptions {
+  std::string dir;    // working directory for journal + checkpoint
+  uint64_t seed = 1;
+  int num_dbs = 48;
+  int steps = 120;    // virtual-clock steps of one minute each
+  bool storm = false;   // inject a login-spike storm mid-run
+  bool outage = false;  // resume-path outage window mid-run
+  /// Probability a journal WAL append/sync fails (IoError) per op, via a
+  /// per-incarnation FaultPlan; each failure fail-stops the incarnation.
+  double journal_fault_probability = 0.0;
+  uint64_t checkpoint_every = 64;
+  /// Crash point to arm ("" = none), its 1-based nth hit, and payload
+  /// (for kCpJournalPreSync: the surviving-prefix selector).
+  std::string crash_point;
+  uint64_t crash_nth = 1;
+  uint64_t crash_payload = 0;
+  int max_recoveries = 64;
+};
+
+struct RecoveryTortureResult {
+  bool crash_fired = false;
+  int recoveries = 0;
+  /// Reactive logins the control plane acknowledged (EnqueueReactive
+  /// returned OK).
+  uint64_t accepted_reactive = 0;
+  /// Acknowledged reactive logins whose database was still not resumed
+  /// after the final drain — must be zero (zero accepted-workflow loss).
+  uint64_t lost_reactive = 0;
+  /// Non-hedge dispatches that re-executed an already-performed resume of
+  /// the same workflow — must be zero (zero double resumes).
+  uint64_t duplicate_resumes = 0;
+  /// Workflows that exhausted their retries (escalated, not silently
+  /// lost); the torture config is tuned so reactive logins never get here.
+  uint64_t incidents = 0;
+  /// Aggregate and per-class accounting invariant after the final drain.
+  bool accounting_ok = false;
+  /// A breaker that was open at a crash recovered closed — must be false
+  /// (conservative restore; satellite of DESIGN.md section 10).
+  bool breaker_recovered_closed_early = false;
+  uint64_t total_resumed = 0;
+  DurableControlPlane::RecoveryStats last_recovery;
+};
+
+Result<RecoveryTortureResult> RunRecoveryTorture(
+    const RecoveryTortureOptions& options);
+
+/// Counting pass: runs the workload crash-free with the crash-point
+/// registry in counting mode and returns hits per control-plane point.
+/// The torture matrix uses it to spread crash_nth over hits that actually
+/// occur.
+Result<std::map<std::string, uint64_t>> ObserveControlPlaneCrashPoints(
+    const RecoveryTortureOptions& options);
+
+}  // namespace prorp::controlplane
+
+#endif  // PRORP_CONTROLPLANE_RECOVERY_TORTURE_H_

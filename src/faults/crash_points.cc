@@ -2,9 +2,20 @@
 
 namespace prorp::faults {
 
+std::vector<std::string_view> StorageCrashPoints() {
+  return {kWalAppendPartial, kWalPreSync,      kWalGroupPreSync,
+          kBtreeMidSplit,    kSnapshotMidCopy, kSnapshotPreRenameSync};
+}
+
+std::vector<std::string_view> ControlPlaneCrashPoints() {
+  return {kCpJournalPreSync, kCpPostJournalPreApply, kCpCheckpointMidWrite,
+          kCpDispatchPreAck};
+}
+
 std::vector<std::string_view> AllCrashPoints() {
-  return {kWalAppendPartial, kWalPreSync, kWalGroupPreSync, kBtreeMidSplit,
-          kSnapshotMidCopy, kSnapshotPreRenameSync};
+  std::vector<std::string_view> points = StorageCrashPoints();
+  for (std::string_view p : ControlPlaneCrashPoints()) points.push_back(p);
+  return points;
 }
 
 CrashPointRegistry& CrashPointRegistry::Global() {

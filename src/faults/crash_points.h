@@ -28,9 +28,39 @@ inline constexpr std::string_view kBtreeMidSplit = "btree_mid_split";
 inline constexpr std::string_view kSnapshotMidCopy = "snapshot_mid_copy";
 inline constexpr std::string_view kSnapshotPreRenameSync =
     "snapshot_pre_rename_sync";
+/// Control-plane journal: the record's frame reached the journal file but
+/// the process dies before the fsync.  The armed payload chooses how many
+/// bytes of the frame survive (0 = all of them — a record that is durable
+/// but was never acknowledged; n > 0 = a torn tail of n % frame_size
+/// bytes).
+inline constexpr std::string_view kCpJournalPreSync = "cp_journal_pre_sync";
+/// Control-plane journal: the record is durable in the journal but the
+/// process dies before the in-memory transition it describes is applied.
+/// Recovery must replay the record so the acknowledged transition is not
+/// lost.
+inline constexpr std::string_view kCpPostJournalPreApply =
+    "cp_post_journal_pre_apply";
+/// Control-plane checkpoint: the process dies halfway through writing the
+/// checkpoint temp file.  The previous checkpoint (or none) plus the
+/// un-truncated journal must still recover the full state.
+inline constexpr std::string_view kCpCheckpointMidWrite =
+    "cp_checkpoint_mid_write";
+/// Control plane: the resume callback was dispatched to the node (its
+/// side effect may have happened) but the process dies before the outcome
+/// is journaled.  Recovery must reconcile the dispatched-but-unacked
+/// workflow against the node's state instead of blindly re-resuming.
+inline constexpr std::string_view kCpDispatchPreAck = "cp_dispatch_pre_ack";
 
 /// All compiled-in crash points (for harness enumeration and docs).
 std::vector<std::string_view> AllCrashPoints();
+
+/// The storage-engine subset (WAL, B-tree, snapshot) — what the storage
+/// crash-torture harness exercises.
+std::vector<std::string_view> StorageCrashPoints();
+
+/// The control-plane subset (journal, checkpoint, dispatch) — what the
+/// recovery crash-torture matrix exercises.
+std::vector<std::string_view> ControlPlaneCrashPoints();
 
 /// Process-global registry of crash points.  Instrumented code adds a
 /// one-line hook (PRORP_CRASH_POINT) per point; the torture harness arms

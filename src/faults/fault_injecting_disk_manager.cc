@@ -9,6 +9,9 @@ using storage::PageId;
 
 Result<PageId> FaultInjectingDiskManager::Allocate() {
   if (auto d = plan_->Next(FaultOp::kDiskAllocate)) {
+    if (d->kind == FaultKind::kDiskFull) {
+      return Status::IoError("injected allocate fault: disk full (ENOSPC)");
+    }
     return Status::IoError("injected allocate fault");
   }
   return inner_->Allocate();
@@ -55,6 +58,10 @@ Status FaultInjectingDiskManager::Write(PageId id, const uint8_t* buf) {
       flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
       return inner_->Write(id, flipped);
     }
+    case FaultKind::kDiskFull:
+      // Page writes are all-or-nothing at this layer: out of space means
+      // the page never reaches the medium (the old contents stay intact).
+      return Status::IoError("injected write fault: disk full (ENOSPC)");
   }
   return inner_->Write(id, buf);
 }

@@ -28,6 +28,8 @@ std::string_view FaultKindName(FaultKind kind) {
       return "torn_write";
     case FaultKind::kBitFlip:
       return "bit_flip";
+    case FaultKind::kDiskFull:
+      return "disk_full";
   }
   return "unknown";
 }

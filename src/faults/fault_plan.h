@@ -34,6 +34,12 @@ enum class FaultKind : uint8_t {
   kTornWrite,
   /// A single bit of the payload is flipped (silent medium corruption).
   kBitFlip,
+  /// The medium is out of space (ENOSPC): a write persists only a prefix
+  /// before failing, and the operation must fail-stop cleanly — roll the
+  /// file back, acknowledge nothing.  Unlike kTornWrite the caller gets a
+  /// distinguishable disk-full error, and unlike kIoError some bytes may
+  /// have reached the medium before the failure.
+  kDiskFull,
 };
 
 std::string_view FaultKindName(FaultKind kind);

@@ -8,6 +8,7 @@
 #include "common/backoff.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "controlplane/durable_control_plane.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
 #include "history/sql_history_store.h"
@@ -40,6 +41,7 @@ enum class SimEventType : uint8_t {
   kMeasureStart,     // KPI window begins: swap ledger/recorder
   kPumpTick,         // storm layer: periodic reactive drain + watchdog
   kMaintenanceTick,  // storm layer: enqueue background maintenance load
+  kControlPlaneCrash,  // durable mode: simulated control-plane death
 };
 
 /// Deterministic per-node outage windows over [0, end).  Derived from the
@@ -248,6 +250,16 @@ class FleetSimulation {
   void HandleMeasureStart(const SimEvent& ev);
   Status HandlePumpTick(const SimEvent& ev);
   Status HandleMaintenanceTick(const SimEvent& ev);
+  Status HandleControlPlaneCrash(const SimEvent& ev);
+
+  /// The node-side resume executor shared by the legacy and durable
+  /// control planes.  Failure draws come from the member RNG so the
+  /// stream continues across a simulated control-plane restart.
+  controlplane::ManagementService::ResumeCallback MakeResumeCallback();
+
+  /// Opens (or, after a crash, recovers) the durable control plane and
+  /// repoints metadata_/management_ at its components.
+  Status OpenDurableControlPlane(EpochSeconds now);
 
   const workload::DbTrace* traces_;
   size_t num_traces_;
@@ -273,8 +285,18 @@ class FleetSimulation {
   int64_t allocated_now_ = 0;
   Summary allocated_samples_;
   std::unique_ptr<forecast::FastPredictor> predictor_;
-  std::unique_ptr<MetadataStore> metadata_;
-  std::unique_ptr<controlplane::ManagementService> management_;
+  /// The control plane behind `metadata_`/`management_` is either owned
+  /// directly (legacy in-memory mode) or lives inside `plane_` (durable
+  /// journaled mode); all handlers go through the raw pointers so a
+  /// mid-run recovery only has to swap what they point at.
+  std::unique_ptr<MetadataStore> owned_metadata_;
+  std::unique_ptr<controlplane::ManagementService> owned_management_;
+  std::unique_ptr<controlplane::DurableControlPlane> plane_;
+  MetadataStore* metadata_ = nullptr;
+  controlplane::ManagementService* management_ = nullptr;
+  Rng failure_rng_{0};
+  uint64_t cp_recoveries_ = 0;
+  uint64_t cp_last_replayed_ = 0;
   std::unique_ptr<telemetry::UsageLedger> ledger_;
   std::unique_ptr<telemetry::Recorder> recorder_;
 };
@@ -423,6 +445,7 @@ Status FleetSimulation::HandleResumeOpTick(const SimEvent& ev) {
   PRORP_RETURN_IF_ERROR(
       management_->RunOnce(ev.time, options_.use_sql_scan_for_resume_op)
           .status());
+  if (plane_ != nullptr) PRORP_RETURN_IF_ERROR(plane_->MaybeCheckpoint());
   EpochSeconds next =
       ev.time + options_.config.control_plane.resume_operation_period;
   if (next < options_.end) Push(next, SimEventType::kResumeOpTick, 0, 0);
@@ -480,6 +503,7 @@ Status FleetSimulation::HandlePumpTick(const SimEvent& ev) {
   // Reactive work arriving between proactive iterations must not wait for
   // the next RunOnce: drain the reactive class and run the watchdog.
   (void)management_->Pump(ev.time);
+  if (plane_ != nullptr) PRORP_RETURN_IF_ERROR(plane_->MaybeCheckpoint());
   EpochSeconds next =
       ev.time + options_.config.control_plane.resume_operation_period;
   if (next < options_.end) Push(next, SimEventType::kPumpTick, 0, 0);
@@ -521,40 +545,10 @@ void FleetSimulation::HandleMeasureStart(const SimEvent& ev) {
   recorder_ = std::make_unique<telemetry::Recorder>();
 }
 
-Result<SimReport> FleetSimulation::Run() {
-  PRORP_RETURN_IF_ERROR(options_.config.Validate());
-  if (options_.end <= 0) {
-    return Status::InvalidArgument("SimOptions.end is required");
-  }
-  size_t n = num_traces_;
-  dbs_.resize(n);
-  current_phase_.assign(n, Phase::kReclaimed);
-  phase_known_.assign(n, false);
-  predictor_ = std::make_unique<forecast::FastPredictor>(
-      options_.config.policy.prediction);
-  PRORP_ASSIGN_OR_RETURN(metadata_, MetadataStore::Open());
-
-  outages_ = OutageSchedule::Build(options_);
-  robustness_.outage_windows = outages_.windows();
-  robustness_.outage_seconds = outages_.seconds();
-
-  if (options_.storm_layer_enabled()) {
-    CapacityOptions cap;
-    cap.num_nodes = static_cast<size_t>(std::max(1, options_.num_nodes));
-    cap.concurrency_per_node = options_.resume_concurrency_per_node;
-    cap.service_time = options_.resume_latency;
-    cap.admission_rate = options_.node_admission_rate;
-    cap.admission_burst = options_.node_admission_burst;
-    cap.queue_jitter_max = options_.resume_queue_jitter_max;
-    cap.seed = options_.seed;
-    capacity_ = std::make_unique<NodeCapacityModel>(cap);
-  }
-
-  Rng failure_rng = rng_.Fork();
-  management_ = std::make_unique<controlplane::ManagementService>(
-      metadata_.get(), options_.config.control_plane,
-      [this, failure_rng](const controlplane::ResumeAttempt& a,
-                          EpochSeconds now) mutable -> Status {
+controlplane::ManagementService::ResumeCallback
+FleetSimulation::MakeResumeCallback() {
+  return [this](const controlplane::ResumeAttempt& a,
+                EpochSeconds now) -> Status {
         size_t node = NodeOf(a.db);
         if (a.node_offset != 0) {
           // Hedge: route to a different (least-loaded) node.
@@ -598,7 +592,7 @@ Result<SimReport> FleetSimulation::Run() {
           return s;
         }
         if (options_.resume_failure_probability > 0 &&
-            failure_rng.NextBool(options_.resume_failure_probability)) {
+            failure_rng_.NextBool(options_.resume_failure_probability)) {
           ++robustness_.resume_failures_injected;
           return Status::Unavailable("injected workflow failure");
         }
@@ -617,7 +611,93 @@ Result<SimReport> FleetSimulation::Run() {
           }
         }
         return s;
-      });
+  };
+}
+
+Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
+  controlplane::DurableControlPlane::Options cp;
+  cp.dir = options_.control_plane_journal_dir;
+  cp.config = options_.config.control_plane;
+  cp.sync_mode = controlplane::ControlPlaneJournal::SyncMode::kBuffered;
+  cp.checkpoint_every = options_.control_plane_checkpoint_every;
+  PRORP_ASSIGN_OR_RETURN(
+      plane_, controlplane::DurableControlPlane::Open(
+                  cp, MakeResumeCallback(),
+                  [this](DbId db) {
+                    // Reconcile oracle: the node holds the resumed
+                    // resources iff the database's lifecycle FSM is not
+                    // physically paused.
+                    DbRuntime& rt = dbs_[db];
+                    return rt.controller != nullptr &&
+                           rt.controller->state() !=
+                               DbState::kPhysicallyPaused;
+                  },
+                  now));
+  metadata_ = &plane_->metadata();
+  management_ = &plane_->service();
+  cp_last_replayed_ = plane_->recovery_stats().replayed;
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleControlPlaneCrash(const SimEvent& ev) {
+  // Simulated control-plane process death at an event boundary: the
+  // in-memory plane is destroyed — queue contents, breaker state and
+  // accounting survive only through journal + checkpoint — and recovery
+  // reopens the directory under a fresh epoch.  Node-side work already
+  // granted (pending kResumeLatencyDone events) is unaffected;
+  // dispatched-but-unacked workflows reconcile against the lifecycle
+  // FSMs through the oracle above.
+  plane_.reset();
+  metadata_ = nullptr;
+  management_ = nullptr;
+  PRORP_RETURN_IF_ERROR(OpenDurableControlPlane(ev.time));
+  ++cp_recoveries_;
+  return Status::OK();
+}
+
+Result<SimReport> FleetSimulation::Run() {
+  PRORP_RETURN_IF_ERROR(options_.config.Validate());
+  if (options_.end <= 0) {
+    return Status::InvalidArgument("SimOptions.end is required");
+  }
+  if (options_.control_plane_crash_at > 0 &&
+      options_.control_plane_journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "control_plane_crash_at requires control_plane_journal_dir");
+  }
+  size_t n = num_traces_;
+  dbs_.resize(n);
+  current_phase_.assign(n, Phase::kReclaimed);
+  phase_known_.assign(n, false);
+  predictor_ = std::make_unique<forecast::FastPredictor>(
+      options_.config.policy.prediction);
+
+  outages_ = OutageSchedule::Build(options_);
+  robustness_.outage_windows = outages_.windows();
+  robustness_.outage_seconds = outages_.seconds();
+
+  if (options_.storm_layer_enabled()) {
+    CapacityOptions cap;
+    cap.num_nodes = static_cast<size_t>(std::max(1, options_.num_nodes));
+    cap.concurrency_per_node = options_.resume_concurrency_per_node;
+    cap.service_time = options_.resume_latency;
+    cap.admission_rate = options_.node_admission_rate;
+    cap.admission_burst = options_.node_admission_burst;
+    cap.queue_jitter_max = options_.resume_queue_jitter_max;
+    cap.seed = options_.seed;
+    capacity_ = std::make_unique<NodeCapacityModel>(cap);
+  }
+
+  failure_rng_ = rng_.Fork();
+  if (!options_.control_plane_journal_dir.empty()) {
+    PRORP_RETURN_IF_ERROR(OpenDurableControlPlane(/*now=*/0));
+  } else {
+    PRORP_ASSIGN_OR_RETURN(owned_metadata_, MetadataStore::Open());
+    metadata_ = owned_metadata_.get();
+    owned_management_ = std::make_unique<controlplane::ManagementService>(
+        metadata_, options_.config.control_plane, MakeResumeCallback());
+    management_ = owned_management_.get();
+  }
 
   EpochSeconds measure_from = options_.measure_from;
   ledger_ = std::make_unique<telemetry::UsageLedger>(
@@ -667,6 +747,11 @@ Result<SimReport> FleetSimulation::Run() {
       Push(first_scrub, SimEventType::kScrubTick, 0, 0);
     }
   }
+  if (options_.control_plane_crash_at > 0 &&
+      options_.control_plane_crash_at < options_.end) {
+    Push(options_.control_plane_crash_at, SimEventType::kControlPlaneCrash,
+         0, 0);
+  }
   if (measure_from > 0) {
     Push(measure_from, SimEventType::kMeasureStart, 0, 0);
   }
@@ -710,6 +795,9 @@ Result<SimReport> FleetSimulation::Run() {
         break;
       case SimEventType::kMaintenanceTick:
         PRORP_RETURN_IF_ERROR(HandleMaintenanceTick(ev));
+        break;
+      case SimEventType::kControlPlaneCrash:
+        PRORP_RETURN_IF_ERROR(HandleControlPlaneCrash(ev));
         break;
       case SimEventType::kAllocationSample: {
         allocated_samples_.Add(static_cast<double>(allocated_now_));
@@ -756,6 +844,8 @@ Result<SimReport> FleetSimulation::Run() {
   report.resumed_per_iteration = management_->resumed_per_iteration();
   report.login_delay = login_delay_;
   if (capacity_ != nullptr) report.resume_waits = capacity_->waits();
+  report.control_plane_recoveries = cp_recoveries_;
+  report.control_plane_replayed = cp_last_replayed_;
   report.measure_from = measure_from;
   report.measure_end = options_.end;
   report.allocated_samples = allocated_samples_;
@@ -851,6 +941,8 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
     merged.login_delay.Merge(s.login_delay);
     merged.resume_waits.Merge(s.resume_waits);
     merged.pending_failed += s.pending_failed;
+    merged.control_plane_recoveries += s.control_plane_recoveries;
+    merged.control_plane_replayed += s.control_plane_replayed;
     merged.robustness.AccumulateShard(s.robustness);
   }
   // The outage schedule is fleet-global and identical in every shard.
@@ -883,10 +975,12 @@ Result<SimReport> RunFleetSimulation(
                              traces.size())
           : 1;
   // Proactive mode couples databases through the shared metadata store
-  // and management service, and the storm layer couples them through the
-  // shared node capacity; both always run as one event loop.
+  // and management service, the storm layer couples them through the
+  // shared node capacity, and the durable control plane couples them
+  // through one journal directory; all run as one event loop.
   if (options.mode == PolicyMode::kProactive || num_shards <= 1 ||
-      options.storm_layer_enabled()) {
+      options.storm_layer_enabled() ||
+      !options.control_plane_journal_dir.empty()) {
     FleetSimulation simulation(traces.data(), traces.size(), options, 0);
     return simulation.Run();
   }

@@ -107,6 +107,23 @@ struct SimOptions {
   /// of the ordered index (slow; for validation runs).
   bool use_sql_scan_for_resume_op = false;
 
+  // --- Durable control plane (DESIGN.md section 10) ---
+  /// Non-empty: the metadata store and management service run behind the
+  /// DurableControlPlane — every externally visible control-plane
+  /// transition is journaled to `<dir>/journal.wal` (buffered sync; the
+  /// simulated fsync boundary is the crash event below) and periodically
+  /// folded into `<dir>/checkpoint.bin`.  Empty (default) keeps the
+  /// legacy in-memory control plane.  The journal couples the fleet, so
+  /// this always runs the serial event loop.
+  std::string control_plane_journal_dir;
+  /// Journal records between automatic checkpoints (durable mode only).
+  uint64_t control_plane_checkpoint_every = 4096;
+  /// Simulated control-plane process death at this instant: the plane is
+  /// destroyed mid-run and recovered from journal + checkpoint, then the
+  /// simulation continues under the new incarnation.  0 = never; requires
+  /// control_plane_journal_dir.
+  EpochSeconds control_plane_crash_at = 0;
+
   uint64_t seed = 42;
 
   /// Workers for the sharded fleet mode.  Reactive and always-on
@@ -152,6 +169,10 @@ struct SimReport {
   /// (paper Section 11, future work 3: aligning the pause policy with
   /// tenant placement).
   Summary allocated_samples;
+  /// Durable-control-plane mode: completed mid-run recoveries and the
+  /// journal records replayed by the last one (0 in legacy mode).
+  uint64_t control_plane_recoveries = 0;
+  uint64_t control_plane_replayed = 0;
   EpochSeconds measure_from = 0;
   EpochSeconds measure_end = 0;
 };

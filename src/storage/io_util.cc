@@ -1,5 +1,6 @@
 #include "storage/io_util.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -121,6 +122,18 @@ Status WriteFull(int fd, const void* buf, size_t n, const char* what) {
     }
     done += static_cast<size_t>(put);
   }
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open parent dir: " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("parent dir fsync failed: " + dir);
   return Status::OK();
 }
 

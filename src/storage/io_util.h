@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -39,6 +40,12 @@ Result<size_t> ReadUpTo(int fd, void* buf, size_t n, const char* what);
 
 /// Writes exactly `n` bytes at the current offset (append-mode fds).
 Status WriteFull(int fd, const void* buf, size_t n, const char* what);
+
+/// fsyncs the directory containing `path`, making the entry itself (a
+/// rename or creation) durable.  Every atomic-publish writer (snapshots,
+/// control-plane checkpoints) needs this: without it a crash can roll the
+/// directory entry back even though the data blocks were synced.
+Status SyncParentDir(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // Test-only fault interposition

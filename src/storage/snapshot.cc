@@ -8,6 +8,7 @@
 
 #include "faults/crash_points.h"
 #include "storage/crc32.h"
+#include "storage/io_util.h"
 
 namespace prorp::storage {
 namespace {
@@ -25,20 +26,6 @@ void AppendBytes(std::vector<uint8_t>& out, const void* p, size_t n) {
 Status SyncStream(FILE* f) {
   if (std::fflush(f) != 0) return Status::IoError("fflush failed");
   if (::fsync(::fileno(f)) != 0) return Status::IoError("fsync failed");
-  return Status::OK();
-}
-
-/// fsyncs the directory containing `path`, making the entry itself (the
-/// rename or creation) durable.
-Status SyncParentDir(const std::string& path) {
-  size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IoError("cannot open parent dir: " + dir);
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IoError("parent dir fsync failed: " + dir);
   return Status::OK();
 }
 
@@ -99,7 +86,7 @@ Status WriteSnapshot(const std::string& path, uint32_t value_width,
   // Make the rename itself durable: without the directory fsync a crash
   // can roll the directory entry back to the old snapshot — or to a
   // dangling entry — even though the data blocks were synced.
-  PRORP_RETURN_IF_ERROR(SyncParentDir(path));
+  PRORP_RETURN_IF_ERROR(io::SyncParentDir(path));
   return Status::OK();
 }
 
@@ -175,7 +162,7 @@ Status CopyFile(const std::string& src, const std::string& dst) {
   if (!ok) return Status::IoError("file copy failed");
   // A backup that evaporates on power loss is not a backup: sync the
   // destination's directory entry too before reporting success.
-  PRORP_RETURN_IF_ERROR(SyncParentDir(dst));
+  PRORP_RETURN_IF_ERROR(io::SyncParentDir(dst));
   return Status::OK();
 }
 

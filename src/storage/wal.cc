@@ -151,6 +151,7 @@ Status WriteAheadLog::AppendExclusive(const WalRecord& record) {
   }
 
   size_t intend = frame.size();
+  bool disk_full = false;
   if (fault_plan_ != nullptr) {
     if (auto d = fault_plan_->Next(faults::FaultOp::kWalAppend)) {
       switch (d->kind) {
@@ -158,6 +159,13 @@ Status WriteAheadLog::AppendExclusive(const WalRecord& record) {
           return Status::IoError("injected WAL append fault");
         case faults::FaultKind::kTornWrite:
           intend = d->arg % frame.size();  // live short write, not a crash
+          break;
+        case faults::FaultKind::kDiskFull:
+          // ENOSPC mid-frame: a prefix reaches the medium, then space
+          // runs out.  Fail-stop contract: roll back, ack nothing, and
+          // surface a distinguishable disk-full error.
+          intend = d->arg % frame.size();
+          disk_full = true;
           break;
         case faults::FaultKind::kBitFlip: {
           uint64_t bit = d->arg % (frame.size() * 8);
@@ -177,6 +185,9 @@ Status WriteAheadLog::AppendExclusive(const WalRecord& record) {
     // torn record, unreachable at replay time.
     if (::ftruncate(fd_, start) != 0) {
       return Status::IoError("WAL append failed and rollback failed");
+    }
+    if (disk_full) {
+      return Status::IoError("WAL append failed: disk full (ENOSPC)");
     }
     return written.ok() ? Status::IoError("WAL append failed: short write")
                         : written;
@@ -273,10 +284,12 @@ void WriteAheadLog::CommitBatch(const std::vector<Pending*>& batch) {
             // batch is unaffected.
             p->result = Status::IoError("injected WAL append fault");
             continue;
-          case faults::FaultKind::kTornWrite: {
-            // The batched write dies inside this record's frame.  The
-            // rollback must un-ack the whole batch: acknowledging any
-            // record whose bytes were truncated away would lose it.
+          case faults::FaultKind::kTornWrite:
+          case faults::FaultKind::kDiskFull: {
+            // The batched write dies inside this record's frame (torn
+            // write or out of space).  The rollback must un-ack the whole
+            // batch: acknowledging any record whose bytes were truncated
+            // away would lose it.
             uint64_t cut = d->arg % p->frame.size();
             if (!buf.empty()) {
               (void)io::WriteFull(fd_, buf.data(), buf.size(), "WAL append");
@@ -285,6 +298,9 @@ void WriteAheadLog::CommitBatch(const std::vector<Pending*>& batch) {
             if (::ftruncate(fd_, start) != 0) {
               fail_all(
                   Status::IoError("WAL append failed and rollback failed"));
+            } else if (d->kind == faults::FaultKind::kDiskFull) {
+              fail_all(
+                  Status::IoError("WAL append failed: disk full (ENOSPC)"));
             } else {
               fail_all(Status::IoError("WAL append failed: short write"));
             }

@@ -35,6 +35,23 @@ class Histogram {
   /// "n=.. p50=.. p95=.. p99=.. max=.." row for bench output.
   std::string ToString() const;
 
+  /// Serialization access for control-plane checkpoints: the histogram
+  /// sits inside DiagnosticsReport, which must survive a control-plane
+  /// restart exactly.
+  const std::array<uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+  uint64_t sum() const { return sum_; }
+
+  /// Rebuilds the histogram from serialized parts (checkpoint restore).
+  void Restore(const std::array<uint64_t, kNumBuckets>& buckets,
+               uint64_t count, int64_t max, uint64_t sum) {
+    buckets_ = buckets;
+    count_ = count;
+    max_ = max;
+    sum_ = sum;
+  }
+
  private:
   std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;

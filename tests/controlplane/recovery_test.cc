@@ -1,0 +1,434 @@
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "controlplane/checkpoint.h"
+#include "controlplane/durable_control_plane.h"
+#include "controlplane/journal.h"
+#include "controlplane/management_service.h"
+#include "controlplane/metadata_store.h"
+#include "faults/crash_points.h"
+#include "faults/fault_plan.h"
+
+namespace prorp::controlplane {
+namespace {
+
+namespace fs = std::filesystem;
+using policy::DbState;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+ControlPlaneConfig SmallConfig() {
+  ControlPlaneConfig config;
+  config.prewarm_interval = 300;
+  config.resume_operation_period = 60;
+  config.retry_backoff_base = 60;
+  config.retry_backoff_cap = 240;
+  config.queue_capacity = 16;
+  config.admission_control_enabled = true;
+  config.deadline_hedging_enabled = true;
+  return config;
+}
+
+constexpr EpochSeconds kT0 = 1'000'000;
+
+/// Drives a deterministic mixed workload against a bare (journal-less)
+/// metadata store + service pair: proactive selections, failures with
+/// backoff, reactive logins, an in-flight asynchronous resume.
+void DriveWorkload(MetadataStore* meta, ManagementService* svc) {
+  for (DbId db = 1; db <= 12; ++db) {
+    ASSERT_TRUE(meta->UpsertState(db, DbState::kPhysicallyPaused,
+                                  kT0 + 400 + db * 60)
+                    .ok());
+  }
+  ASSERT_TRUE(meta->UpsertState(20, DbState::kResumed, 0).ok());
+  for (int step = 0; step < 8; ++step) {
+    EpochSeconds now = kT0 + step * 60;
+    if (step == 3) ASSERT_TRUE(svc->EnqueueReactive(2, now).ok());
+    if (step == 5) ASSERT_TRUE(svc->EnqueueReactive(9, now).ok());
+    ASSERT_TRUE(svc->RunOnce(now).ok());
+    svc->Pump(now + 30);
+  }
+  ASSERT_TRUE(svc->AccountingReconciles());
+}
+
+// Satellite: checkpoint round-trip.  Save -> load into a fresh pair ->
+// save again must be byte-identical, i.e. the codec loses nothing it
+// writes.
+TEST(CheckpointTest, SaveLoadSaveIsByteIdentical) {
+  std::string dir = FreshDir("ckpt_roundtrip");
+  auto meta = MetadataStore::Open();
+  ASSERT_TRUE(meta.ok());
+  int odd_fail = 0;
+  ManagementService svc(
+      meta->get(), SmallConfig(),
+      [&](const ResumeAttempt& a, EpochSeconds) -> Status {
+        if (a.db % 2 == 1 && odd_fail++ < 4) {
+          return Status::Unavailable("transient");
+        }
+        return Status::OK();
+      },
+      /*max_attempts=*/4);
+  DriveWorkload(meta->get(), &svc);
+
+  std::string p1 = dir + "/c1.bin";
+  ASSERT_TRUE(
+      SaveCheckpoint(p1, **meta, svc, /*epoch=*/5, /*last_seq=*/42).ok());
+
+  auto meta2 = MetadataStore::Open();
+  ASSERT_TRUE(meta2.ok());
+  ManagementService svc2(
+      meta2->get(), SmallConfig(),
+      [](const ResumeAttempt&, EpochSeconds) { return Status::OK(); },
+      /*max_attempts=*/4);
+  auto loaded = LoadCheckpoint(p1, meta2->get(), &svc2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 5u);
+  EXPECT_EQ(loaded->last_seq, 42u);
+
+  // Observable state matches...
+  EXPECT_EQ((*meta2)->size(), (*meta)->size());
+  auto e1 = (*meta)->Export();
+  auto e2 = (*meta2)->Export();
+  ASSERT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].db, e2[i].db);
+    EXPECT_EQ(e1[i].state_code, e2[i].state_code);
+    EXPECT_EQ(e1[i].predicted_start, e2[i].predicted_start);
+  }
+  EXPECT_EQ(svc2.pending_workflows(), svc.pending_workflows());
+  EXPECT_EQ(svc2.in_flight(), svc.in_flight());
+  EXPECT_EQ(svc2.total_resumed(), svc.total_resumed());
+  EXPECT_EQ(svc2.diagnostics().stuck_workflows,
+            svc.diagnostics().stuck_workflows);
+  EXPECT_TRUE(svc2.AccountingReconciles());
+
+  // ...and so do the bytes of a re-serialization.
+  std::string p2 = dir + "/c2.bin";
+  ASSERT_TRUE(SaveCheckpoint(p2, **meta2, svc2, 5, 42).ok());
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+}
+
+// Satellite: a crash mid-checkpoint-write must leave the previous
+// checkpoint untouched (atomic tmp -> rename publication), under both the
+// generic snapshot_mid_copy point and the control-plane-specific one.
+TEST(CheckpointTest, CrashMidWriteKeepsPreviousCheckpoint) {
+  for (std::string_view point :
+       {faults::kSnapshotMidCopy, faults::kCpCheckpointMidWrite}) {
+    std::string dir =
+        FreshDir(std::string("ckpt_midwrite_") + std::string(point));
+    std::string path = dir + "/c.bin";
+    auto meta = MetadataStore::Open();
+    ASSERT_TRUE(meta.ok());
+    ManagementService svc(
+        meta->get(), SmallConfig(),
+        [](const ResumeAttempt&, EpochSeconds) { return Status::OK(); });
+    ASSERT_TRUE((*meta)->UpsertState(1, DbState::kPhysicallyPaused, 99).ok());
+    ASSERT_TRUE(SaveCheckpoint(path, **meta, svc, 1, 10).ok());
+    std::string before = ReadFileBytes(path);
+
+    ASSERT_TRUE((*meta)->UpsertState(2, DbState::kResumed, 0).ok());
+    auto& registry = faults::CrashPointRegistry::Global();
+    registry.Reset();
+    registry.Arm(point, 1, 0);
+    EXPECT_FALSE(SaveCheckpoint(path, **meta, svc, 1, 20).ok());
+    registry.Reset();
+
+    EXPECT_EQ(ReadFileBytes(path), before);
+    auto meta2 = MetadataStore::Open();
+    ASSERT_TRUE(meta2.ok());
+    ManagementService svc2(
+        meta2->get(), SmallConfig(),
+        [](const ResumeAttempt&, EpochSeconds) { return Status::OK(); });
+    auto loaded = LoadCheckpoint(path, meta2->get(), &svc2);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded->last_seq, 10u);
+    EXPECT_EQ((*meta2)->size(), 1u);
+  }
+}
+
+TEST(DurableControlPlaneTest, ColdStartThenEpochsClimbAcrossRestarts) {
+  std::string dir = FreshDir("dcp_epochs");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  auto ok_cb = [](const ResumeAttempt&, EpochSeconds) { return Status::OK(); };
+  auto not_resumed = [](DbId) { return false; };
+  for (uint64_t expect_epoch = 1; expect_epoch <= 3; ++expect_epoch) {
+    auto plane = DurableControlPlane::Open(opt, ok_cb, not_resumed,
+                                           kT0 + expect_epoch);
+    ASSERT_TRUE(plane.ok()) << plane.status().ToString();
+    EXPECT_EQ((*plane)->recovery_stats().epoch, expect_epoch);
+    EXPECT_TRUE((*plane)->healthy());
+  }
+}
+
+// Tentpole guarantee 1: an acknowledged reactive login survives an
+// abrupt control-plane death (no checkpoint, nothing but the journal).
+TEST(DurableControlPlaneTest, AcceptedReactiveSurvivesAbruptDeath) {
+  std::string dir = FreshDir("dcp_accept_survives");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  int resumes = 0;
+  auto count_cb = [&](const ResumeAttempt&, EpochSeconds) {
+    ++resumes;
+    return Status::OK();
+  };
+  auto not_resumed = [](DbId) { return false; };
+  {
+    auto plane = DurableControlPlane::Open(opt, count_cb, not_resumed, kT0);
+    ASSERT_TRUE(plane.ok());
+    ASSERT_TRUE((*plane)->metadata()
+                    .UpsertState(7, DbState::kPhysicallyPaused, 0)
+                    .ok());
+    ASSERT_TRUE((*plane)->service().EnqueueReactive(7, kT0).ok());
+    EXPECT_EQ((*plane)->service().pending_workflows(), 1u);
+    // Death: the plane object is dropped without any orderly shutdown.
+  }
+  auto plane = DurableControlPlane::Open(opt, count_cb, not_resumed, kT0 + 60);
+  ASSERT_TRUE(plane.ok());
+  EXPECT_EQ((*plane)->service().pending_workflows(), 1u);
+  (*plane)->service().Pump(kT0 + 60);
+  EXPECT_EQ(resumes, 1);
+  EXPECT_TRUE((*plane)->service().AccountingReconciles());
+}
+
+// Tentpole guarantee 2: a dispatch whose effect landed on the node but
+// whose outcome was never journaled is reconciled as completed — the
+// workflow is NOT re-dispatched (no double resume).
+TEST(DurableControlPlaneTest, UnackedDispatchReconciledWithoutDoubleResume) {
+  std::string dir = FreshDir("dcp_unacked_done");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  std::map<DbId, int> resumes;
+  bool node_has_it = false;
+  auto cb = [&](const ResumeAttempt& a, EpochSeconds) {
+    ++resumes[a.db];
+    node_has_it = true;  // the node-side effect exists...
+    return Status::OK();
+  };
+  auto node_resumed = [&](DbId) { return node_has_it; };
+  {
+    auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0);
+    ASSERT_TRUE(plane.ok());
+    ASSERT_TRUE((*plane)->metadata()
+                    .UpsertState(7, DbState::kPhysicallyPaused, 0)
+                    .ok());
+    ASSERT_TRUE((*plane)->service().EnqueueReactive(7, kT0).ok());
+    auto& registry = faults::CrashPointRegistry::Global();
+    registry.Reset();
+    registry.Arm(faults::kCpDispatchPreAck, 1, 0);
+    (*plane)->service().Pump(kT0);  // ...but the crash beats the outcome
+    registry.Reset();
+    EXPECT_FALSE((*plane)->healthy());
+    EXPECT_EQ(resumes[7], 1);
+  }
+  auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0 + 60);
+  ASSERT_TRUE(plane.ok()) << plane.status().ToString();
+  EXPECT_EQ((*plane)->recovery_stats().reconcile.completed, 1u);
+  EXPECT_EQ((*plane)->recovery_stats().reconcile.requeued, 0u);
+  // The reconciled workflow is accounted as a reactive-class resume.
+  EXPECT_EQ(
+      (*plane)->service().diagnostics().cls(ResumeClass::kReactiveLogin)
+          .resumed,
+      1u);
+  for (int step = 1; step <= 4; ++step) {
+    ASSERT_TRUE((*plane)->service().RunOnce(kT0 + 60 + step * 60).ok());
+    (*plane)->service().Pump(kT0 + 90 + step * 60);
+  }
+  EXPECT_EQ(resumes[7], 1);  // never re-dispatched
+  EXPECT_TRUE((*plane)->service().AccountingReconciles());
+}
+
+// Tentpole guarantee 2b: a dispatch that did NOT take effect on the node
+// before the crash is requeued and eventually resumed exactly once.
+TEST(DurableControlPlaneTest, UnackedDispatchRequeuedWhenNodeLostIt) {
+  std::string dir = FreshDir("dcp_unacked_lost");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  std::map<DbId, int> effects;
+  bool fail_next = true;
+  auto cb = [&](const ResumeAttempt& a, EpochSeconds) -> Status {
+    if (fail_next) return Status::Unavailable("node never saw it");
+    if (effects[a.db] > 0) {
+      // Node-side idempotence: a hedge or stale attempt against an
+      // already-resumed database does not resume it again.
+      return Status::FailedPrecondition("already resumed");
+    }
+    ++effects[a.db];
+    return Status::OK();
+  };
+  auto node_resumed = [&](DbId db) { return effects[db] > 0; };
+  {
+    auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0);
+    ASSERT_TRUE(plane.ok());
+    ASSERT_TRUE((*plane)->metadata()
+                    .UpsertState(7, DbState::kPhysicallyPaused, 0)
+                    .ok());
+    ASSERT_TRUE((*plane)->service().EnqueueReactive(7, kT0).ok());
+    auto& registry = faults::CrashPointRegistry::Global();
+    registry.Reset();
+    registry.Arm(faults::kCpDispatchPreAck, 1, 0);
+    (*plane)->service().Pump(kT0);
+    registry.Reset();
+    EXPECT_FALSE((*plane)->healthy());
+  }
+  fail_next = false;
+  auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0 + 60);
+  ASSERT_TRUE(plane.ok());
+  EXPECT_EQ((*plane)->recovery_stats().reconcile.requeued, 1u);
+  for (int step = 1; step <= 4; ++step) {
+    ASSERT_TRUE((*plane)->service().RunOnce(kT0 + 60 + step * 60).ok());
+    (*plane)->service().Pump(kT0 + 90 + step * 60);
+  }
+  EXPECT_EQ(effects[7], 1);  // resumed exactly once, by the requeue
+  EXPECT_TRUE((*plane)->service().AccountingReconciles());
+}
+
+// Satellite: restart amnesia.  An open breaker must recover open — a
+// crash is not a path around the cool-down — and the outcome window
+// restarts empty (conservative posture).
+TEST(DurableControlPlaneTest, OpenBreakerSurvivesCrashOpen) {
+  std::string dir = FreshDir("dcp_breaker");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  opt.config.breaker_window = 4;
+  opt.config.breaker_failure_ratio = 0.5;
+  opt.config.breaker_open_duration = 600;
+  opt.max_attempts = 10;
+  bool fail_all = true;
+  auto cb = [&](const ResumeAttempt&, EpochSeconds) -> Status {
+    if (fail_all) return Status::Unavailable("node down");
+    return Status::OK();
+  };
+  auto not_resumed = [](DbId) { return false; };
+  EpochSeconds now = kT0;
+  {
+    auto plane = DurableControlPlane::Open(opt, cb, not_resumed, now);
+    ASSERT_TRUE(plane.ok());
+    for (DbId db = 1; db <= 6; ++db) {
+      ASSERT_TRUE((*plane)->metadata()
+                      .UpsertState(db, DbState::kPhysicallyPaused,
+                                   kT0 + 360 + db)
+                      .ok());
+    }
+    for (int step = 0; step < 6 &&
+                       (*plane)->service().breaker_state() != BreakerState::kOpen;
+         ++step) {
+      now = kT0 + (step + 1) * 60;
+      ASSERT_TRUE((*plane)->service().RunOnce(now).ok());
+    }
+    ASSERT_EQ((*plane)->service().breaker_state(), BreakerState::kOpen);
+  }
+  auto plane = DurableControlPlane::Open(opt, cb, not_resumed, now + 30);
+  ASSERT_TRUE(plane.ok());
+  // Recovered open; stays open until its cool-down elapses even though
+  // the post-recovery outcome window is empty.
+  EXPECT_EQ((*plane)->service().breaker_state(), BreakerState::kOpen);
+  ASSERT_TRUE((*plane)->service().RunOnce(now + 60).ok());
+  EXPECT_EQ((*plane)->service().breaker_state(), BreakerState::kOpen);
+}
+
+// Checkpoint + journal suffix replay: exactly-once across the
+// checkpoint/truncate crash window (records folded into the checkpoint
+// are skipped on replay).
+TEST(DurableControlPlaneTest, CheckpointPlusSuffixReplaysExactlyOnce) {
+  std::string dir = FreshDir("dcp_ckpt_suffix");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  opt.checkpoint_every = 0;  // manual
+  int resumes = 0;
+  auto cb = [&](const ResumeAttempt&, EpochSeconds) {
+    ++resumes;
+    return Status::OK();
+  };
+  // Db 1's resume took effect before the crash; its in-flight entry must
+  // survive recovery as in-flight, not be requeued.
+  auto node_resumed = [](DbId db) { return db == 1; };
+  {
+    auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0);
+    ASSERT_TRUE(plane.ok());
+    for (DbId db = 1; db <= 4; ++db) {
+      ASSERT_TRUE((*plane)->metadata()
+                      .UpsertState(db, DbState::kPhysicallyPaused, 0)
+                      .ok());
+    }
+    ASSERT_TRUE((*plane)->service().EnqueueReactive(1, kT0).ok());
+    (*plane)->service().Pump(kT0);
+    ASSERT_TRUE((*plane)->Checkpoint().ok());
+    // Post-checkpoint suffix: one more accepted workflow.
+    ASSERT_TRUE((*plane)->service().EnqueueReactive(2, kT0 + 10).ok());
+  }
+  auto plane = DurableControlPlane::Open(opt, cb, node_resumed, kT0 + 60);
+  ASSERT_TRUE(plane.ok());
+  EXPECT_TRUE(plane.ok() && (*plane)->recovery_stats().checkpoint_loaded);
+  // Db 1's resume came back from the checkpoint, exactly once.
+  EXPECT_EQ(
+      (*plane)->service().diagnostics().cls(ResumeClass::kReactiveLogin)
+          .resumed,
+      1u);
+  EXPECT_EQ((*plane)->service().in_flight(), 1u);          // db 1, kept
+  EXPECT_EQ((*plane)->service().pending_workflows(), 1u);  // from the suffix
+  (*plane)->service().Pump(kT0 + 60);
+  EXPECT_EQ(resumes, 2);
+  EXPECT_TRUE((*plane)->service().AccountingReconciles());
+}
+
+// A journal append failure (ENOSPC) fences the service: nothing is
+// acknowledged after the journal stopped recording, and recovery comes
+// back exactly to the last acknowledged state.
+TEST(DurableControlPlaneTest, JournalDiskFullFencesThenRecovers) {
+  std::string dir = FreshDir("dcp_enospc");
+  DurableControlPlane::Options opt;
+  opt.dir = dir;
+  opt.config = SmallConfig();
+  faults::FaultPlan plan(11);
+  auto cb = [](const ResumeAttempt&, EpochSeconds) { return Status::OK(); };
+  auto not_resumed = [](DbId) { return false; };
+  {
+    auto plane = DurableControlPlane::Open(opt, cb, not_resumed, kT0);
+    ASSERT_TRUE(plane.ok());
+    ASSERT_TRUE((*plane)->metadata()
+                    .UpsertState(7, DbState::kPhysicallyPaused, 0)
+                    .ok());
+    plan.FailNth(faults::FaultOp::kWalAppend, 1, faults::FaultKind::kDiskFull);
+    (*plane)->journal().set_fault_plan(&plan);
+    Status s = (*plane)->service().EnqueueReactive(7, kT0);
+    EXPECT_FALSE(s.ok());  // the login was NOT acknowledged
+    EXPECT_FALSE((*plane)->healthy());
+    EXPECT_TRUE((*plane)->service().fenced());
+    // Fenced: every later entry point refuses.
+    EXPECT_FALSE((*plane)->service().EnqueueReactive(8, kT0).ok());
+    EXPECT_EQ((*plane)->service().Pump(kT0), 0u);
+  }
+  auto plane = DurableControlPlane::Open(opt, cb, not_resumed, kT0 + 60);
+  ASSERT_TRUE(plane.ok());
+  // The unacknowledged login is (correctly) not there; the metadata
+  // mutation that WAS acknowledged is.
+  EXPECT_EQ((*plane)->service().pending_workflows(), 0u);
+  EXPECT_TRUE((*plane)->metadata().Contains(7));
+  EXPECT_TRUE((*plane)->service().AccountingReconciles());
+}
+
+}  // namespace
+}  // namespace prorp::controlplane

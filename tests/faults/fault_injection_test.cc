@@ -157,6 +157,39 @@ TEST(FaultInjectionTest, FailedWalAppendLosesOnlyTheUnackedOp) {
   EXPECT_TRUE((*recovered)->Contains(4));   // acked after the fault: kept
 }
 
+TEST(FaultInjectionTest, DiskFullWalAppendFailsStopWithoutCorruption) {
+  std::string dir = FreshDir("fault_injection_enospc");
+  FaultPlan plan(29);
+  plan.FailNth(FaultOp::kWalAppend, 3, FaultKind::kDiskFull);
+  DurableTree::Options opts;
+  opts.dir = dir;
+  opts.checkpoint_wal_bytes = 0;
+  opts.fault_plan = &plan;
+
+  {
+    auto tree = DurableTree::Open(opts);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_TRUE((*tree)->Insert(1, Value64(10).data()).ok());
+    EXPECT_TRUE((*tree)->Insert(2, Value64(20).data()).ok());
+    // ENOSPC: the append fails cleanly — error surfaced to the caller, no
+    // partial frame written, the log still appendable once space returns.
+    Status s = (*tree)->Insert(3, Value64(30).data());
+    EXPECT_TRUE(s.IsIoError());
+    EXPECT_NE(s.message().find("disk full"), std::string::npos)
+        << s.ToString();
+    EXPECT_TRUE((*tree)->Insert(4, Value64(40).data()).ok());
+  }
+
+  opts.fault_plan = nullptr;
+  auto recovered = DurableTree::Open(opts);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE((*recovered)->tree().CheckInvariants().ok());
+  EXPECT_TRUE((*recovered)->Contains(1));
+  EXPECT_TRUE((*recovered)->Contains(2));
+  EXPECT_FALSE((*recovered)->Contains(3));  // unacked: legitimately lost
+  EXPECT_TRUE((*recovered)->Contains(4));
+}
+
 TEST(FaultInjectionTest, TornWalAppendDoesNotBlockLaterAppends) {
   // Regression for the torn-frame leak: a short WAL write used to leave a
   // partial frame in the file, and every append after it — though

@@ -157,7 +157,7 @@ TEST(TortureHarnessTest, ObserveReportsAllPointsForSyncedWorkload) {
   opts.checkpoint_wal_bytes = 4096;
   auto hits = ObserveCrashPoints(opts, FreshDir("torture_observe_all"));
   ASSERT_TRUE(hits.ok()) << hits.status().ToString();
-  for (std::string_view point : AllCrashPoints()) {
+  for (std::string_view point : StorageCrashPoints()) {
     EXPECT_GT((*hits)[std::string(point)], 0u) << point;
   }
 }

@@ -1,5 +1,7 @@
 #include "sim/fleet_simulator.h"
 
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "workload/region.h"
@@ -487,6 +489,88 @@ TEST(FleetSimulatorTest, SqlHistoryBackendIsKpiNeutral) {
   EXPECT_EQ(a->kpi.predictions, b->kpi.predictions);
   EXPECT_DOUBLE_EQ(a->kpi.IdleTotalPct(), b->kpi.IdleTotalPct());
   EXPECT_EQ(a->history_tuples.count(), b->history_tuples.count());
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(FleetSimulatorTest, CrashAtRequiresJournalDir) {
+  std::vector<DbTrace> traces = {DailyTwoSessionTrace(0)};
+  SimOptions options = BaseOptions(PolicyMode::kProactive);
+  options.control_plane_crash_at = kMeasureFrom;
+  auto r = RunFleetSimulation(traces, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(FleetSimulatorTest, DurableControlPlaneMatchesLegacyBitExactly) {
+  // Journaling every control-plane transition must be behavior-neutral:
+  // the durable run replays the exact decision sequence of the legacy
+  // in-memory run, including transient-failure mitigation draws.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 40, kT0,
+                                        kEnd, 13);
+  SimOptions legacy = BaseOptions(PolicyMode::kProactive);
+  legacy.eviction_per_hour = 0.1;
+  legacy.resume_failure_probability = 0.02;
+  SimOptions durable = legacy;
+  durable.control_plane_journal_dir = FreshDir("sim_cp_identity");
+  durable.control_plane_checkpoint_every = 512;
+  auto a = RunFleetSimulation(traces, legacy);
+  auto b = RunFleetSimulation(traces, durable);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->control_plane_recoveries, 0u);
+  EXPECT_EQ(a->kpi.logins_total, b->kpi.logins_total);
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.logins_reactive, b->kpi.logins_reactive);
+  EXPECT_EQ(a->kpi.proactive_resumes, b->kpi.proactive_resumes);
+  EXPECT_EQ(a->kpi.physical_pauses, b->kpi.physical_pauses);
+  EXPECT_EQ(a->kpi.forced_evictions, b->kpi.forced_evictions);
+  EXPECT_EQ(a->kpi.predictions, b->kpi.predictions);
+  EXPECT_DOUBLE_EQ(a->usage.active, b->usage.active);
+  EXPECT_DOUBLE_EQ(a->usage.reclaimed, b->usage.reclaimed);
+  EXPECT_DOUBLE_EQ(a->usage.unavailable, b->usage.unavailable);
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
+  EXPECT_EQ(a->diagnostics.observed_iterations,
+            b->diagnostics.observed_iterations);
+  EXPECT_EQ(a->diagnostics.mitigated, b->diagnostics.mitigated);
+  EXPECT_EQ(a->diagnostics.incidents, b->diagnostics.incidents);
+  EXPECT_EQ(a->robustness.resume_failures_injected,
+            b->robustness.resume_failures_injected);
+}
+
+TEST(FleetSimulatorTest, DurableControlPlaneSurvivesMidRunRestart) {
+  // Kill the control plane in the middle of the measurement window; the
+  // recovered incarnation must pick up the exact journaled state, so the
+  // run's KPIs match a crash-free durable run bit for bit.
+  auto traces = workload::GenerateFleet(workload::RegionEU1(), 40, kT0,
+                                        kEnd, 13);
+  SimOptions smooth = BaseOptions(PolicyMode::kProactive);
+  smooth.control_plane_journal_dir = FreshDir("sim_cp_smooth");
+  smooth.control_plane_checkpoint_every = 512;
+  SimOptions crashed = smooth;
+  crashed.control_plane_journal_dir = FreshDir("sim_cp_crashed");
+  crashed.control_plane_crash_at = kMeasureFrom + Days(2) + Hours(3);
+  auto a = RunFleetSimulation(traces, smooth);
+  auto b = RunFleetSimulation(traces, crashed);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->control_plane_recoveries, 0u);
+  EXPECT_EQ(b->control_plane_recoveries, 1u);
+  EXPECT_GT(b->control_plane_replayed, 0u);
+  EXPECT_EQ(a->kpi.logins_total, b->kpi.logins_total);
+  EXPECT_EQ(a->kpi.logins_available, b->kpi.logins_available);
+  EXPECT_EQ(a->kpi.logins_reactive, b->kpi.logins_reactive);
+  EXPECT_EQ(a->kpi.proactive_resumes, b->kpi.proactive_resumes);
+  EXPECT_EQ(a->kpi.physical_pauses, b->kpi.physical_pauses);
+  EXPECT_EQ(a->kpi.predictions, b->kpi.predictions);
+  EXPECT_DOUBLE_EQ(a->usage.active, b->usage.active);
+  EXPECT_DOUBLE_EQ(a->usage.unavailable, b->usage.unavailable);
+  EXPECT_EQ(a->recorder.size(), b->recorder.size());
 }
 
 TEST(FleetSimulatorTest, MixedFleetProactiveBeatsReactive) {
