@@ -18,6 +18,7 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
 void Rng::Seed(uint64_t seed) {
+  seed_ = seed;
   uint64_t x = seed;
   for (auto& s : s_) s = SplitMix64(x);
 }
@@ -76,5 +77,14 @@ double Rng::NextGaussian(double mean, double stddev) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+Rng Rng::ForkStream(uint64_t stream_id) const {
+  // Mix (seed, stream_id) through two SplitMix64 rounds so adjacent
+  // stream ids land far apart; const — the parent's state is untouched.
+  uint64_t x = seed_ ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+  uint64_t child = SplitMix64(x);
+  child ^= SplitMix64(x);
+  return Rng(child);
+}
 
 }  // namespace prorp

@@ -38,11 +38,24 @@ class Rng {
 
   /// Derives an independent child generator; useful to give each simulated
   /// database its own stream so fleet composition changes do not perturb
-  /// other databases' traces.
+  /// other databases' traces.  Fork() consumes one draw, so the *number*
+  /// of forks taken perturbs the parent stream — use ForkStream when a
+  /// subsystem must be addable without disturbing existing consumers.
   Rng Fork();
+
+  /// Derives an independent child generator addressed by `stream_id`,
+  /// WITHOUT advancing this generator's state: a pure function of
+  /// (seed, stream_id).  Adding or removing a ForkStream consumer
+  /// therefore perturbs no other stream — the property the transport
+  /// layer relies on so that enabling message-fault injection draws
+  /// nothing from the workload or disk-fault streams (DESIGN.md
+  /// section 11).  Distinct stream ids give statistically independent
+  /// streams; the same (seed, id) pair always yields the same stream.
+  Rng ForkStream(uint64_t stream_id) const;
 
  private:
   uint64_t s_[4];
+  uint64_t seed_ = 0;
 };
 
 }  // namespace prorp

@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "TimedOut";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kPending:
+      return "Pending";
   }
   return "Unknown";
 }

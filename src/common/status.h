@@ -43,6 +43,11 @@ enum class StatusCode {
   kInternal,
   kTimedOut,
   kAborted,
+  /// The operation was started but its outcome is not yet known — the
+  /// caller will be notified asynchronously (transport dispatch awaiting
+  /// an ack).  Not an error in the usual sense: ok() is still false, so
+  /// callers must recognise kPending explicitly.
+  kPending,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -109,6 +114,9 @@ class Status {
   static Status Aborted(std::string_view msg) {
     return Status(StatusCode::kAborted, msg);
   }
+  static Status Pending(std::string_view msg) {
+    return Status(StatusCode::kPending, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -122,6 +130,7 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsPending() const { return code_ == StatusCode::kPending; }
 
   /// Structured context of a Corruption status, or nullptr when the error
   /// carries none (non-corruption codes, or a bare-string Corruption).

@@ -16,7 +16,8 @@ namespace prorp::controlplane {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x5052434a;  // "PRCJ"
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 appends the unacked-dispatch section (transport layer).
+constexpr uint32_t kCheckpointVersion = 2;
 
 void PutBytes(std::vector<uint8_t>& out, const void* p, size_t n) {
   const uint8_t* b = static_cast<const uint8_t*>(p);
@@ -161,12 +162,34 @@ struct ServiceStateCodec {
     Put<uint64_t>(out, s.quota_this_iteration_);
     Put<int64_t>(out, s.storm_ended_at_);
     Put<uint64_t>(out, s.reactive_arrivals_);
+
+    // v2: unacked dispatches, persisted as their queued-item state.  On
+    // restore they re-enter the queue pending reconciliation — their
+    // request ids are meaningless to the next incarnation, whose recovery
+    // resolves them against the node exactly like crash-left dispatches.
+    Put<uint64_t>(out, s.unacked_.size());
+    std::vector<DbId> udbs;
+    udbs.reserve(s.unacked_.size());
+    for (const auto& [db, u] : s.unacked_) udbs.push_back(db);
+    std::sort(udbs.begin(), udbs.end());
+    for (DbId db : udbs) {
+      const ManagementService::WorkItem& item = s.unacked_.at(db).item;
+      Put<uint32_t>(out, db);
+      Put<uint8_t>(out, static_cast<uint8_t>(item.cls));
+      Put<int32_t>(out, item.attempts);
+      Put<int64_t>(out, item.not_before);
+      Put<int64_t>(out, item.enqueued_at);
+      Put<int64_t>(out, item.deadline);
+      Put<uint8_t>(out, item.hedged ? 1 : 0);
+      Put<uint8_t>(out, item.wait_recorded ? 1 : 0);
+    }
   }
 
   static Status Deserialize(ManagementService* s, Reader& r) {
     for (auto& q : s->queues_) q.clear();
     s->queued_dbs_.clear();
     s->in_flight_.clear();
+    s->unacked_.clear();
     for (auto& q : s->queues_) {
       uint64_t n = r.Get<uint64_t>();
       for (uint64_t i = 0; i < n && !r.failed; ++i) {
@@ -249,6 +272,25 @@ struct ServiceStateCodec {
     s->quota_this_iteration_ = r.Get<uint64_t>();
     s->storm_ended_at_ = r.Get<int64_t>();
     s->reactive_arrivals_ = r.Get<uint64_t>();
+    uint64_t n_unacked = r.Get<uint64_t>();
+    for (uint64_t i = 0; i < n_unacked && !r.failed; ++i) {
+      ManagementService::WorkItem item;
+      item.db = r.Get<uint32_t>();
+      item.cls = static_cast<ResumeClass>(r.Get<uint8_t>());
+      item.attempts = r.Get<int32_t>();
+      item.not_before = r.Get<int64_t>();
+      item.enqueued_at = r.Get<int64_t>();
+      item.deadline = r.Get<int64_t>();
+      item.hedged = r.Get<uint8_t>() != 0;
+      item.wait_recorded = r.Get<uint8_t>() != 0;
+      if (r.failed) break;
+      // Back into the queue, flagged for reconciliation: the restored
+      // incarnation treats a checkpointed unacked dispatch exactly like a
+      // crash-left one.
+      s->queues_[ManagementService::Idx(item.cls)].push_back(item);
+      s->queued_dbs_.emplace(item.db, item.cls);
+      s->recovery_pending_[item.db] = item.cls;
+    }
     s->outcomes_.clear();
     s->window_failures_ = 0;
     s->half_open_probes_issued_ = 0;

@@ -72,6 +72,12 @@ size_t ManagementService::pending_failed() const {
       if (item.attempts > 0) ++n;
     }
   }
+  // Unacked dispatches are still open workflows: an item that failed
+  // before going on the wire stays an open term of the invariant until
+  // its ack (or timeout requeue) resolves it.
+  for (const auto& [db, u] : unacked_) {
+    if (u.item.attempts > 0) ++n;
+  }
   return n;
 }
 
@@ -79,6 +85,9 @@ size_t ManagementService::pending_failed(ResumeClass cls) const {
   size_t n = 0;
   for (const WorkItem& item : queues_[Idx(cls)]) {
     if (item.attempts > 0) ++n;
+  }
+  for (const auto& [db, u] : unacked_) {
+    if (u.item.cls == cls && u.item.attempts > 0) ++n;
   }
   return n;
 }
@@ -349,26 +358,47 @@ void ManagementService::RetireSkipped(const WorkItem& item, bool deleted) {
   if (deleted) ++diagnostics_.deleted_while_queued;
 }
 
+void ManagementService::PromoteToReactive(DbId db, EpochSeconds now) {
+  auto it = queued_dbs_.find(db);
+  if (it == queued_dbs_.end() || it->second == ResumeClass::kReactiveLogin) {
+    return;
+  }
+  // The old item is retired through the skipped_state_changed path of its
+  // own class (keeping the per-class invariant closed) and a fresh
+  // reactive workflow starts.
+  auto& q = queues_[Idx(it->second)];
+  for (auto qi = q.begin(); qi != q.end(); ++qi) {
+    if (qi->db == db) {
+      RetireSkipped(*qi);
+      if (fenced_) return;
+      q.erase(qi);
+      break;
+    }
+  }
+  EnqueueItem(db, ResumeClass::kReactiveLogin, now);
+}
+
 Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
   if (fenced_) return fence_status_;
   ++reactive_arrivals_;
   if (in_flight_.count(db) != 0) return Status::OK();  // already resuming
+  if (auto ua = unacked_.find(db); ua != unacked_.end()) {
+    // A dispatch for this database is on the wire with an unknown
+    // outcome.  The login is absorbed — NOT journaled as kAccepted:
+    // replay-wise the database is still queued (kDispatched without an
+    // outcome), so a fresh accept would corrupt replay.  The interest
+    // flag makes the resolution paths promote the workflow to reactive.
+    ua->second.reactive_interest = true;
+    return Status::OK();
+  }
   auto it = queued_dbs_.find(db);
   if (it != queued_dbs_.end()) {
     if (it->second == ResumeClass::kReactiveLogin) return Status::OK();
     // Promotion: the customer's login outruns a queued pre-warm of the
-    // same database.  The old item is retired through the
-    // skipped_state_changed path of its own class (keeping the per-class
-    // invariant closed) and a fresh reactive workflow starts.
-    auto& q = queues_[Idx(it->second)];
-    for (auto qi = q.begin(); qi != q.end(); ++qi) {
-      if (qi->db == db) {
-        RetireSkipped(*qi);
-        if (fenced_) return fence_status_;
-        q.erase(qi);
-        break;
-      }
-    }
+    // same database.
+    PromoteToReactive(db, now);
+    if (fenced_) return fence_status_;
+    return Status::OK();
   }
   EnqueueItem(db, ResumeClass::kReactiveLogin, now);
   if (fenced_) return fence_status_;
@@ -377,7 +407,8 @@ Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
 
 Status ManagementService::EnqueueMaintenance(DbId db, EpochSeconds now) {
   if (fenced_) return fence_status_;
-  if (queued_dbs_.count(db) != 0 || in_flight_.count(db) != 0) {
+  if (queued_dbs_.count(db) != 0 || in_flight_.count(db) != 0 ||
+      unacked_.count(db) != 0) {
     return Status::OK();  // a same-or-higher-class workflow already exists
   }
   AdmitNonReactive(db, ResumeClass::kMaintenance, now);
@@ -397,6 +428,198 @@ void ManagementService::CompleteWorkflow(DbId db, EpochSeconds now) {
   if (!Journal(rec)) return;
   diagnostics_.in_flight_duration.Add(now - it->second.started);
   in_flight_.erase(it);
+}
+
+void ManagementService::NoteLateAck(DbId db) {
+  (void)db;
+  ++diagnostics_.late_acks;
+}
+
+void ManagementService::NoteStaleEpochAck(DbId db) {
+  (void)db;
+  ++diagnostics_.stale_epoch_acks;
+}
+
+void ManagementService::ResolveUnacked(DbId db, UnackedDispatch u,
+                                       bool is_hedge, const Status& outcome,
+                                       EpochSeconds now) {
+  WorkItem& item = u.item;
+  ClassDiagnostics& cd = Cls(item.cls);
+  const bool hedge_verdict = is_hedge || u.hedge_dispatch;
+  if (outcome.ok()) {
+    const bool went_async = item.cls == ResumeClass::kReactiveLogin &&
+                            config_.deadline_hedging_enabled;
+    EpochSeconds effective_deadline =
+        item.deadline > 0 ? item.deadline : now + DeadlineFor(item.cls);
+    JournalRecord rec;
+    rec.event = JournalEvent::kOutcomeOk;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(item.cls);
+    rec.attempt = item.attempts + 1;
+    rec.time = now;
+    rec.deadline = went_async ? effective_deadline : item.deadline;
+    if (hedge_verdict) rec.flags |= kJfHedge;
+    if (item.attempts > 0) rec.flags |= kJfWasFailed;
+    if (went_async) rec.flags |= kJfAsync;
+    if (!Journal(rec)) return;  // fenced; recovery reconciles the dispatch
+    ++cd.resumed;
+    if (item.attempts > 0) {
+      ++diagnostics_.mitigated;
+      ++cd.mitigated;
+    }
+    if (hedge_verdict) ++cd.hedge_wins;
+    if (item.cls == ResumeClass::kImminentProactive ||
+        item.cls == ResumeClass::kSpeculativeProactive) {
+      // Folded into the next RunOnce's resumed count (and its journaled
+      // kIteration aggregate), keeping the Figure 11 metric and replay
+      // exact.
+      ++async_resumed_pending_;
+    }
+    if (u.gated) {
+      // Breaker bookkeeping uses the dispatch-time posture (stored at
+      // park time): an ack landing after the breaker moved on must not
+      // count as a probe it never was.
+      if (u.half_open_probe) {
+        ++half_open_successes_;
+        if (half_open_successes_ >= config_.breaker_half_open_probes) {
+          SetBreaker(BreakerState::kClosed, now);
+        }
+      } else {
+        RecordOutcome(/*success=*/true, now);
+      }
+    }
+    if (went_async) {
+      InFlightItem f;
+      f.cls = item.cls;
+      f.attempts = item.attempts + 1;
+      f.started = now;
+      f.deadline = effective_deadline;
+      f.hedged = item.hedged;
+      in_flight_[db] = f;
+    }
+    // A reactive interest noted while unacked is satisfied by the resume
+    // itself — the customer's database is up.
+    return;
+  }
+  if (outcome.code() == StatusCode::kFailedPrecondition) {
+    // The database is no longer physically paused; retire silently,
+    // breaker-neutral, exactly like the synchronous path.
+    RetireSkipped(item);
+    return;
+  }
+  // Transient workflow failure reported by the node: mirror the
+  // synchronous failure path (backoff retry or incident).
+  int new_attempts = item.attempts + 1;
+  const bool incident = new_attempts >= max_attempts_;
+  DurationSeconds delay = incident ? 0 : BackoffDelay(db, new_attempts);
+  JournalRecord rec;
+  rec.event = JournalEvent::kOutcomeFailed;
+  rec.db = db;
+  rec.cls = static_cast<uint8_t>(item.cls);
+  rec.attempt = new_attempts;
+  rec.time = now;
+  if (!incident) rec.not_before = now + delay;
+  if (new_attempts == 1) rec.flags |= kJfFirstFailure;
+  if (incident) rec.flags |= kJfIncident;
+  if (!Journal(rec)) return;
+  item.attempts = new_attempts;
+  if (item.attempts == 1) {
+    ++diagnostics_.stuck_workflows;
+    ++cd.stuck;
+  }
+  if (u.gated) {
+    if (u.half_open_probe) {
+      SetBreaker(BreakerState::kOpen, now);  // failed probe: re-open
+    } else {
+      RecordOutcome(/*success=*/false, now);
+    }
+  }
+  if (!incident) {
+    item.not_before = now + delay;
+    ++diagnostics_.backoff_retries_scheduled;
+    diagnostics_.backoff_delay_seconds_total += static_cast<uint64_t>(delay);
+    // Replay-consistent: the journal still shows the item queued (its
+    // kDispatched never got a terminal outcome until the kOutcomeFailed
+    // above), so re-adding it here converges with replay.
+    queues_[Idx(item.cls)].push_back(item);
+    queued_dbs_.emplace(db, item.cls);
+    if (u.reactive_interest && item.cls != ResumeClass::kReactiveLogin) {
+      PromoteToReactive(db, now);
+    }
+  } else {
+    ++diagnostics_.incidents;
+    ++cd.incidents;
+    if (u.reactive_interest) {
+      // The login absorbed while unacked still needs a workflow; the db
+      // is no longer queued at this point, so a fresh accept is valid.
+      EnqueueItem(db, ResumeClass::kReactiveLogin, now);
+    }
+  }
+}
+
+void ManagementService::OnDispatchAck(DbId db, uint64_t request_id,
+                                      const Status& outcome,
+                                      EpochSeconds now) {
+  if (fenced_) return;
+  auto it = unacked_.find(db);
+  if (it == unacked_.end() || (request_id != it->second.request_id &&
+                               request_id != it->second.hedge_request_id)) {
+    // The workflow already resolved (hedge win, timeout requeue, previous
+    // ack): telemetry only.
+    NoteLateAck(db);
+    return;
+  }
+  const bool is_hedge = request_id == it->second.hedge_request_id;
+  const bool transient = !outcome.ok() &&
+                         outcome.code() != StatusCode::kFailedPrecondition;
+  if (transient) {
+    // A transient nack from one side of a hedged pair: spend this rid and
+    // keep waiting while the other dispatch is still on the wire.
+    uint64_t& slot =
+        is_hedge ? it->second.hedge_request_id : it->second.request_id;
+    slot = 0;
+    if (it->second.request_id != 0 || it->second.hedge_request_id != 0) {
+      return;
+    }
+  }
+  UnackedDispatch resolved = std::move(it->second);
+  unacked_.erase(it);
+  ResolveUnacked(db, std::move(resolved), is_hedge, outcome, now);
+}
+
+void ManagementService::OnDispatchTimeout(DbId db, uint64_t request_id,
+                                          EpochSeconds now) {
+  if (fenced_) return;
+  auto it = unacked_.find(db);
+  if (it == unacked_.end() || (request_id != it->second.request_id &&
+                               request_id != it->second.hedge_request_id)) {
+    return;  // already resolved; nothing left to time out
+  }
+  if (request_id == it->second.hedge_request_id) {
+    it->second.hedge_request_id = 0;
+  } else {
+    it->second.request_id = 0;
+  }
+  if (it->second.request_id != 0 || it->second.hedge_request_id != 0) {
+    return;  // the other dispatch of the hedged pair is still live
+  }
+  ++diagnostics_.dispatch_timeouts;
+  // The outcome is UNKNOWN — the node may or may not have executed — so
+  // this is NOT a failure: attempts stay unchanged and the item requeues
+  // for immediate redispatch (node-side dedup and the executor's
+  // state check make that safe).  Deliberately journal-silent: replay's
+  // kDispatched already leaves the item queued, which is this exact
+  // state.
+  UnackedDispatch resolved = std::move(it->second);
+  unacked_.erase(it);
+  WorkItem item = resolved.item;
+  item.not_before = now;
+  queues_[Idx(item.cls)].push_back(item);
+  queued_dbs_.emplace(db, item.cls);
+  if (resolved.reactive_interest &&
+      item.cls != ResumeClass::kReactiveLogin) {
+    PromoteToReactive(db, now);
+  }
 }
 
 void ManagementService::Watchdog(EpochSeconds now) {
@@ -426,6 +649,7 @@ void ManagementService::Watchdog(EpochSeconds now) {
     attempt.hedge = true;
     attempt.node_offset = 1;
     attempt.enqueued_at = f.started;
+    attempt.request_id = NextRequestId();
     // Best-effort rescue: the original dispatch is still in flight, so a
     // hedge failure changes nothing — the completion (or an incident at a
     // higher layer) still resolves the workflow.
@@ -436,6 +660,7 @@ void ManagementService::Watchdog(EpochSeconds now) {
       Fence(s);
       break;
     }
+    if (s.code() == StatusCode::kPending) continue;  // ack decides later
     if (s.ok()) {
       JournalRecord win;
       win.event = JournalEvent::kHedge;
@@ -445,6 +670,74 @@ void ManagementService::Watchdog(EpochSeconds now) {
       win.flags |= kJfHedgeWin;
       if (!Journal(win)) break;
       ++cd.hedge_wins;
+    }
+  }
+  if (fenced_) return;
+
+  // Hedge unacked dispatches past their deadline: the primary request may
+  // be delayed or lost in the transport, so one hedge to the secondary
+  // node races it.  Node-side dedup and the single-resolution rule below
+  // (whichever ack arrives first wins, the loser is a late ack) keep the
+  // side effect exactly-once.
+  std::vector<DbId> overdue;
+  for (const auto& [db, u] : unacked_) {
+    if (u.hedge_request_id == 0 && !u.item.hedged && u.item.deadline > 0 &&
+        now > u.item.deadline) {
+      overdue.push_back(db);
+    }
+  }
+  std::sort(overdue.begin(), overdue.end());
+  for (DbId db : overdue) {
+    if (fenced_) break;
+    auto it = unacked_.find(db);
+    if (it == unacked_.end()) continue;  // resolved by an inline hedge ack
+    JournalRecord rec;
+    rec.event = JournalEvent::kHedge;
+    rec.db = db;
+    rec.cls = static_cast<uint8_t>(it->second.item.cls);
+    rec.attempt = it->second.item.attempts + 1;
+    rec.time = now;
+    if (!Journal(rec)) break;
+    it->second.item.hedged = true;
+    ClassDiagnostics& cd = Cls(it->second.item.cls);
+    ++cd.deadline_breaches;
+    ++cd.hedged;
+    ResumeAttempt attempt;
+    attempt.db = db;
+    attempt.cls = it->second.item.cls;
+    attempt.attempt = it->second.item.attempts + 1;
+    attempt.hedge = true;
+    attempt.node_offset = 1;
+    attempt.enqueued_at = it->second.item.enqueued_at;
+    attempt.request_id = NextRequestId();
+    it->second.hedge_request_id = attempt.request_id;
+    Status s = resume_(attempt, now);
+    if (s.code() == StatusCode::kAborted) {
+      Fence(s);
+      break;
+    }
+    if (s.code() == StatusCode::kPending) continue;  // races the original
+    // Inline hedge verdict (fault-free path to the secondary node).  A
+    // success or a state-changed resolves the workflow as the hedge's
+    // outcome; a transient hedge failure changes nothing — the original
+    // dispatch is still on the wire.
+    it = unacked_.find(db);
+    if (it == unacked_.end()) continue;
+    if (s.ok() || s.code() == StatusCode::kFailedPrecondition) {
+      UnackedDispatch u = std::move(it->second);
+      unacked_.erase(it);
+      ResolveUnacked(db, std::move(u), /*is_hedge=*/true, s, now);
+    } else {
+      // Transient inline hedge nack: the hedge rid is already settled on
+      // the dispatcher side, so the slot must be spent here — leaving it
+      // set would make the original's eventual timeout wait forever on a
+      // hedge ack that can never arrive.
+      it->second.hedge_request_id = 0;
+      if (it->second.request_id == 0) {
+        UnackedDispatch u = std::move(it->second);
+        unacked_.erase(it);
+        ResolveUnacked(db, std::move(u), /*is_hedge=*/true, s, now);
+      }
     }
   }
 }
@@ -471,7 +764,8 @@ void ManagementService::CatchUpSweep(EpochSeconds now) {
   if (!missed.ok()) return;  // sweep is best-effort
   for (const MissedResume& m : *missed) {
     if (fenced_) break;
-    if (queued_dbs_.count(m.db) != 0 || in_flight_.count(m.db) != 0) {
+    if (queued_dbs_.count(m.db) != 0 || in_flight_.count(m.db) != 0 ||
+        unacked_.count(m.db) != 0) {
       continue;
     }
     // A start still ahead is imminent work; one already passed is a
@@ -565,6 +859,7 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
     attempt.hedge = hedge_now;
     attempt.node_offset = hedge_now ? 1 : 0;
     attempt.enqueued_at = item.enqueued_at;
+    attempt.request_id = NextRequestId();
     Status s = resume_(attempt, now);
     if (s.code() == StatusCode::kAborted) {
       // An injected crash fired inside the resume path (e.g. a journaled
@@ -583,6 +878,24 @@ uint64_t ManagementService::DrainClass(ResumeClass cls, EpochSeconds now,
         q.push_front(item);
         break;
       }
+    }
+    if (s.code() == StatusCode::kPending) {
+      // The dispatch is on the wire with its outcome deferred; it parks
+      // in the unacked set until OnDispatchAck / OnDispatchTimeout.
+      // Journal-wise nothing more is needed: the kDispatched above
+      // without an outcome IS the unacked state, and a crash here leaves
+      // exactly what FinishRecovery reconciles against the node.
+      UnackedDispatch u;
+      u.item = item;
+      u.request_id = attempt.request_id;
+      u.sent_at = now;
+      u.gated = gated && !hedge_now;
+      u.half_open_probe = u.gated && breaker_ == BreakerState::kHalfOpen;
+      u.hedge_dispatch = hedge_now;
+      unacked_.emplace(item.db, std::move(u));
+      queued_dbs_.erase(item.db);
+      ++diagnostics_.unacked_dispatches;
+      continue;
     }
     if (s.ok()) {
       const bool went_async = cls == ResumeClass::kReactiveLogin &&
@@ -750,6 +1063,7 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
   for (DbId db : due) {
     if (fenced_) return fence_status_;
     if (in_flight_.count(db) != 0) continue;  // already being resumed
+    if (unacked_.count(db) != 0) continue;    // dispatch already on the wire
     auto it = queued_dbs_.find(db);
     if (it != queued_dbs_.end()) {
       if (Idx(it->second) <= Idx(ResumeClass::kImminentProactive)) {
@@ -801,9 +1115,12 @@ Result<uint64_t> ManagementService::RunOnce(EpochSeconds now,
   // reactive logins first and ungated, then the gated classes.
   Watchdog(now);
   DrainClass(ResumeClass::kReactiveLogin, now, nullptr);
-  uint64_t resumed =
-      DrainClass(ResumeClass::kImminentProactive, now, quota) +
-      DrainClass(ResumeClass::kSpeculativeProactive, now, quota);
+  // Proactive successes acked asynchronously since the last iteration
+  // fold into this one's count, so the journaled aggregate stays exact.
+  uint64_t resumed = async_resumed_pending_;
+  async_resumed_pending_ = 0;
+  resumed += DrainClass(ResumeClass::kImminentProactive, now, quota) +
+             DrainClass(ResumeClass::kSpeculativeProactive, now, quota);
   DrainClass(ResumeClass::kMaintenance, now, quota);
   if (fenced_) return fence_status_;
 
@@ -967,6 +1284,14 @@ Status ManagementService::ApplyForRecovery(const JournalRecord& rec) {
       auto it = in_flight_.find(rec.db);
       if (it != in_flight_.end()) {
         it->second.hedged = true;
+        ++Cls(cls).deadline_breaches;
+        ++Cls(cls).hedged;
+      } else if (WorkItem* item = FindQueued(cls, rec.db); item != nullptr) {
+        // A watchdog hedge of an unacked dispatch: replay-wise the item
+        // is still queued (kDispatched without an outcome).  Restoring
+        // the hedged bit keeps the one-hedge-per-workflow bound across a
+        // crash.
+        item->hedged = true;
         ++Cls(cls).deadline_breaches;
         ++Cls(cls).hedged;
       }

@@ -54,6 +54,9 @@ struct ResumeAttempt {
   bool hedge = false;  // deadline-breach rescue, route to a different node
   int node_offset = 0;  // 0 = the database's home node; hedges pass 1
   EpochSeconds enqueued_at = 0;
+  /// Dispatch identity for the transport layer: (epoch << 32) | seq.
+  /// Node-side dedup and ack matching key; 0 only before dispatch.
+  uint64_t request_id = 0;
 };
 
 /// Per-class slice of the mitigation accounting.  The invariant holds
@@ -116,6 +119,12 @@ struct DiagnosticsReport {
   uint64_t catch_up_enqueued = 0;    // stale pre-warms swept at storm start
   uint64_t deleted_while_queued = 0;  // db vanished from the metadata store
   int max_brownout_level = 0;
+
+  // Transport telemetry (inert-zero over the legacy direct-call path).
+  uint64_t unacked_dispatches = 0;  // dispatches parked awaiting an ack
+  uint64_t dispatch_timeouts = 0;   // ack never arrived; requeued unacked
+  uint64_t late_acks = 0;           // ack after local resolution; no-op
+  uint64_t stale_epoch_acks = 0;    // ack from a predecessor epoch; no-op
   telemetry::Histogram queue_wait;          // enqueue -> first attempt
   telemetry::Histogram in_flight_duration;  // dispatch -> completion
 
@@ -198,6 +207,44 @@ class ManagementService {
   /// resources arrive later) as done: clears the in-flight entry and
   /// records its duration.  Unknown ids are ignored.
   void CompleteWorkflow(DbId db, EpochSeconds now);
+
+  // --- Asynchronous dispatch (transport layer, DESIGN.md section 11) ---
+  //
+  // When the resume callback returns Status::Pending, the dispatch is on
+  // the wire and its outcome deferred: the workflow is parked in the
+  // unacked set (journal-wise it is simply kDispatched-without-outcome,
+  // the same reconcilable state a crash leaves behind) until the
+  // transport reports one of the calls below.
+
+  /// The node's verdict for dispatch `request_id` of `db` arrived.
+  /// Applies exactly the outcome bookkeeping the synchronous path would
+  /// have applied at dispatch time.  Unknown (db, request_id) pairs are
+  /// counted as late acks and ignored.
+  void OnDispatchAck(DbId db, uint64_t request_id, const Status& outcome,
+                     EpochSeconds now);
+
+  /// Dispatch `request_id` of `db` exhausted its transmission budget with
+  /// no ack.  The outcome is UNKNOWN, so this is NOT a failure: the item
+  /// is requeued for immediate redispatch with its attempt count
+  /// unchanged (node-side dedup makes the redispatch safe), and a crash
+  /// before the redispatch leaves the journaled kDispatched for recovery
+  /// to reconcile.
+  void OnDispatchTimeout(DbId db, uint64_t request_id, EpochSeconds now);
+
+  /// An ack arrived for a dispatch that already resolved locally (hedge
+  /// win, timeout requeue).  Telemetry only; no state transition.
+  void NoteLateAck(DbId db);
+  /// An ack arrived carrying a predecessor incarnation's epoch.
+  /// Telemetry only; no state transition.
+  void NoteStaleEpochAck(DbId db);
+
+  /// Dispatches currently awaiting an ack.
+  size_t unacked() const { return unacked_.size(); }
+  /// True while a dispatch for `db` is on the wire awaiting its ack.  A
+  /// completion driver should hold its resource-arrival signal for the db
+  /// until the ack resolves — delivered earlier it would complete an
+  /// in-flight entry that does not exist yet.
+  bool IsUnacked(DbId db) const { return unacked_.count(db) != 0; }
 
   /// Number of databases resumed per iteration so far (box-plot source).
   const Summary& resumed_per_iteration() const {
@@ -304,6 +351,23 @@ class ManagementService {
     bool hedged = false;
   };
 
+  /// A dispatch whose resume callback returned kPending: the request is
+  /// on the wire, the outcome unknown.  The item carries the full queued
+  /// state so an ack can replay the synchronous outcome path and a
+  /// timeout can requeue it unchanged.
+  struct UnackedDispatch {
+    WorkItem item;
+    uint64_t request_id = 0;        // the primary dispatch
+    uint64_t hedge_request_id = 0;  // a watchdog hedge, if one was spent
+    EpochSeconds sent_at = 0;
+    bool gated = false;            // dispatch counted against the breaker
+    bool half_open_probe = false;  // dispatched as a half-open probe
+    bool hedge_dispatch = false;   // the primary dispatch was itself a hedge
+    /// A reactive login arrived while unacked: on resolution the database
+    /// is promoted to (or re-enqueued as) reactive instead of its class.
+    bool reactive_interest = false;
+  };
+
   static size_t Idx(ResumeClass cls) { return static_cast<size_t>(cls); }
   ClassDiagnostics& Cls(ResumeClass cls) {
     return diagnostics_.per_class[Idx(cls)];
@@ -326,6 +390,20 @@ class ManagementService {
   /// Retires a queued item without an attempt (promotion, deletion) via
   /// the skipped_state_changed path of its class.
   void RetireSkipped(const WorkItem& item, bool deleted = false);
+
+  /// Next dispatch identity: (epoch << 32) | ++dispatch_seq_.  Pure
+  /// counter — draws no randomness, so assigning ids never perturbs the
+  /// deterministic schedule.
+  uint64_t NextRequestId() { return (epoch_ << 32) | ++dispatch_seq_; }
+  /// Applies a node verdict to an unacked dispatch — the asynchronous
+  /// mirror of DrainClass's outcome handling.  `is_hedge` marks the
+  /// verdict as belonging to the hedge dispatch.
+  void ResolveUnacked(DbId db, UnackedDispatch u, bool is_hedge,
+                      const Status& outcome, EpochSeconds now);
+  /// Promotes a queued non-reactive item of `db` to a fresh reactive
+  /// workflow (retire + re-enqueue), shared by EnqueueReactive and the
+  /// unacked resolution paths.
+  void PromoteToReactive(DbId db, EpochSeconds now);
 
   /// Drains up to the queue length of `cls` at entry; `quota` (when
   /// non-null) is the shared slow-start budget across the non-reactive
@@ -372,6 +450,13 @@ class ManagementService {
   /// workflow; the class enables reactive promotion.
   std::unordered_map<DbId, ResumeClass> queued_dbs_;
   std::unordered_map<DbId, InFlightItem> in_flight_;
+  /// Dispatches on the wire awaiting an ack (kPending callback results).
+  std::unordered_map<DbId, UnackedDispatch> unacked_;
+  uint64_t dispatch_seq_ = 0;
+  /// Asynchronously acked proactive successes since the last RunOnce,
+  /// folded into that iteration's resumed count (and its journaled
+  /// kIteration stats) so replay stays exact.
+  uint64_t async_resumed_pending_ = 0;
   Summary resumed_per_iteration_;
   DiagnosticsReport diagnostics_;
   uint64_t total_resumed_ = 0;

@@ -62,6 +62,10 @@ Status FaultInjectingDiskManager::Write(PageId id, const uint8_t* buf) {
       // Page writes are all-or-nothing at this layer: out of space means
       // the page never reaches the medium (the old contents stay intact).
       return Status::IoError("injected write fault: disk full (ENOSPC)");
+    case FaultKind::kMsgDrop:
+    case FaultKind::kMsgDuplicate:
+    case FaultKind::kMsgDelay:
+      break;  // message-only kinds; meaningless at a disk site
   }
   return inner_->Write(id, buf);
 }

@@ -16,6 +16,12 @@ std::string_view FaultOpName(FaultOp op) {
       return "wal_append";
     case FaultOp::kWalSync:
       return "wal_sync";
+    case FaultOp::kMsgRequest:
+      return "msg_request";
+    case FaultOp::kMsgAck:
+      return "msg_ack";
+    case FaultOp::kMsgLease:
+      return "msg_lease";
   }
   return "unknown";
 }
@@ -30,6 +36,12 @@ std::string_view FaultKindName(FaultKind kind) {
       return "bit_flip";
     case FaultKind::kDiskFull:
       return "disk_full";
+    case FaultKind::kMsgDrop:
+      return "msg_drop";
+    case FaultKind::kMsgDuplicate:
+      return "msg_duplicate";
+    case FaultKind::kMsgDelay:
+      return "msg_delay";
   }
   return "unknown";
 }
@@ -44,7 +56,7 @@ void FaultPlan::FailNthWithArg(FaultOp op, uint64_t nth, FaultKind kind,
 }
 
 void FaultPlan::FailWithProbability(FaultOp op, double p, FaultKind kind) {
-  probabilistic_[static_cast<size_t>(op)] = ProbabilisticTrigger{p, kind};
+  probabilistic_[static_cast<size_t>(op)].push_back({p, kind});
 }
 
 std::optional<FaultDecision> FaultPlan::Next(FaultOp op) {
@@ -57,15 +69,20 @@ std::optional<FaultDecision> FaultPlan::Next(FaultOp op) {
                                                      : rng_.NextU64()};
     }
   }
-  if (probabilistic_[i].has_value()) {
-    // Always consume one draw so the stream position depends only on the
-    // op sequence, not on which draws happened to fire.
+  // Always consume one draw per registered trigger so the stream position
+  // depends only on the op sequence and the plan program, not on which
+  // draws happened to fire.  The first trigger (in registration order)
+  // whose draw fires wins the occurrence.
+  std::optional<size_t> fired;
+  const auto& probs = probabilistic_[i];
+  for (size_t t = 0; t < probs.size(); ++t) {
     uint64_t draw = rng_.NextU64();
     double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
-    if (u < probabilistic_[i]->p) {
-      ++injected_;
-      return FaultDecision{probabilistic_[i]->kind, rng_.NextU64()};
-    }
+    if (u < probs[t].p && !fired.has_value()) fired = t;
+  }
+  if (fired.has_value()) {
+    ++injected_;
+    return FaultDecision{probs[*fired].kind, rng_.NextU64()};
   }
   return std::nullopt;
 }

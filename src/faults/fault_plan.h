@@ -20,9 +20,16 @@ enum class FaultOp : uint8_t {
   kDiskSync,
   kWalAppend,
   kWalSync,
+  // Message-level sites (the control-plane <-> node transport,
+  // DESIGN.md section 11).  One Next() per message send, keyed by the
+  // message's direction/class so a plan can torture requests and acks
+  // independently.
+  kMsgRequest,  ///< plane -> node requests (resume/pause)
+  kMsgAck,      ///< node -> plane replies (ack/nack)
+  kMsgLease,    ///< lease renewals/grants, either direction
 };
 
-inline constexpr int kNumFaultOps = 6;
+inline constexpr int kNumFaultOps = 9;
 
 std::string_view FaultOpName(FaultOp op);
 
@@ -40,6 +47,16 @@ enum class FaultKind : uint8_t {
   /// distinguishable disk-full error, and unlike kIoError some bytes may
   /// have reached the medium before the failure.
   kDiskFull,
+  // Message-level kinds, meaningful only at the kMsg* sites (the
+  // FaultInjectingTransport decorator).  Disk/WAL sites ignore them.
+  /// The message is silently lost; the sender sees nothing.
+  kMsgDrop,
+  /// The message is delivered twice (at-least-once redelivery).
+  kMsgDuplicate,
+  /// Delivery is deferred on the simulated clock by an interval derived
+  /// from the decision arg; independently delayed messages overtake each
+  /// other, so reordering is emergent rather than a separate kind.
+  kMsgDelay,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -77,7 +94,11 @@ class FaultPlan {
   void FailNthWithArg(FaultOp op, uint64_t nth, FaultKind kind, uint64_t arg);
 
   /// Fires `kind` with probability `p` on every occurrence of `op`.
-  /// At most one probabilistic trigger per op (the last call wins).
+  /// Probabilistic triggers stack: each occurrence evaluates every
+  /// registered trigger (one seeded draw apiece, so the stream position is
+  /// a function of the op sequence and the plan program alone) and the
+  /// first one to fire, in registration order, decides the fault — a
+  /// mixed-fault wire is just several FailWithProbability calls.
   void FailWithProbability(FaultOp op, double p, FaultKind kind);
 
   /// Called by an injection site once per operation.  Advances the op
@@ -106,7 +127,7 @@ class FaultPlan {
   Rng rng_;
   uint64_t counters_[kNumFaultOps] = {};
   std::vector<ScriptedTrigger> scripted_[kNumFaultOps];
-  std::optional<ProbabilisticTrigger> probabilistic_[kNumFaultOps];
+  std::vector<ProbabilisticTrigger> probabilistic_[kNumFaultOps];
   uint64_t injected_ = 0;
 };
 

@@ -1,0 +1,190 @@
+#include "net/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace prorp::net {
+
+TransportDispatcher::TransportDispatcher(Transport* transport, Options options,
+                                         NodeResolver resolver)
+    : transport_(transport),
+      options_(options),
+      resolver_(std::move(resolver)) {
+  transport_->RegisterEndpoint(
+      kControlPlaneEndpoint,
+      [this](const Envelope& env, EpochSeconds now) { HandleReply(env, now); });
+}
+
+void TransportDispatcher::set_service(controlplane::ManagementService* service) {
+  service_ = service;
+  // The previous incarnation's requests are dead: their ids embed the old
+  // epoch, and the new service replays its unacked set from the journal.
+  // Any straggler acks fall into the stale/late counters.
+  outstanding_.clear();
+  in_dispatch_ = false;
+  inline_rid_ = 0;
+  inline_result_.reset();
+}
+
+Status TransportDispatcher::DispatchResume(
+    const controlplane::ResumeAttempt& attempt, EpochSeconds now) {
+  Envelope env;
+  env.type = MessageType::kResumeRequest;
+  env.src = kControlPlaneEndpoint;
+  env.dst = resolver_ ? resolver_(attempt) : options_.first_node;
+  env.request_id = attempt.request_id;
+  env.epoch = service_ != nullptr ? service_->epoch() : 0;
+  env.sent_at = now;
+  env.db = attempt.db;
+  env.cls = static_cast<uint8_t>(attempt.cls);
+  env.attempt = attempt.attempt;
+  env.node_offset = static_cast<uint8_t>(attempt.node_offset);
+  env.hedge = attempt.hedge;
+  env.enqueued_at = attempt.enqueued_at;
+
+  ++stats_.dispatched;
+  outstanding_[env.request_id] = Outstanding{env, now, 1};
+
+  // An inline transport answers before Send returns; the reply handler
+  // then stashes the verdict instead of treating it as an async ack.
+  in_dispatch_ = true;
+  inline_rid_ = env.request_id;
+  inline_result_.reset();
+  transport_->Send(env);
+  in_dispatch_ = false;
+  if (inline_result_.has_value()) {
+    ++stats_.inline_acked;
+    return *inline_result_;
+  }
+  return Status::Pending("resume dispatch awaiting ack");
+}
+
+uint64_t TransportDispatcher::NextPauseId() {
+  // Pause ids live in a reserved high band so they can never collide with
+  // service-issued resume ids ((epoch << 32) | seq with seq < 2^32).
+  return (0xffffffffULL << 32) | ++pause_seq_;
+}
+
+Status TransportDispatcher::DispatchPause(DbId db, EndpointId node,
+                                          EpochSeconds now) {
+  Envelope env;
+  env.type = MessageType::kPauseRequest;
+  env.src = kControlPlaneEndpoint;
+  env.dst = node;
+  env.request_id = NextPauseId();
+  env.epoch = service_ != nullptr ? service_->epoch() : 0;
+  env.sent_at = now;
+  env.db = db;
+
+  ++stats_.dispatched;
+  outstanding_[env.request_id] = Outstanding{env, now, 1};
+  in_dispatch_ = true;
+  inline_rid_ = env.request_id;
+  inline_result_.reset();
+  transport_->Send(env);
+  in_dispatch_ = false;
+  if (inline_result_.has_value()) {
+    ++stats_.inline_acked;
+    return *inline_result_;
+  }
+  return Status::Pending("pause dispatch awaiting ack");
+}
+
+void TransportDispatcher::HandleReply(const Envelope& env, EpochSeconds now) {
+  switch (env.type) {
+    case MessageType::kAck:
+    case MessageType::kNack: {
+      const uint64_t current_epoch =
+          service_ != nullptr ? service_->epoch() : 0;
+      if (env.epoch != current_epoch) {
+        // A predecessor incarnation's straggler.  Its request id means
+        // nothing to this service; count it and move on — the recovered
+        // plane already reconciled the underlying workflow.
+        ++stats_.stale_epoch_acks;
+        if (service_ != nullptr) service_->NoteStaleEpochAck(env.db);
+        return;
+      }
+      auto it = outstanding_.find(env.request_id);
+      if (it == outstanding_.end()) {
+        // Duplicate delivery, or an ack racing a local resolution (a
+        // hedge win, a timeout).  The workflow already settled; telemetry
+        // only, no state transition.
+        ++stats_.late_acks;
+        if (service_ != nullptr) service_->NoteLateAck(env.db);
+        return;
+      }
+      outstanding_.erase(it);
+      Status verdict = StatusFromCode(env.code, "node reply");
+      if (in_dispatch_ && env.request_id == inline_rid_) {
+        inline_result_ = std::move(verdict);
+        return;
+      }
+      ++stats_.async_acked;
+      if (service_ != nullptr) {
+        service_->OnDispatchAck(env.db, env.request_id, verdict, now);
+      }
+      return;
+    }
+    case MessageType::kLeaseGrant:
+      ++stats_.lease_grants;
+      return;
+    case MessageType::kResumeRequest:
+    case MessageType::kPauseRequest:
+    case MessageType::kLeaseRenew:
+      // Requests addressed to the plane (misrouted); ignore.
+      return;
+  }
+}
+
+void TransportDispatcher::Tick(EpochSeconds now) {
+  transport_->DeliverDue(now);
+
+  // Snapshot + sort so retransmission order is deterministic regardless
+  // of hash-map iteration order, and so inline acks erasing entries
+  // mid-loop are safe.
+  std::vector<uint64_t> rids;
+  rids.reserve(outstanding_.size());
+  for (const auto& [rid, o] : outstanding_) {
+    if (now >= o.last_sent + options_.retransmit_after) rids.push_back(rid);
+  }
+  std::sort(rids.begin(), rids.end());
+  for (uint64_t rid : rids) {
+    auto it = outstanding_.find(rid);
+    if (it == outstanding_.end()) continue;  // resolved by an earlier resend
+    Outstanding& o = it->second;
+    if (o.transmissions < options_.max_transmissions) {
+      ++stats_.retransmissions;
+      ++o.transmissions;
+      o.last_sent = now;
+      Envelope resend = o.request;
+      resend.sent_at = now;
+      transport_->Send(resend);  // may inline-ack and erase `it`
+    } else {
+      // Transmission budget exhausted.  The outcome is UNKNOWN — the node
+      // may or may not have executed — so this is reported as a timeout
+      // (unacked), never as a failure; recovery reconciles it against the
+      // node's actual state.
+      const DbId db = o.request.db;
+      outstanding_.erase(it);
+      ++stats_.timeouts;
+      if (service_ != nullptr) service_->OnDispatchTimeout(db, rid, now);
+    }
+  }
+
+  if (options_.lease_interval > 0 && now >= next_lease_at_) {
+    next_lease_at_ = now + options_.lease_interval;
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      Envelope lease;
+      lease.type = MessageType::kLeaseRenew;
+      lease.src = kControlPlaneEndpoint;
+      lease.dst = options_.first_node + static_cast<EndpointId>(i);
+      lease.epoch = service_ != nullptr ? service_->epoch() : 0;
+      lease.sent_at = now;
+      ++stats_.lease_renewals;
+      transport_->Send(lease);
+    }
+  }
+}
+
+}  // namespace prorp::net

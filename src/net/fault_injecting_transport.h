@@ -1,0 +1,87 @@
+#ifndef PRORP_NET_FAULT_INJECTING_TRANSPORT_H_
+#define PRORP_NET_FAULT_INJECTING_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "net/transport.h"
+
+namespace prorp::net {
+
+/// One network partition between the control plane and a contiguous node
+/// subset, active over [from, until) on the virtual clock.  Messages
+/// crossing an active partition are lost (counted `partitioned`); the
+/// sender learns nothing, exactly like a drop.
+struct PartitionSpec {
+  EpochSeconds from = 0;
+  EpochSeconds until = 0;
+  enum class Direction : uint8_t {
+    kBoth = 0,    ///< symmetric: no message crosses either way
+    kToNodes,     ///< one-way: plane -> node lost, replies still arrive
+    kFromNodes,   ///< one-way: node -> plane lost, requests still arrive
+  };
+  Direction direction = Direction::kBoth;
+  /// Node endpoints [first_node, last_node] cut off from the plane.
+  EndpointId first_node = 1;
+  EndpointId last_node = ~0u;
+};
+
+/// Transport decorator injecting message-level faults from a seeded
+/// FaultPlan: drops, duplicates, and clock-based delays (reordering is
+/// emergent — independently delayed messages overtake each other), plus
+/// scheduled one-way/symmetric partitions.  Fault decisions draw only
+/// from the plan's own RNG stream, so enabling the decorator with a null
+/// or trigger-free plan perturbs no other stream and behaves exactly like
+/// InProcessTransport.
+class FaultInjectingTransport : public Transport {
+ public:
+  struct Options {
+    /// Injected delivery delay bounds (seconds); the exact delay is
+    /// derived from the fault decision's deterministic argument.
+    DurationSeconds delay_min = 5;
+    DurationSeconds delay_max = 120;
+  };
+
+  explicit FaultInjectingTransport(faults::FaultPlan* plan)
+      : FaultInjectingTransport(plan, Options()) {}
+  FaultInjectingTransport(faults::FaultPlan* plan, Options options);
+
+  /// Swaps the fault plan (nullptr = fault-free from now on; messages
+  /// already delayed still deliver through DeliverDue).
+  void set_fault_plan(faults::FaultPlan* plan) { plan_ = plan; }
+
+  void AddPartition(PartitionSpec spec) { partitions_.push_back(spec); }
+
+  void Send(Envelope env) override;
+  void DeliverDue(EpochSeconds now) override;
+  bool Idle() const override { return delayed_.empty(); }
+
+  /// Due time of the earliest deferred message; 0 when none.
+  EpochSeconds next_delivery_at() const {
+    return delayed_.empty() ? 0 : delayed_.front().at;
+  }
+
+ private:
+  struct Delayed {
+    EpochSeconds at = 0;
+    uint64_t seq = 0;  // send order; tie-break for determinism
+    Envelope env;
+  };
+  static bool Later(const Delayed& a, const Delayed& b) {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
+
+  bool Partitioned(const Envelope& env) const;
+  static faults::FaultOp OpFor(MessageType type);
+
+  faults::FaultPlan* plan_;
+  Options options_;
+  std::vector<PartitionSpec> partitions_;
+  std::vector<Delayed> delayed_;  // min-heap via Later
+  uint64_t seq_ = 0;
+};
+
+}  // namespace prorp::net
+
+#endif  // PRORP_NET_FAULT_INJECTING_TRANSPORT_H_

@@ -1,0 +1,59 @@
+#include "net/message.h"
+
+namespace prorp::net {
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kResumeRequest:
+      return "resume_request";
+    case MessageType::kPauseRequest:
+      return "pause_request";
+    case MessageType::kAck:
+      return "ack";
+    case MessageType::kNack:
+      return "nack";
+    case MessageType::kLeaseRenew:
+      return "lease_renew";
+    case MessageType::kLeaseGrant:
+      return "lease_grant";
+  }
+  return "unknown";
+}
+
+Status StatusFromCode(StatusCode code, std::string_view msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(msg);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(msg);
+    case StatusCode::kCorruption:
+      return Status::Corruption(msg);
+    case StatusCode::kIoError:
+      return Status::IoError(msg);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(msg);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(msg);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(msg);
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(msg);
+    case StatusCode::kInternal:
+      return Status::Internal(msg);
+    case StatusCode::kTimedOut:
+      return Status::TimedOut(msg);
+    case StatusCode::kAborted:
+      return Status::Aborted(msg);
+    case StatusCode::kPending:
+      return Status::Pending(msg);
+  }
+  return Status::Internal("unknown wire status code");
+}
+
+}  // namespace prorp::net

@@ -1,0 +1,369 @@
+#include "net/network_torture.h"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "controlplane/durable_control_plane.h"
+#include "faults/fault_plan.h"
+#include "net/dispatcher.h"
+#include "net/fault_injecting_transport.h"
+#include "net/node_agent.h"
+#include "policy/lifecycle.h"
+
+namespace prorp::net {
+namespace {
+
+using controlplane::DurableControlPlane;
+using controlplane::ResumeAttempt;
+
+constexpr EpochSeconds kStart = 1'000'000;
+constexpr DurationSeconds kStep = 60;
+/// ForkStream id of the transport fault stream: message-fault decisions
+/// draw only from here, never from the workload or node-failure streams.
+constexpr uint64_t kTransportFaultStream = 0x6e65746661756c74ULL;  // netfault
+
+/// The node-side truth about one database; survives control-plane
+/// crashes and is the oracle recovery reconciles against.
+struct SimDb {
+  bool resumed = false;
+  EpochSeconds resumed_at = 0;
+  EpochSeconds pending_completion = 0;  // 0 = none
+  bool outstanding_reactive = false;    // acked login awaiting resources
+};
+
+ControlPlaneConfig TortureConfig(const NetworkTortureOptions& opt) {
+  ControlPlaneConfig config;
+  config.prewarm_interval = 300;
+  config.resume_operation_period = kStep;
+  config.retry_backoff_base = 60;
+  config.retry_backoff_cap = 240;
+  config.breaker_window = 10;
+  config.breaker_failure_ratio = 0.5;
+  config.breaker_open_duration = 300;
+  config.queue_capacity = 32;
+  config.admission_control_enabled = true;
+  config.deadline_hedging_enabled = true;
+  config.deadline_reactive = 120;
+  config.deadline_imminent = 600;
+  config.storm_login_spike_threshold = opt.storm ? 16 : 0;
+  config.storm_recovery_backlog = 8;
+  config.storm_cooldown = 900;
+  config.catch_up_enabled = true;
+  config.catch_up_lookback = 3600;
+  return config;
+}
+
+class Harness {
+ public:
+  explicit Harness(const NetworkTortureOptions& opt)
+      : opt_(opt),
+        dbs_(static_cast<size_t>(opt.num_dbs)),
+        rng_(opt.seed * 0x9e3779b97f4a7c15ULL + 1),
+        fail_rng_(opt.seed ^ 0xdeadbeefcafef00dULL),
+        plan_(Rng(opt.seed).ForkStream(kTransportFaultStream).NextU64()),
+        transport_(&plan_, TransportOptions()),
+        dispatcher_(&transport_, DispatcherOptions(opt),
+                    [this](const ResumeAttempt& a) {
+                      return static_cast<EndpointId>(
+                          1 + (a.db + static_cast<uint32_t>(a.node_offset)) %
+                                  static_cast<uint32_t>(opt_.num_nodes));
+                    }) {
+    if (opt.drop_p > 0) {
+      plan_.FailWithProbability(faults::FaultOp::kMsgRequest, opt.drop_p,
+                                faults::FaultKind::kMsgDrop);
+      plan_.FailWithProbability(faults::FaultOp::kMsgAck, opt.drop_p,
+                                faults::FaultKind::kMsgDrop);
+    }
+    if (opt.duplicate_p > 0) {
+      plan_.FailWithProbability(faults::FaultOp::kMsgRequest, opt.duplicate_p,
+                                faults::FaultKind::kMsgDuplicate);
+      plan_.FailWithProbability(faults::FaultOp::kMsgAck, opt.duplicate_p,
+                                faults::FaultKind::kMsgDuplicate);
+    }
+    if (opt.delay_p > 0) {
+      plan_.FailWithProbability(faults::FaultOp::kMsgRequest, opt.delay_p,
+                                faults::FaultKind::kMsgDelay);
+      plan_.FailWithProbability(faults::FaultOp::kMsgAck, opt.delay_p,
+                                faults::FaultKind::kMsgDelay);
+    }
+    if (opt.partition) {
+      PartitionSpec p;
+      p.from = kStart + static_cast<EpochSeconds>(opt.steps / 3) * kStep;
+      p.until = p.from + 20 * kStep;
+      switch (opt.seed % 3) {
+        case 0:
+          p.direction = PartitionSpec::Direction::kBoth;
+          break;
+        case 1:
+          p.direction = PartitionSpec::Direction::kToNodes;
+          break;
+        default:
+          p.direction = PartitionSpec::Direction::kFromNodes;
+          break;
+      }
+      p.first_node = 1;
+      p.last_node = static_cast<EndpointId>(1 + (opt.num_nodes - 1) / 2);
+      transport_.AddPartition(p);
+    }
+    for (int n = 0; n < opt.num_nodes; ++n) {
+      agents_.push_back(std::make_unique<NodeAgent>(
+          static_cast<EndpointId>(1 + n), &transport_,
+          [this](const ResumeAttempt& a, EpochSeconds t) {
+            return NodeResume(a, t);
+          }));
+    }
+  }
+
+  Result<NetworkTortureResult> Run() {
+    PRORP_RETURN_IF_ERROR(Reopen(kStart));
+
+    now_ = kStart;
+    for (int i = 0; i < opt_.num_dbs; ++i) {
+      EpochSeconds pred =
+          rng_.NextBool(0.5)
+              ? now_ + 120 + static_cast<EpochSeconds>(rng_.NextBelow(
+                                 static_cast<uint64_t>(opt_.steps) * kStep))
+              : 0;
+      PRORP_RETURN_IF_ERROR(plane_->metadata().UpsertState(
+          static_cast<DbId>(i), policy::DbState::kPhysicallyPaused, pred));
+    }
+
+    const int outage_start = opt_.steps / 3;
+    const int outage_end = outage_start + 5;
+    const int storm_step = opt_.steps / 2;
+    for (int step = 0; step < opt_.steps; ++step) {
+      now_ = kStart + static_cast<EpochSeconds>(step + 1) * kStep;
+      outage_now_ = opt_.outage && step >= outage_start && step < outage_end;
+
+      if (step == opt_.crash_at_step) {
+        // Control-plane crash: the incarnation dies with unacked
+        // dispatches on the wire and floaters in the transport.  Recovery
+        // fences every node under the new epoch before any floater can
+        // deliver (the harness owns delivery, so the fencing round is
+        // reliably first — the analogue of a synchronous fencing RPC).
+        plane_.reset();
+        ++result_.recoveries;
+        PRORP_RETURN_IF_ERROR(Reopen(now_));
+      }
+
+      // Pause churn: completed databases go idle again.
+      for (int i = 0; i < opt_.num_dbs; ++i) {
+        SimDb& d = dbs_[static_cast<size_t>(i)];
+        if (!d.resumed || d.pending_completion != 0) continue;
+        if (!rng_.NextBool(0.05)) continue;
+        EpochSeconds pred =
+            rng_.NextBool(0.5)
+                ? now_ + 120 + static_cast<EpochSeconds>(rng_.NextBelow(600))
+                : 0;
+        PRORP_RETURN_IF_ERROR(plane_->metadata().UpsertState(
+            static_cast<DbId>(i), policy::DbState::kPhysicallyPaused, pred));
+        d.resumed = false;
+      }
+
+      // Reactive logins: a base trickle, plus a spike at the storm step.
+      int logins = static_cast<int>(rng_.NextBelow(3));
+      if (opt_.storm && step == storm_step) logins = 24;
+      for (int n = 0; n < logins; ++n) {
+        int i = static_cast<int>(
+            rng_.NextBelow(static_cast<uint64_t>(opt_.num_dbs)));
+        SimDb& d = dbs_[static_cast<size_t>(i)];
+        if (d.resumed || d.outstanding_reactive) continue;
+        PRORP_RETURN_IF_ERROR(
+            plane_->service().EnqueueReactive(static_cast<DbId>(i), now_));
+        ++result_.accepted_reactive;
+        d.outstanding_reactive = true;
+      }
+
+      PRORP_RETURN_IF_ERROR(plane_->service().RunOnce(now_).status());
+
+      // Sub-ticks between iterations: deliver due messages, retransmit,
+      // time out, hedge, and drain newly requeued reactive work.
+      for (DurationSeconds dt = 10; dt < kStep; dt += 10) {
+        dispatcher_.Tick(now_ + dt);
+        plane_->service().Pump(now_ + dt);
+      }
+
+      PRORP_RETURN_IF_ERROR(DeliverCompletions());
+      PRORP_RETURN_IF_ERROR(plane_->MaybeCheckpoint());
+    }
+
+    PRORP_RETURN_IF_ERROR(Drain());
+
+    for (const SimDb& d : dbs_) {
+      if (d.outstanding_reactive && !d.resumed) ++result_.lost_reactive;
+    }
+    const auto& diag = plane_->service().diagnostics();
+    result_.accounting_ok = plane_->service().AccountingReconciles();
+    result_.incidents = diag.incidents;
+    result_.total_resumed = plane_->service().total_resumed();
+    result_.dispatch_timeouts = diag.dispatch_timeouts;
+    result_.late_acks = dispatcher_.stats().late_acks + diag.late_acks;
+    result_.stale_epoch_acks =
+        dispatcher_.stats().stale_epoch_acks + diag.stale_epoch_acks;
+    result_.retransmissions = dispatcher_.stats().retransmissions;
+    result_.unacked_dispatches = diag.unacked_dispatches;
+    for (size_t c = 0; c < controlplane::kNumResumeClasses; ++c) {
+      result_.hedges += diag.per_class[c].hedged;
+    }
+    for (const auto& agent : agents_) {
+      result_.duplicate_suppressed += agent->stats().duplicate_suppressed;
+      result_.stale_epoch_rejected += agent->stats().stale_epoch_rejected;
+    }
+    result_.transport = transport_.stats();
+    return result_;
+  }
+
+ private:
+  /// Injected delays long enough (up to ten steps) that delayed requests
+  /// routinely outlive retransmission budgets, partition windows, and the
+  /// control-plane crash — which is what makes the fence and the
+  /// late/stale-ack paths load-bearing in every delay cell.
+  static FaultInjectingTransport::Options TransportOptions() {
+    FaultInjectingTransport::Options topt;
+    topt.delay_min = 30;
+    topt.delay_max = 600;
+    return topt;
+  }
+
+  static TransportDispatcher::Options DispatcherOptions(
+      const NetworkTortureOptions& opt) {
+    TransportDispatcher::Options dopt;
+    dopt.retransmit_after = 30;
+    dopt.max_transmissions = 4;
+    dopt.lease_interval = 300;
+    dopt.first_node = 1;
+    dopt.num_nodes = opt.num_nodes;
+    return dopt;
+  }
+
+  /// The resume side effect as a node executes it — behind the agent's
+  /// dedup table and epoch fence, so reaching here twice for one request
+  /// id, or at all below the fence, is an invariant violation.
+  Status NodeResume(const ResumeAttempt& a, EpochSeconds now) {
+    SimDb& d = dbs_[a.db];
+    if (outage_now_) return Status::Unavailable("resume path outage");
+    if (d.resumed) return Status::FailedPrecondition("already resumed");
+    if (!drain_mode_ && fail_rng_.NextBool(opt_.fail_probability)) {
+      return Status::Unavailable("transient workflow failure");
+    }
+    if ((a.request_id >> 32) < current_epoch_) ++result_.stale_epoch_applied;
+    if (!applied_rids_.insert(a.request_id).second) ++result_.double_applies;
+    d.resumed = true;
+    d.resumed_at = now;
+    d.pending_completion = now + 30;
+    return plane_->metadata().UpsertState(a.db, policy::DbState::kResumed, 0);
+  }
+
+  /// Workflow completions report over a reliable side channel (the node's
+  /// resource-arrival signal), not the lossy request/ack transport.
+  Status DeliverCompletions() {
+    for (int i = 0; i < opt_.num_dbs; ++i) {
+      SimDb& d = dbs_[static_cast<size_t>(i)];
+      if (d.pending_completion == 0 || d.pending_completion > now_) continue;
+      if (!d.resumed) {
+        d.pending_completion = 0;  // paused again before delivery
+        continue;
+      }
+      if (plane_->service().IsUnacked(static_cast<DbId>(i))) {
+        // The resume's ack is still on the wire: the plane has no
+        // in-flight entry to complete yet.  The resource-arrival signal
+        // is level-triggered — hold it until the ack resolves.
+        continue;
+      }
+      PRORP_RETURN_IF_ERROR(plane_->metadata().UpsertState(
+          static_cast<DbId>(i), policy::DbState::kResumed, 0));
+      plane_->service().CompleteWorkflow(static_cast<DbId>(i), now_);
+      d.pending_completion = 0;
+      d.outstanding_reactive = false;
+    }
+    return Status::OK();
+  }
+
+  /// Runs the clock forward fault-free until every queued, in-flight, and
+  /// unacked workflow resolved and the wire is empty.
+  Status Drain() {
+    drain_mode_ = true;
+    outage_now_ = false;
+    transport_.set_fault_plan(nullptr);
+    for (int iter = 0; iter < 600; ++iter) {
+      if (plane_->service().pending_workflows() == 0 &&
+          plane_->service().in_flight() == 0 &&
+          plane_->service().unacked() == 0 && dispatcher_.Idle() &&
+          transport_.Idle()) {
+        result_.drained = true;
+        // Flush any floaters a previous incarnation left behind (nothing
+        // may remain delayed, but a paranoid final sweep costs nothing
+        // and routes stragglers into the late/stale counters).
+        transport_.DeliverDue(now_ + 1'000'000);
+        return Status::OK();
+      }
+      now_ += kStep;
+      PRORP_RETURN_IF_ERROR(plane_->service().RunOnce(now_).status());
+      for (DurationSeconds dt = 10; dt < kStep; dt += 10) {
+        dispatcher_.Tick(now_ + dt);
+        plane_->service().Pump(now_ + dt);
+      }
+      PRORP_RETURN_IF_ERROR(DeliverCompletions());
+    }
+    return Status::TimedOut(
+        "network torture drain did not converge: pending=" +
+        std::to_string(plane_->service().pending_workflows()) +
+        " in_flight=" + std::to_string(plane_->service().in_flight()) +
+        " unacked=" + std::to_string(plane_->service().unacked()) +
+        " outstanding=" + std::to_string(dispatcher_.outstanding()) +
+        " wire_idle=" + (transport_.Idle() ? "y" : "n"));
+  }
+
+  Status Reopen(EpochSeconds now) {
+    DurableControlPlane::Options popt;
+    popt.dir = opt_.dir;
+    popt.config = TortureConfig(opt_);
+    popt.max_attempts = 8;
+    popt.checkpoint_every = opt_.checkpoint_every;
+    auto opened = DurableControlPlane::Open(
+        popt,
+        [this](const ResumeAttempt& a, EpochSeconds t) {
+          return dispatcher_.DispatchResume(a, t);
+        },
+        [this](DbId db) { return dbs_[db].resumed; }, now);
+    if (!opened.ok()) return opened.status();
+    plane_ = std::move(*opened);
+    // Order matters: repoint the dispatcher (killing the predecessor's
+    // outstanding table), then fence every node under the new epoch —
+    // all before the harness delivers another message, so a floater can
+    // never execute against a stale fence.
+    dispatcher_.set_service(&plane_->service());
+    current_epoch_ = plane_->service().epoch();
+    for (const auto& agent : agents_) agent->FenceEpoch(current_epoch_);
+    return Status::OK();
+  }
+
+  const NetworkTortureOptions& opt_;
+  std::vector<SimDb> dbs_;
+  Rng rng_;
+  Rng fail_rng_;
+  faults::FaultPlan plan_;
+  FaultInjectingTransport transport_;
+  TransportDispatcher dispatcher_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  std::unique_ptr<DurableControlPlane> plane_;
+  NetworkTortureResult result_;
+  std::unordered_set<uint64_t> applied_rids_;
+  uint64_t current_epoch_ = 0;
+  EpochSeconds now_ = kStart;
+  bool outage_now_ = false;
+  bool drain_mode_ = false;
+};
+
+}  // namespace
+
+Result<NetworkTortureResult> RunNetworkTorture(
+    const NetworkTortureOptions& options) {
+  Harness harness(options);
+  return harness.Run();
+}
+
+}  // namespace prorp::net

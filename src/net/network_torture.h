@@ -1,0 +1,75 @@
+#ifndef PRORP_NET_NETWORK_TORTURE_H_
+#define PRORP_NET_NETWORK_TORTURE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "net/transport.h"
+
+namespace prorp::net {
+
+/// One network-torture run: the recovery-torture workload (proactive
+/// selections, reactive logins, pause/resume churn, optional storm and
+/// resume-path outage) driven through the full transport stack — a
+/// TransportDispatcher on the plane side, per-node NodeAgents on the
+/// other, and a FaultInjectingTransport between them injecting drops,
+/// duplicates, delays (reordering), and partitions from a seeded plan —
+/// plus an optional mid-run control-plane crash/recovery.
+///
+/// Invariants the result exposes (the matrix test asserts them):
+///  * zero accepted-login loss,
+///  * zero double-applies (same request id side-effecting twice),
+///  * zero stale-epoch applies (a fenced request never executes),
+///  * accounting reconciles after the drain.
+struct NetworkTortureOptions {
+  std::string dir;  // working directory for journal + checkpoint
+  uint64_t seed = 1;
+  int num_dbs = 48;
+  int num_nodes = 4;
+  int steps = 160;  // virtual-clock steps of one minute each
+  bool storm = false;    // login-spike storm mid-run
+  bool outage = false;   // resume-path outage window mid-run
+  int crash_at_step = -1;  // control-plane crash/recovery overlay
+  // Message-fault probabilities, drawn from a transport-only RNG stream.
+  double drop_p = 0.0;
+  double duplicate_p = 0.0;
+  double delay_p = 0.0;
+  bool partition = false;  // plane <-> node-subset partition window
+  /// Probability a node execution fails transiently.
+  double fail_probability = 0.10;
+  uint64_t checkpoint_every = 64;
+};
+
+struct NetworkTortureResult {
+  int recoveries = 0;
+  uint64_t accepted_reactive = 0;
+  /// Acked logins whose database was still not resumed after the final
+  /// drain — must be zero.
+  uint64_t lost_reactive = 0;
+  /// A request id whose side effect executed twice — must be zero (the
+  /// node dedup table failed).
+  uint64_t double_applies = 0;
+  /// A request below the node's epoch fence reached execution — must be
+  /// zero (a predecessor incarnation raced its successor).
+  uint64_t stale_epoch_applied = 0;
+  uint64_t duplicate_suppressed = 0;  // node dedup-table hits
+  uint64_t stale_epoch_rejected = 0;  // node fence rejections
+  uint64_t dispatch_timeouts = 0;
+  uint64_t late_acks = 0;
+  uint64_t stale_epoch_acks = 0;
+  uint64_t retransmissions = 0;
+  uint64_t unacked_dispatches = 0;
+  uint64_t hedges = 0;
+  uint64_t incidents = 0;
+  uint64_t total_resumed = 0;
+  bool accounting_ok = false;
+  bool drained = false;
+  TransportStats transport;
+};
+
+Result<NetworkTortureResult> RunNetworkTorture(
+    const NetworkTortureOptions& options);
+
+}  // namespace prorp::net
+
+#endif  // PRORP_NET_NETWORK_TORTURE_H_

@@ -1,0 +1,104 @@
+#include "net/node_agent.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prorp::net {
+
+NodeAgent::NodeAgent(EndpointId id, Transport* transport, Executor resume,
+                     Executor pause)
+    : id_(id),
+      transport_(transport),
+      resume_(std::move(resume)),
+      pause_(std::move(pause)) {
+  transport_->RegisterEndpoint(
+      id_, [this](const Envelope& env, EpochSeconds now) {
+        HandleMessage(env, now);
+      });
+}
+
+void NodeAgent::FenceEpoch(uint64_t epoch) {
+  fence_epoch_ = std::max(fence_epoch_, epoch);
+}
+
+void NodeAgent::Reply(const Envelope& request, MessageType type,
+                      StatusCode code, uint32_t flags, EpochSeconds now) {
+  Envelope reply;
+  reply.type = type;
+  reply.src = id_;
+  reply.dst = request.src;
+  reply.request_id = request.request_id;
+  // Replies echo the REQUEST's epoch: a recovered plane recognizes its
+  // predecessor's stragglers by the old epoch coming back.
+  reply.epoch = request.epoch;
+  reply.sent_at = now;
+  reply.db = request.db;
+  reply.cls = request.cls;
+  reply.attempt = request.attempt;
+  reply.hedge = request.hedge;
+  reply.code = code;
+  reply.flags = flags;
+  transport_->Send(reply);
+}
+
+void NodeAgent::HandleMessage(const Envelope& env, EpochSeconds now) {
+  switch (env.type) {
+    case MessageType::kResumeRequest:
+    case MessageType::kPauseRequest: {
+      ++stats_.requests;
+      if (env.epoch < fence_epoch_) {
+        // A previous incarnation's late message: reject, never execute.
+        ++stats_.stale_epoch_rejected;
+        Reply(env, MessageType::kNack, StatusCode::kFailedPrecondition,
+              kMfStaleEpoch, now);
+        return;
+      }
+      fence_epoch_ = std::max(fence_epoch_, env.epoch);
+      if (auto it = applied_.find(env.request_id); it != applied_.end()) {
+        // Redelivery of a request whose side effect already ran: repeat
+        // the recorded verdict, execute nothing.
+        ++stats_.duplicate_suppressed;
+        Reply(env,
+              it->second == StatusCode::kOk ? MessageType::kAck
+                                            : MessageType::kNack,
+              it->second, kMfDuplicateDelivery, now);
+        return;
+      }
+      const Executor& exec =
+          env.type == MessageType::kResumeRequest ? resume_ : pause_;
+      if (!exec) {
+        Reply(env, MessageType::kNack, StatusCode::kNotSupported, 0, now);
+        return;
+      }
+      controlplane::ResumeAttempt attempt;
+      attempt.db = env.db;
+      attempt.cls = static_cast<controlplane::ResumeClass>(env.cls);
+      attempt.attempt = env.attempt;
+      attempt.hedge = env.hedge;
+      attempt.node_offset = env.node_offset;
+      attempt.enqueued_at = env.enqueued_at;
+      attempt.request_id = env.request_id;
+      ++stats_.executed;
+      Status s = exec(attempt, now);
+      if (s.ok()) applied_[env.request_id] = s.code();
+      Reply(env, s.ok() ? MessageType::kAck : MessageType::kNack, s.code(),
+            0, now);
+      return;
+    }
+    case MessageType::kLeaseRenew: {
+      // Lease renewals double as epoch advertisements: they raise the
+      // fence even when no workflow is in flight.
+      fence_epoch_ = std::max(fence_epoch_, env.epoch);
+      ++stats_.leases_granted;
+      Reply(env, MessageType::kLeaseGrant, StatusCode::kOk, 0, now);
+      return;
+    }
+    case MessageType::kAck:
+    case MessageType::kNack:
+    case MessageType::kLeaseGrant:
+      // Replies addressed to a node (misrouted); ignore.
+      return;
+  }
+}
+
+}  // namespace prorp::net

@@ -1,0 +1,74 @@
+#ifndef PRORP_NET_NODE_AGENT_H_
+#define PRORP_NET_NODE_AGENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "controlplane/management_service.h"
+#include "net/transport.h"
+
+namespace prorp::net {
+
+/// Node-side endpoint of the resume/pause protocol: receives requests
+/// from the transport, makes apply idempotent and epoch-fenced, and acks.
+///
+/// Idempotence: a per-node applied-request table records every request id
+/// whose execution produced a side effect (the executor returned OK).  A
+/// redelivery of such an id re-acks the recorded verdict without running
+/// anything.  Failed attempts are deliberately NOT recorded: they had no
+/// side effect, so a retransmission doubles as a retry.
+///
+/// Fencing: the agent tracks the highest control-plane epoch it has seen
+/// (a ratchet; every message raises it, and recovery raises it explicitly
+/// through FenceEpoch).  A request below the fence is a predecessor
+/// incarnation's late message — it is nacked with kMfStaleEpoch and never
+/// executed, so a recovered control plane can never be raced by its
+/// predecessor's stragglers.
+class NodeAgent {
+ public:
+  /// Executes one workflow attempt on the node (the actual resume/pause
+  /// side effect).  Same shape as the management service's callback.
+  using Executor = std::function<Status(const controlplane::ResumeAttempt&,
+                                        EpochSeconds now)>;
+
+  struct Stats {
+    uint64_t requests = 0;              ///< resume/pause requests received
+    uint64_t executed = 0;              ///< executor invocations
+    uint64_t duplicate_suppressed = 0;  ///< redeliveries served from table
+    uint64_t stale_epoch_rejected = 0;  ///< fenced requests, never executed
+    uint64_t leases_granted = 0;
+  };
+
+  /// Registers the agent as `id` on `transport`.  `pause` may be null
+  /// (pause requests then nack NotSupported).
+  NodeAgent(EndpointId id, Transport* transport, Executor resume,
+            Executor pause = nullptr);
+
+  /// Raises the epoch fence (never lowers it).  The recovery path calls
+  /// this on every node before re-dispatching, so stragglers from the
+  /// previous incarnation are dead on arrival.
+  void FenceEpoch(uint64_t epoch);
+  uint64_t fence_epoch() const { return fence_epoch_; }
+
+  const Stats& stats() const { return stats_; }
+  EndpointId id() const { return id_; }
+
+ private:
+  void HandleMessage(const Envelope& env, EpochSeconds now);
+  void Reply(const Envelope& request, MessageType type, StatusCode code,
+             uint32_t flags, EpochSeconds now);
+
+  EndpointId id_;
+  Transport* transport_;
+  Executor resume_;
+  Executor pause_;
+  uint64_t fence_epoch_ = 0;
+  /// request id -> recorded verdict of a side-effecting execution.
+  std::unordered_map<uint64_t, StatusCode> applied_;
+  Stats stats_;
+};
+
+}  // namespace prorp::net
+
+#endif  // PRORP_NET_NODE_AGENT_H_

@@ -12,6 +12,9 @@
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
 #include "history/sql_history_store.h"
+#include "net/dispatcher.h"
+#include "net/node_agent.h"
+#include "net/transport.h"
 #include "sim/resume_capacity.h"
 #include "telemetry/usage_ledger.h"
 
@@ -257,6 +260,16 @@ class FleetSimulation {
   /// stream continues across a simulated control-plane restart.
   controlplane::ManagementService::ResumeCallback MakeResumeCallback();
 
+  /// The resume callback handed to the control plane: the node executor
+  /// directly (legacy), or a hop through the message transport when
+  /// options_.use_transport is set.
+  controlplane::ManagementService::ResumeCallback MakeServiceCallback();
+
+  /// Repoints the transport stack at the current service incarnation
+  /// (after construction and after every crash/recovery).  No-op when the
+  /// transport is disabled.
+  void SyncTransportToService();
+
   /// Opens (or, after a crash, recovers) the durable control plane and
   /// repoints metadata_/management_ at its components.
   Status OpenDurableControlPlane(EpochSeconds now);
@@ -294,6 +307,13 @@ class FleetSimulation {
   std::unique_ptr<controlplane::DurableControlPlane> plane_;
   MetadataStore* metadata_ = nullptr;
   controlplane::ManagementService* management_ = nullptr;
+  /// Message transport between the service and the node executor
+  /// (options_.use_transport).  Fault-free and inline, so every dispatch
+  /// resolves synchronously; the stack outlives control-plane recoveries
+  /// and is re-pointed at each new incarnation.
+  std::unique_ptr<net::InProcessTransport> transport_;
+  std::unique_ptr<net::NodeAgent> agent_;
+  std::unique_ptr<net::TransportDispatcher> dispatcher_;
   Rng failure_rng_{0};
   uint64_t cp_recoveries_ = 0;
   uint64_t cp_last_replayed_ = 0;
@@ -614,6 +634,35 @@ FleetSimulation::MakeResumeCallback() {
   };
 }
 
+controlplane::ManagementService::ResumeCallback
+FleetSimulation::MakeServiceCallback() {
+  if (!options_.use_transport) return MakeResumeCallback();
+  if (dispatcher_ == nullptr) {
+    // One dispatcher on the plane side, one agent standing in for the
+    // whole node fleet: per-node routing stays inside the executor (the
+    // callback above picks the node from the attempt), so a single
+    // endpoint preserves bit-identity with the direct-call run.
+    transport_ = std::make_unique<net::InProcessTransport>();
+    dispatcher_ = std::make_unique<net::TransportDispatcher>(
+        transport_.get(), net::TransportDispatcher::Options{});
+    agent_ = std::make_unique<net::NodeAgent>(
+        /*id=*/1, transport_.get(), MakeResumeCallback());
+  }
+  return [this](const controlplane::ResumeAttempt& a,
+                EpochSeconds now) -> Status {
+    return dispatcher_->DispatchResume(a, now);
+  };
+}
+
+void FleetSimulation::SyncTransportToService() {
+  if (dispatcher_ == nullptr) return;
+  dispatcher_->set_service(management_);
+  // Fence the node against the dead incarnation's stragglers before the
+  // new one dispatches anything (inline transport has none; the call
+  // keeps the recovery contract explicit).
+  agent_->FenceEpoch(management_->epoch());
+}
+
 Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
   controlplane::DurableControlPlane::Options cp;
   cp.dir = options_.control_plane_journal_dir;
@@ -622,7 +671,7 @@ Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
   cp.checkpoint_every = options_.control_plane_checkpoint_every;
   PRORP_ASSIGN_OR_RETURN(
       plane_, controlplane::DurableControlPlane::Open(
-                  cp, MakeResumeCallback(),
+                  cp, MakeServiceCallback(),
                   [this](DbId db) {
                     // Reconcile oracle: the node holds the resumed
                     // resources iff the database's lifecycle FSM is not
@@ -635,6 +684,7 @@ Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
                   now));
   metadata_ = &plane_->metadata();
   management_ = &plane_->service();
+  SyncTransportToService();
   cp_last_replayed_ = plane_->recovery_stats().replayed;
   return Status::OK();
 }
@@ -695,8 +745,9 @@ Result<SimReport> FleetSimulation::Run() {
     PRORP_ASSIGN_OR_RETURN(owned_metadata_, MetadataStore::Open());
     metadata_ = owned_metadata_.get();
     owned_management_ = std::make_unique<controlplane::ManagementService>(
-        metadata_, options_.config.control_plane, MakeResumeCallback());
+        metadata_, options_.config.control_plane, MakeServiceCallback());
     management_ = owned_management_.get();
+    SyncTransportToService();
   }
 
   EpochSeconds measure_from = options_.measure_from;
@@ -932,6 +983,10 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
     merged.diagnostics.catch_up_enqueued += s.diagnostics.catch_up_enqueued;
     merged.diagnostics.deleted_while_queued +=
         s.diagnostics.deleted_while_queued;
+    merged.diagnostics.unacked_dispatches += s.diagnostics.unacked_dispatches;
+    merged.diagnostics.dispatch_timeouts += s.diagnostics.dispatch_timeouts;
+    merged.diagnostics.late_acks += s.diagnostics.late_acks;
+    merged.diagnostics.stale_epoch_acks += s.diagnostics.stale_epoch_acks;
     merged.diagnostics.max_brownout_level =
         std::max(merged.diagnostics.max_brownout_level,
                  s.diagnostics.max_brownout_level);
@@ -976,11 +1031,12 @@ Result<SimReport> RunFleetSimulation(
           : 1;
   // Proactive mode couples databases through the shared metadata store
   // and management service, the storm layer couples them through the
-  // shared node capacity, and the durable control plane couples them
-  // through one journal directory; all run as one event loop.
+  // shared node capacity, the durable control plane couples them through
+  // one journal directory, and the message transport couples them through
+  // one dispatcher; all run as one event loop.
   if (options.mode == PolicyMode::kProactive || num_shards <= 1 ||
       options.storm_layer_enabled() ||
-      !options.control_plane_journal_dir.empty()) {
+      !options.control_plane_journal_dir.empty() || options.use_transport) {
     FleetSimulation simulation(traces.data(), traces.size(), options, 0);
     return simulation.Run();
   }

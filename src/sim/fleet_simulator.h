@@ -124,6 +124,15 @@ struct SimOptions {
   /// control_plane_journal_dir.
   EpochSeconds control_plane_crash_at = 0;
 
+  /// Route every control-plane resume dispatch through the typed message
+  /// transport (net::TransportDispatcher -> InProcessTransport -> a
+  /// NodeAgent wrapping the node-side executor) instead of a direct call.
+  /// Fault-free: acks arrive inline, so the run is bit-identical to the
+  /// direct-call run — the regression test for that identity is what this
+  /// flag exists for.  The transport couples the fleet through one
+  /// dispatcher, so this always runs the serial event loop.
+  bool use_transport = false;
+
   uint64_t seed = 42;
 
   /// Workers for the sharded fleet mode.  Reactive and always-on

@@ -172,6 +172,10 @@ Status WriteAheadLog::AppendExclusive(const WalRecord& record) {
           frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
           break;
         }
+        case faults::FaultKind::kMsgDrop:
+        case faults::FaultKind::kMsgDuplicate:
+        case faults::FaultKind::kMsgDelay:
+          break;  // message-only kinds; meaningless at a WAL site
       }
     }
   }
@@ -311,6 +315,10 @@ void WriteAheadLog::CommitBatch(const std::vector<Pending*>& batch) {
             p->frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
             break;
           }
+          case faults::FaultKind::kMsgDrop:
+          case faults::FaultKind::kMsgDuplicate:
+          case faults::FaultKind::kMsgDelay:
+            break;  // message-only kinds; meaningless at a WAL site
         }
       }
     }

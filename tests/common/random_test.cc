@@ -103,5 +103,46 @@ TEST(RngTest, ForkIsIndependentAndDeterministic) {
   }
 }
 
+TEST(RngTest, ForkStreamIsAPureFunctionOfSeedAndId) {
+  // Same (seed, id) always yields the same stream — regardless of how
+  // much the parent has been consumed in between.
+  Rng a(42);
+  Rng early = a.ForkStream(7);
+  for (int i = 0; i < 100; ++i) a.NextU64();
+  Rng late = a.ForkStream(7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(early.NextU64(), late.NextU64());
+  }
+}
+
+TEST(RngTest, ForkStreamDoesNotAdvanceTheParent) {
+  // This is the bit-identity property the transport layer leans on:
+  // carving off a fault stream must not shift any draw every existing
+  // consumer makes.  (Fork(), by contrast, consumes a draw.)
+  Rng with(42), without(42);
+  std::vector<uint64_t> a, b;
+  for (int i = 0; i < 64; ++i) {
+    (void)with.ForkStream(static_cast<uint64_t>(i));
+    a.push_back(with.NextU64());
+    b.push_back(without.NextU64());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkStreamIdsAreIndependentStreams) {
+  Rng parent(42);
+  Rng s1 = parent.ForkStream(1);
+  Rng s2 = parent.ForkStream(2);
+  Rng forked = parent.Fork();
+  int same12 = 0, same1f = 0;
+  for (int i = 0; i < 64; ++i) {
+    uint64_t v1 = s1.NextU64(), v2 = s2.NextU64(), vf = forked.NextU64();
+    if (v1 == v2) ++same12;
+    if (v1 == vf) ++same1f;
+  }
+  EXPECT_LT(same12, 2);
+  EXPECT_LT(same1f, 2);
+}
+
 }  // namespace
 }  // namespace prorp

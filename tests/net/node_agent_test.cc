@@ -1,0 +1,196 @@
+#include "net/node_agent.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+#include "net/transport.h"
+
+namespace prorp::net {
+namespace {
+
+using controlplane::ResumeAttempt;
+
+/// Captures the replies the agent sends back to the plane.
+struct PlaneSink {
+  std::vector<Envelope> replies;
+};
+
+struct Fixture {
+  InProcessTransport transport;
+  PlaneSink plane;
+  std::vector<ResumeAttempt> executed;
+  Status next_verdict = Status::OK();
+
+  Fixture() {
+    transport.RegisterEndpoint(
+        kControlPlaneEndpoint,
+        [this](const Envelope& env, EpochSeconds) {
+          plane.replies.push_back(env);
+        });
+  }
+
+  NodeAgent::Executor Executor() {
+    return [this](const ResumeAttempt& a, EpochSeconds) {
+      executed.push_back(a);
+      return next_verdict;
+    };
+  }
+
+  Envelope Request(uint64_t rid, uint64_t epoch,
+                   MessageType type = MessageType::kResumeRequest) {
+    Envelope env;
+    env.type = type;
+    env.src = kControlPlaneEndpoint;
+    env.dst = 1;
+    env.request_id = rid;
+    env.epoch = epoch;
+    env.sent_at = 100;
+    env.db = 7;
+    env.cls = 0;
+    env.attempt = 2;
+    return env;
+  }
+};
+
+TEST(NodeAgentTest, ExecutesAndAcksWithRequestIdentity) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+
+  f.transport.Send(f.Request(/*rid=*/42, /*epoch=*/3));
+
+  ASSERT_EQ(f.executed.size(), 1u);
+  EXPECT_EQ(f.executed[0].db, 7u);
+  EXPECT_EQ(f.executed[0].attempt, 2);
+  EXPECT_EQ(f.executed[0].request_id, 42u);
+  ASSERT_EQ(f.plane.replies.size(), 1u);
+  const Envelope& ack = f.plane.replies[0];
+  EXPECT_EQ(ack.type, MessageType::kAck);
+  EXPECT_EQ(ack.request_id, 42u);
+  EXPECT_EQ(ack.epoch, 3u);  // echoes the request's epoch
+  EXPECT_EQ(ack.code, StatusCode::kOk);
+  EXPECT_EQ(agent.stats().executed, 1u);
+}
+
+TEST(NodeAgentTest, RedeliveryOfAppliedRequestIsSuppressed) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+
+  f.transport.Send(f.Request(42, 3));
+  f.transport.Send(f.Request(42, 3));  // redelivery
+
+  // The side effect ran once; the second delivery re-acked the recorded
+  // verdict with the duplicate flag.
+  EXPECT_EQ(f.executed.size(), 1u);
+  EXPECT_EQ(agent.stats().duplicate_suppressed, 1u);
+  ASSERT_EQ(f.plane.replies.size(), 2u);
+  EXPECT_EQ(f.plane.replies[1].type, MessageType::kAck);
+  EXPECT_EQ(f.plane.replies[1].code, StatusCode::kOk);
+  EXPECT_NE(f.plane.replies[1].flags & kMfDuplicateDelivery, 0u);
+  EXPECT_EQ(f.plane.replies[0].flags & kMfDuplicateDelivery, 0u);
+}
+
+TEST(NodeAgentTest, FailedAttemptIsNotRecordedSoRetransmissionRetries) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+
+  f.next_verdict = Status::Unavailable("transient");
+  f.transport.Send(f.Request(42, 3));
+  ASSERT_EQ(f.plane.replies.size(), 1u);
+  EXPECT_EQ(f.plane.replies[0].type, MessageType::kNack);
+  EXPECT_EQ(f.plane.replies[0].code, StatusCode::kUnavailable);
+
+  // A failed attempt had no side effect, so the retransmission doubles as
+  // a retry and this time executes.
+  f.next_verdict = Status::OK();
+  f.transport.Send(f.Request(42, 3));
+  EXPECT_EQ(f.executed.size(), 2u);
+  EXPECT_EQ(agent.stats().duplicate_suppressed, 0u);
+  EXPECT_EQ(f.plane.replies[1].type, MessageType::kAck);
+}
+
+TEST(NodeAgentTest, RequestBelowTheFenceIsNackedNeverExecuted) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+  agent.FenceEpoch(5);
+
+  f.transport.Send(f.Request(42, /*epoch=*/4));  // predecessor straggler
+
+  EXPECT_TRUE(f.executed.empty());
+  EXPECT_EQ(agent.stats().stale_epoch_rejected, 1u);
+  ASSERT_EQ(f.plane.replies.size(), 1u);
+  EXPECT_EQ(f.plane.replies[0].type, MessageType::kNack);
+  EXPECT_EQ(f.plane.replies[0].code, StatusCode::kFailedPrecondition);
+  EXPECT_NE(f.plane.replies[0].flags & kMfStaleEpoch, 0u);
+  EXPECT_EQ(f.plane.replies[0].epoch, 4u);  // old epoch comes back
+}
+
+TEST(NodeAgentTest, EveryMessageRaisesTheFenceRatchet) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+
+  f.transport.Send(f.Request(1, 6));
+  EXPECT_EQ(agent.fence_epoch(), 6u);
+
+  // A later message from epoch 5 is now stale even though no explicit
+  // FenceEpoch call happened.
+  f.transport.Send(f.Request(2, 5));
+  EXPECT_EQ(f.executed.size(), 1u);
+  EXPECT_EQ(agent.stats().stale_epoch_rejected, 1u);
+
+  // FenceEpoch never lowers the ratchet.
+  agent.FenceEpoch(2);
+  EXPECT_EQ(agent.fence_epoch(), 6u);
+}
+
+TEST(NodeAgentTest, LeaseRenewalRaisesFenceAndGrants) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());
+
+  f.transport.Send(f.Request(0, 9, MessageType::kLeaseRenew));
+
+  EXPECT_EQ(agent.fence_epoch(), 9u);
+  EXPECT_EQ(agent.stats().leases_granted, 1u);
+  ASSERT_EQ(f.plane.replies.size(), 1u);
+  EXPECT_EQ(f.plane.replies[0].type, MessageType::kLeaseGrant);
+
+  // The fence raised by the lease now rejects an older incarnation's
+  // request even though no workflow ever reached this node before.
+  f.transport.Send(f.Request(1, 8));
+  EXPECT_TRUE(f.executed.empty());
+  EXPECT_EQ(agent.stats().stale_epoch_rejected, 1u);
+}
+
+TEST(NodeAgentTest, PauseWithoutExecutorIsNackedNotSupported) {
+  Fixture f;
+  NodeAgent agent(1, &f.transport, f.Executor());  // pause executor omitted
+
+  f.transport.Send(f.Request(42, 3, MessageType::kPauseRequest));
+
+  EXPECT_TRUE(f.executed.empty());
+  ASSERT_EQ(f.plane.replies.size(), 1u);
+  EXPECT_EQ(f.plane.replies[0].type, MessageType::kNack);
+  EXPECT_EQ(f.plane.replies[0].code, StatusCode::kNotSupported);
+}
+
+TEST(NodeAgentTest, PauseExecutorRunsAndDedupsLikeResume) {
+  Fixture f;
+  int pauses = 0;
+  NodeAgent agent(1, &f.transport, f.Executor(),
+                  [&pauses](const ResumeAttempt&, EpochSeconds) {
+                    ++pauses;
+                    return Status::OK();
+                  });
+
+  f.transport.Send(f.Request(42, 3, MessageType::kPauseRequest));
+  f.transport.Send(f.Request(42, 3, MessageType::kPauseRequest));
+
+  EXPECT_EQ(pauses, 1);
+  EXPECT_EQ(agent.stats().duplicate_suppressed, 1u);
+  ASSERT_EQ(f.plane.replies.size(), 2u);
+  EXPECT_EQ(f.plane.replies[0].type, MessageType::kAck);
+}
+
+}  // namespace
+}  // namespace prorp::net

@@ -1,0 +1,309 @@
+#include "net/transport.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+#include "net/fault_injecting_transport.h"
+#include "net/message.h"
+
+namespace prorp::net {
+namespace {
+
+using faults::FaultKind;
+using faults::FaultOp;
+using faults::FaultPlan;
+
+/// Records every delivery an endpoint sees.
+struct Sink {
+  std::vector<Envelope> received;
+  std::vector<EpochSeconds> at;
+
+  Transport::Handler Handler() {
+    return [this](const Envelope& env, EpochSeconds now) {
+      received.push_back(env);
+      at.push_back(now);
+    };
+  }
+};
+
+Envelope Request(EndpointId dst, uint64_t rid, EpochSeconds sent_at) {
+  Envelope env;
+  env.type = MessageType::kResumeRequest;
+  env.src = kControlPlaneEndpoint;
+  env.dst = dst;
+  env.request_id = rid;
+  env.sent_at = sent_at;
+  return env;
+}
+
+TEST(InProcessTransportTest, DeliversInlineAtSendTime) {
+  InProcessTransport transport;
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 7, 100));
+
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].request_id, 7u);
+  EXPECT_EQ(sink.at[0], 100);
+  EXPECT_EQ(transport.stats().sent, 1u);
+  EXPECT_EQ(transport.stats().delivered, 1u);
+  EXPECT_TRUE(transport.Idle());
+}
+
+TEST(InProcessTransportTest, UnregisteredDestinationIsCountedUnroutable) {
+  InProcessTransport transport;
+  transport.Send(Request(9, 1, 0));
+  EXPECT_EQ(transport.stats().unroutable, 1u);
+  EXPECT_EQ(transport.stats().delivered, 0u);
+}
+
+TEST(FaultInjectingTransportTest, NullPlanDeliversEverything) {
+  FaultInjectingTransport transport(nullptr);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+  for (uint64_t i = 0; i < 10; ++i) transport.Send(Request(1, i, 0));
+  EXPECT_EQ(sink.received.size(), 10u);
+  EXPECT_EQ(transport.stats().dropped, 0u);
+  EXPECT_TRUE(transport.Idle());
+}
+
+TEST(FaultInjectingTransportTest, DropLosesExactlyTheTriggeredMessage) {
+  FaultPlan plan(1);
+  plan.FailNth(FaultOp::kMsgRequest, 2, FaultKind::kMsgDrop);
+  FaultInjectingTransport transport(&plan);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 0));
+  transport.Send(Request(1, 2, 0));  // dropped
+  transport.Send(Request(1, 3, 0));
+
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(sink.received[0].request_id, 1u);
+  EXPECT_EQ(sink.received[1].request_id, 3u);
+  EXPECT_EQ(transport.stats().dropped, 1u);
+  EXPECT_EQ(transport.stats().sent, 3u);
+}
+
+TEST(FaultInjectingTransportTest, DuplicateDeliversTwice) {
+  FaultPlan plan(1);
+  plan.FailNth(FaultOp::kMsgRequest, 1, FaultKind::kMsgDuplicate);
+  FaultInjectingTransport transport(&plan);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 5, 0));
+
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(sink.received[0].request_id, 5u);
+  EXPECT_EQ(sink.received[1].request_id, 5u);
+  EXPECT_EQ(transport.stats().duplicated, 1u);
+  EXPECT_EQ(transport.stats().delivered, 2u);
+}
+
+TEST(FaultInjectingTransportTest, DelayDefersUntilDeliverDue) {
+  FaultPlan plan(1);
+  plan.FailNthWithArg(FaultOp::kMsgRequest, 1, FaultKind::kMsgDelay,
+                      /*arg=*/0);
+  FaultInjectingTransport::Options opt;
+  opt.delay_min = 40;
+  opt.delay_max = 40;
+  FaultInjectingTransport transport(&plan, opt);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 100));
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_FALSE(transport.Idle());
+  EXPECT_EQ(transport.next_delivery_at(), 140);
+
+  transport.DeliverDue(139);  // not due yet
+  EXPECT_TRUE(sink.received.empty());
+
+  transport.DeliverDue(140);
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.at[0], 140);
+  EXPECT_TRUE(transport.Idle());
+}
+
+TEST(FaultInjectingTransportTest, DelayedMessageIsOvertaken) {
+  // Reordering is emergent: the delayed first message arrives after the
+  // undelayed second one.
+  FaultPlan plan(1);
+  plan.FailNthWithArg(FaultOp::kMsgRequest, 1, FaultKind::kMsgDelay, 0);
+  FaultInjectingTransport::Options opt;
+  opt.delay_min = 60;
+  opt.delay_max = 60;
+  FaultInjectingTransport transport(&plan, opt);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 100));  // delayed to 160
+  transport.Send(Request(1, 2, 110));  // inline
+  transport.DeliverDue(200);
+
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(sink.received[0].request_id, 2u);
+  EXPECT_EQ(sink.received[1].request_id, 1u);
+  EXPECT_EQ(transport.stats().delayed, 1u);
+}
+
+TEST(FaultInjectingTransportTest, DelayedDeliveriesKeepDueThenSendOrder) {
+  FaultPlan plan(1);
+  // Delay every request by a fixed 50s: equal due times must surface in
+  // send order.
+  plan.FailNthWithArg(FaultOp::kMsgRequest, 1, FaultKind::kMsgDelay, 0);
+  plan.FailNthWithArg(FaultOp::kMsgRequest, 2, FaultKind::kMsgDelay, 0);
+  plan.FailNthWithArg(FaultOp::kMsgRequest, 3, FaultKind::kMsgDelay, 0);
+  FaultInjectingTransport::Options opt;
+  opt.delay_min = 50;
+  opt.delay_max = 50;
+  FaultInjectingTransport transport(&plan, opt);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 100));
+  transport.Send(Request(1, 2, 100));
+  transport.Send(Request(1, 3, 100));
+  transport.DeliverDue(150);
+
+  ASSERT_EQ(sink.received.size(), 3u);
+  EXPECT_EQ(sink.received[0].request_id, 1u);
+  EXPECT_EQ(sink.received[1].request_id, 2u);
+  EXPECT_EQ(sink.received[2].request_id, 3u);
+}
+
+TEST(FaultInjectingTransportTest, DiskKindsAreIgnoredAtMessageSites) {
+  FaultPlan plan(1);
+  plan.FailNth(FaultOp::kMsgRequest, 1, FaultKind::kIoError);
+  plan.FailNth(FaultOp::kMsgRequest, 2, FaultKind::kBitFlip);
+  FaultInjectingTransport transport(&plan);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 0));
+  transport.Send(Request(1, 2, 0));
+
+  EXPECT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(transport.stats().dropped, 0u);
+}
+
+TEST(FaultInjectingTransportTest, SymmetricPartitionCutsBothDirections) {
+  FaultInjectingTransport transport(nullptr);
+  Sink plane;
+  Sink node;
+  transport.RegisterEndpoint(kControlPlaneEndpoint, plane.Handler());
+  transport.RegisterEndpoint(1, node.Handler());
+  PartitionSpec p;
+  p.from = 100;
+  p.until = 200;
+  p.direction = PartitionSpec::Direction::kBoth;
+  transport.AddPartition(p);
+
+  transport.Send(Request(1, 1, 150));  // plane -> node, inside window
+  Envelope reply;
+  reply.type = MessageType::kAck;
+  reply.src = 1;
+  reply.dst = kControlPlaneEndpoint;
+  reply.sent_at = 150;
+  transport.Send(reply);  // node -> plane, inside window
+
+  EXPECT_TRUE(node.received.empty());
+  EXPECT_TRUE(plane.received.empty());
+  EXPECT_EQ(transport.stats().partitioned, 2u);
+
+  // Outside the window both directions flow again.
+  transport.Send(Request(1, 2, 200));
+  reply.sent_at = 200;
+  transport.Send(reply);
+  EXPECT_EQ(node.received.size(), 1u);
+  EXPECT_EQ(plane.received.size(), 1u);
+}
+
+TEST(FaultInjectingTransportTest, OneWayPartitionLosesOnlyOneDirection) {
+  FaultInjectingTransport transport(nullptr);
+  Sink plane;
+  Sink node;
+  transport.RegisterEndpoint(kControlPlaneEndpoint, plane.Handler());
+  transport.RegisterEndpoint(1, node.Handler());
+  PartitionSpec p;
+  p.from = 0;
+  p.until = 1000;
+  p.direction = PartitionSpec::Direction::kToNodes;
+  transport.AddPartition(p);
+
+  transport.Send(Request(1, 1, 10));  // lost
+  Envelope reply;
+  reply.type = MessageType::kNack;
+  reply.src = 1;
+  reply.dst = kControlPlaneEndpoint;
+  reply.sent_at = 10;
+  transport.Send(reply);  // still arrives
+
+  EXPECT_TRUE(node.received.empty());
+  EXPECT_EQ(plane.received.size(), 1u);
+  EXPECT_EQ(transport.stats().partitioned, 1u);
+}
+
+TEST(FaultInjectingTransportTest, PartitionAppliesOnlyToItsNodeRange) {
+  FaultInjectingTransport transport(nullptr);
+  Sink node1;
+  Sink node3;
+  transport.RegisterEndpoint(1, node1.Handler());
+  transport.RegisterEndpoint(3, node3.Handler());
+  PartitionSpec p;
+  p.from = 0;
+  p.until = 1000;
+  p.direction = PartitionSpec::Direction::kBoth;
+  p.first_node = 1;
+  p.last_node = 2;
+  transport.AddPartition(p);
+
+  transport.Send(Request(1, 1, 10));  // node 1: partitioned
+  transport.Send(Request(3, 2, 10));  // node 3: outside the range
+
+  EXPECT_TRUE(node1.received.empty());
+  EXPECT_EQ(node3.received.size(), 1u);
+}
+
+TEST(FaultInjectingTransportTest, SameSeedSamePlanIsBitIdentical) {
+  // A probabilistic plan draws only from its own seed, so two identical
+  // (seed, message sequence) pairs fault identically.
+  TransportStats stats[2];
+  std::vector<uint64_t> delivered[2];
+  for (int run = 0; run < 2; ++run) {
+    FaultPlan plan(99);
+    plan.FailWithProbability(FaultOp::kMsgRequest, 0.3, FaultKind::kMsgDrop);
+    FaultInjectingTransport transport(&plan);
+    transport.RegisterEndpoint(1, [&](const Envelope& env, EpochSeconds) {
+      delivered[run].push_back(env.request_id);
+    });
+    for (uint64_t i = 0; i < 200; ++i) transport.Send(Request(1, i, 0));
+    stats[run] = transport.stats();
+  }
+  EXPECT_GT(stats[0].dropped, 0u);
+  EXPECT_EQ(stats[0].dropped, stats[1].dropped);
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(FaultInjectingTransportTest, SwappingThePlanOutStopsFaulting) {
+  FaultPlan plan(1);
+  plan.FailWithProbability(FaultOp::kMsgRequest, 1.0, FaultKind::kMsgDrop);
+  FaultInjectingTransport transport(&plan);
+  Sink sink;
+  transport.RegisterEndpoint(1, sink.Handler());
+
+  transport.Send(Request(1, 1, 0));
+  EXPECT_TRUE(sink.received.empty());
+
+  transport.set_fault_plan(nullptr);
+  transport.Send(Request(1, 2, 0));
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].request_id, 2u);
+}
+
+}  // namespace
+}  // namespace prorp::net
