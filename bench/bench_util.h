@@ -5,8 +5,14 @@
 // the same rows/series the paper's figure reports, prefixed with the
 // paper's expected band so the shape comparison is one glance.
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +20,149 @@
 #include "common/thread_pool.h"
 #include "sim/fleet_simulator.h"
 #include "workload/region.h"
+
+// ---------------------------------------------------------------------------
+// Process-wide allocation counting.
+//
+// Every bench binary is a single translation unit including this header,
+// so the replaceable global operator new/delete can be (non-inline)
+// defined here: each executable gets exactly one definition, and every
+// allocation in the process — simulator, control plane, history stores —
+// bumps one relaxed atomic.  Disabled under sanitizers, whose runtimes
+// interpose their own allocator and poison redzones around it; there the
+// counter helpers report zero and the default operators stay in place.
+// ---------------------------------------------------------------------------
+
+#ifndef PRORP_BENCH_COUNT_ALLOCATIONS
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PRORP_BENCH_COUNT_ALLOCATIONS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PRORP_BENCH_COUNT_ALLOCATIONS 0
+#else
+#define PRORP_BENCH_COUNT_ALLOCATIONS 1
+#endif
+#else
+#define PRORP_BENCH_COUNT_ALLOCATIONS 1
+#endif
+#endif
+
+namespace prorp::bench {
+
+inline std::atomic<uint64_t> g_allocation_count{0};
+
+/// Heap allocations made by the process so far (operator-new calls).
+/// Zero under sanitizer builds, where the default allocator stays in
+/// place — callers treat zero as "not measured".
+inline uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+/// Allocations since a captured baseline — the per-phase helper:
+///   uint64_t before = AllocationCount();
+///   ...workload...
+///   uint64_t allocs = AllocationsSince(before);
+inline uint64_t AllocationsSince(uint64_t baseline) {
+  uint64_t now = AllocationCount();
+  return now >= baseline ? now - baseline : 0;
+}
+
+/// Peak resident set size of the process in bytes (Linux ru_maxrss is
+/// reported in kilobytes).  Monotone over the process lifetime: a sweep
+/// measuring several fleet sizes must run smallest-first for per-size
+/// peaks to be attributable.
+inline uint64_t PeakRssBytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Best-effort reset of the kernel's peak-RSS watermark (Linux: writing
+/// "5" to /proc/self/clear_refs resets VmHWM).  Returns false where
+/// unsupported; PeakRssSinceResetBytes then degrades to the monotone peak.
+inline bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+/// Peak RSS honoring the last ResetPeakRss (reads VmHWM, which clear_refs
+/// resets; ru_maxrss does not).  Falls back to PeakRssBytes when
+/// /proc/self/status is unavailable.  Lets a sweep attribute a peak to
+/// each phase instead of only to the largest phase so far.
+inline uint64_t PeakRssSinceResetBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return PeakRssBytes();
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  if (kb < 0) return PeakRssBytes();
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
+}  // namespace prorp::bench
+
+#if PRORP_BENCH_COUNT_ALLOCATIONS
+// Replaceable allocation functions (non-inline by [replacement.functions]).
+// GCC flags std::free on operator-new results as mismatched; here every
+// new variant allocates via malloc/posix_memalign, both free()-able.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  prorp::bench::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  prorp::bench::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ::operator new(size, std::nothrow);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  prorp::bench::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(align),
+                                  sizeof(void*)),
+                     size == 0 ? 1 : size) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // PRORP_BENCH_COUNT_ALLOCATIONS
 
 namespace prorp::bench {
 
@@ -155,6 +304,12 @@ inline bool WriteMicroJson(
   }
   std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"mode\": \"%s\",\n",
                benchmark.c_str(), mode.c_str());
+  // Process-wide resource footprint at write time: peak RSS always,
+  // allocation count when the counting allocator is active (0 under
+  // sanitizers = not measured).
+  std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n  \"allocations\": %llu,\n",
+               static_cast<unsigned long long>(PeakRssBytes()),
+               static_cast<unsigned long long>(AllocationCount()));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const MicroResult& r = results[i];

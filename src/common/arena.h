@@ -1,0 +1,85 @@
+#ifndef PRORP_COMMON_ARENA_H_
+#define PRORP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace prorp {
+
+/// Typed chunked arena: objects are placement-new'd into large chunks and
+/// destroyed in bulk.  Compared with one `std::unique_ptr<T>` per object
+/// (the pre-scale-PR layout of per-database controllers and history
+/// stores), this removes one pointer chase plus one allocator round-trip
+/// per object and keeps same-kind objects contiguous, which is what makes
+/// the per-tick working set of a million-database fleet cache-dense.
+///
+/// Addresses are stable for the life of the pool: chunks are never
+/// reallocated or compacted, so raw `T*` handed out by Emplace stay valid
+/// until Clear()/destruction.  Objects are destroyed in creation order.
+template <typename T>
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t chunk_capacity = 4096)
+      : chunk_capacity_(chunk_capacity == 0 ? 1 : chunk_capacity) {}
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  ~ArenaPool() { Clear(); }
+
+  /// Constructs a T in the arena and returns its (stable) address.
+  template <typename... Args>
+  T* Emplace(Args&&... args) {
+    if (chunks_.empty() || chunks_.back().used == chunk_capacity_) {
+      Chunk chunk;
+      chunk.data.reset(static_cast<std::byte*>(::operator new(
+          chunk_capacity_ * sizeof(T), std::align_val_t(alignof(T)))));
+      chunks_.push_back(std::move(chunk));
+    }
+    Chunk& chunk = chunks_.back();
+    T* slot = reinterpret_cast<T*>(chunk.data.get()) + chunk.used;
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    ++chunk.used;  // only counted once construction succeeded
+    ++size_;
+    return obj;
+  }
+
+  /// Destroys every object and releases every chunk.
+  void Clear() {
+    for (Chunk& chunk : chunks_) {
+      T* objects = reinterpret_cast<T*>(chunk.data.get());
+      for (size_t i = 0; i < chunk.used; ++i) objects[i].~T();
+    }
+    chunks_.clear();
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Bytes reserved by the pool (chunk payloads only).
+  size_t MemoryBytes() const {
+    return chunks_.size() * chunk_capacity_ * sizeof(T);
+  }
+
+ private:
+  struct Deleter {
+    void operator()(std::byte* p) const {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    }
+  };
+  struct Chunk {
+    std::unique_ptr<std::byte[], Deleter> data;
+    size_t used = 0;
+  };
+
+  size_t chunk_capacity_;
+  size_t size_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace prorp
+
+#endif  // PRORP_COMMON_ARENA_H_

@@ -35,8 +35,9 @@ Result<policy::DbState> StateFromCode(int32_t code) {
 
 }  // namespace
 
-Result<std::unique_ptr<MetadataStore>> MetadataStore::Open() {
+Result<std::unique_ptr<MetadataStore>> MetadataStore::Open(Backing backing) {
   std::unique_ptr<MetadataStore> store(new MetadataStore());
+  if (backing == Backing::kIndexOnly) return store;
   store->db_ = std::make_unique<sql::Database>();
   PRORP_RETURN_IF_ERROR(
       store->db_
@@ -90,25 +91,36 @@ Status MetadataStore::RestoreUpsert(DbId db, int32_t state_code,
 Status MetadataStore::ApplyUpsert(DbId db, policy::DbState state,
                                   EpochSeconds predicted_start) {
   if (state != policy::DbState::kPhysicallyPaused) predicted_start = 0;
-  sql::Params params{{"db", static_cast<int64_t>(db)},
-                     {"state", StateCode(state)},
-                     {"pred", predicted_start}};
-  auto it = entries_.find(db);
-  if (it == entries_.end()) {
-    PRORP_RETURN_IF_ERROR(
-        db_->ExecuteStatement(insert_stmt_, params).status());
-    entries_[db] = {state, predicted_start};
-    it = entries_.find(db);
+  if (db >= entries_.size()) {
+    // Geometric growth: resize(db + 1) alone would make sequential
+    // first-inserts quadratic.
+    entries_.resize(std::max<size_t>(db + 1, entries_.size() * 2));
+  }
+  Entry& entry = entries_[db];
+  if (!entry.present) {
+    if (db_ != nullptr) {
+      sql::Params params{{"db", static_cast<int64_t>(db)},
+                         {"state", StateCode(state)},
+                         {"pred", predicted_start}};
+      PRORP_RETURN_IF_ERROR(
+          db_->ExecuteStatement(insert_stmt_, params).status());
+    }
+    ++live_;
   } else {
     // Drop the stale index entry before overwriting.
-    if (it->second.state == policy::DbState::kPhysicallyPaused &&
-        it->second.predicted_start > 0) {
-      resume_index_.erase({it->second.predicted_start, db});
+    if (entry.state == policy::DbState::kPhysicallyPaused &&
+        entry.predicted_start > 0) {
+      resume_index_.erase({entry.predicted_start, db});
     }
-    PRORP_RETURN_IF_ERROR(
-        db_->ExecuteStatement(update_stmt_, params).status());
-    it->second = {state, predicted_start};
+    if (db_ != nullptr) {
+      sql::Params params{{"db", static_cast<int64_t>(db)},
+                         {"state", StateCode(state)},
+                         {"pred", predicted_start}};
+      PRORP_RETURN_IF_ERROR(
+          db_->ExecuteStatement(update_stmt_, params).status());
+    }
   }
+  entry = {state, predicted_start, true};
   if (state == policy::DbState::kPhysicallyPaused && predicted_start > 0) {
     resume_index_[{predicted_start, db}] = true;
   }
@@ -129,6 +141,10 @@ Result<std::vector<DbId>> MetadataStore::SelectDueForResume(
 
 Result<std::vector<DbId>> MetadataStore::SelectDueForResumeSql(
     EpochSeconds now, DurationSeconds k, DurationSeconds period) const {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SelectDueForResumeSql requires Backing::kSqlMirrored");
+  }
   sql::Params params{{"lo", now + k}, {"hi", now + k + period}};
   PRORP_ASSIGN_OR_RETURN(sql::QueryResult r,
                          db_->ExecuteStatement(select_due_stmt_, params));
@@ -153,7 +169,7 @@ Result<std::vector<MissedResume>> MetadataStore::SelectMissedResume(
 }
 
 Status MetadataStore::Remove(DbId db) {
-  if (journal_ != nullptr && entries_.count(db) != 0) {
+  if (journal_ != nullptr && Contains(db)) {
     JournalRecord rec;
     rec.event = JournalEvent::kMetaRemove;
     rec.epoch = epoch_;
@@ -164,36 +180,39 @@ Status MetadataStore::Remove(DbId db) {
 }
 
 Status MetadataStore::ApplyRemove(DbId db) {
-  auto it = entries_.find(db);
-  if (it == entries_.end()) return Status::OK();
-  if (it->second.state == policy::DbState::kPhysicallyPaused &&
-      it->second.predicted_start > 0) {
-    resume_index_.erase({it->second.predicted_start, db});
+  if (!Contains(db)) return Status::OK();
+  Entry& entry = entries_[db];
+  if (entry.state == policy::DbState::kPhysicallyPaused &&
+      entry.predicted_start > 0) {
+    resume_index_.erase({entry.predicted_start, db});
   }
-  sql::Params params{{"db", static_cast<int64_t>(db)}};
-  PRORP_RETURN_IF_ERROR(db_->ExecuteStatement(delete_stmt_, params).status());
-  entries_.erase(it);
+  if (db_ != nullptr) {
+    sql::Params params{{"db", static_cast<int64_t>(db)}};
+    PRORP_RETURN_IF_ERROR(
+        db_->ExecuteStatement(delete_stmt_, params).status());
+  }
+  entry = Entry{};
+  --live_;
   return Status::OK();
 }
 
 std::vector<MetadataStore::ExportedEntry> MetadataStore::Export() const {
   std::vector<ExportedEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [db, entry] : entries_) {
+  out.reserve(live_);
+  // Index order is id order, so the result is born sorted.
+  for (DbId db = 0; db < entries_.size(); ++db) {
+    const Entry& entry = entries_[db];
+    if (!entry.present) continue;
     out.push_back({db, static_cast<int32_t>(StateCode(entry.state)),
                    entry.predicted_start});
   }
-  std::sort(out.begin(), out.end(),
-            [](const ExportedEntry& a, const ExportedEntry& b) {
-              return a.db < b.db;
-            });
   return out;
 }
 
 uint64_t MetadataStore::CountInState(policy::DbState state) const {
   uint64_t n = 0;
-  for (const auto& [db, entry] : entries_) {
-    if (entry.state == state) ++n;
+  for (const Entry& entry : entries_) {
+    if (entry.present && entry.state == state) ++n;
   }
   return n;
 }

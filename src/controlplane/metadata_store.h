@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -41,7 +40,17 @@ struct MissedResume {
 /// Property tests assert the two return identical sets.
 class MetadataStore {
  public:
-  static Result<std::unique_ptr<MetadataStore>> Open();
+  /// Which storage backs the store.  kSqlMirrored (default) maintains
+  /// the faithful sys.databases SQL table alongside the in-memory entry
+  /// map and resume index.  kIndexOnly drops the SQL mirror — every
+  /// query answered from the entry map / index stays bit-identical, but
+  /// SelectDueForResumeSql becomes unavailable.  Million-database scale
+  /// runs use kIndexOnly: the per-transition SQL upsert dominates the
+  /// simulator's hot loop otherwise.
+  enum class Backing { kSqlMirrored, kIndexOnly };
+
+  static Result<std::unique_ptr<MetadataStore>> Open(
+      Backing backing = Backing::kSqlMirrored);
 
   MetadataStore(const MetadataStore&) = delete;
   MetadataStore& operator=(const MetadataStore&) = delete;
@@ -71,7 +80,9 @@ class MetadataStore {
 
   /// Whether the database still exists (a queued workflow whose target
   /// was dropped must be retired, not attempted).
-  bool Contains(DbId db) const { return entries_.count(db) != 0; }
+  bool Contains(DbId db) const {
+    return db < entries_.size() && entries_[db].present;
+  }
 
   /// Deletes the database's row, entry, and index slot (customer dropped
   /// the database).  Deleting an unknown id is a no-op.
@@ -80,7 +91,7 @@ class MetadataStore {
   /// Number of databases currently in the given state.
   uint64_t CountInState(policy::DbState state) const;
 
-  uint64_t size() const { return entries_.size(); }
+  uint64_t size() const { return live_; }
 
   // --- Durability & recovery (DESIGN.md section 10) ---
 
@@ -113,18 +124,24 @@ class MetadataStore {
   struct Entry {
     policy::DbState state = policy::DbState::kResumed;
     EpochSeconds predicted_start = 0;
+    bool present = false;
   };
 
   Status ApplyUpsert(DbId db, policy::DbState state,
                      EpochSeconds predicted_start);
   Status ApplyRemove(DbId db);
 
+  /// Null under Backing::kIndexOnly.
   mutable std::unique_ptr<sql::Database> db_;
   sql::Statement insert_stmt_;
   sql::Statement update_stmt_;
   sql::Statement select_due_stmt_;
   sql::Statement delete_stmt_;
-  std::unordered_map<DbId, Entry> entries_;
+  /// Dense by database id (fleet ids are contiguous from 0; a hash map
+  /// here was the top cache-miss site of the million-database hot loop).
+  /// Slots beyond the live set have present = false.
+  std::vector<Entry> entries_;
+  uint64_t live_ = 0;
   /// (predicted_start, db) for physically paused databases with a
   /// prediction.
   std::map<std::pair<EpochSeconds, DbId>, bool> resume_index_;

@@ -3,19 +3,21 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
-#include <queue>
 
+#include "common/arena.h"
 #include "common/backoff.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "controlplane/durable_control_plane.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
+#include "history/null_history_store.h"
 #include "history/sql_history_store.h"
 #include "net/dispatcher.h"
 #include "net/node_agent.h"
 #include "net/transport.h"
 #include "sim/resume_capacity.h"
+#include "sim/timer_wheel.h"
 #include "telemetry/usage_ledger.h"
 
 namespace prorp::sim {
@@ -152,49 +154,100 @@ struct SimEvent {
   }
 };
 
-struct DbRuntime {
-  const workload::DbTrace* trace = nullptr;
-  std::unique_ptr<history::HistoryStore> history;
-  /// Non-owning view of `history` when it is the SQL-backed store (the
-  /// scrubber and the integrity-counter rollup need the concrete type).
-  history::SqlHistoryStore* sql_history = nullptr;
-  std::unique_ptr<LifecycleController> controller;
-  /// Bumped on every lifecycle transition; stamps scheduled timer,
-  /// eviction, and resume-latency events so stale ones are dropped.
-  uint64_t generation = 0;
-  EpochSeconds scheduled_timer = 0;
-  uint64_t scheduled_timer_gen = 0;
-  /// Capacity-pressure hazard stream, seeded from the run seed and the
-  /// database's fleet-global id so the draws are identical whether the
-  /// fleet runs in one piece or sharded across workers.
-  Rng eviction_rng{0};
-  /// Storm layer: time of the reactive login currently waiting for
-  /// resources (0 = none) and the generation it was issued under, so the
-  /// first matching completion event records the login delay exactly once
-  /// (a hedge produces a second, ignored, completion).
-  EpochSeconds reactive_login_at = 0;
-  uint64_t reactive_login_gen = 0;
+/// The simulator's event queue behind a backend switch: the hierarchical
+/// timer wheel by default, or the legacy global binary heap as a
+/// differential-testing oracle (SimOptions::use_legacy_event_heap).  Both
+/// backends expose the same tick-at-a-time drain, and both deliver the
+/// strict (time, seq) order of the original std::priority_queue loop, so
+/// the surrounding simulation code cannot tell them apart.
+class EventQueue {
+ public:
+  explicit EventQueue(bool legacy) : legacy_(legacy) {}
+
+  void Push(const SimEvent& e) {
+    if (legacy_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), Greater{});
+    } else {
+      wheel_.Push(e);
+    }
+  }
+
+  /// Appends every event of the earliest pending tick to `*out`
+  /// (ascending seq); false when empty.
+  bool PopNextTick(std::vector<SimEvent>* out) {
+    if (!legacy_) return wheel_.PopNextTick(out);
+    if (heap_.empty()) return false;
+    EpochSeconds t = heap_.front().time;
+    while (!heap_.empty() && heap_.front().time == t) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+      out->push_back(heap_.back());
+      heap_.pop_back();
+    }
+    // Post-storm shrink: a login storm can balloon the heap by orders of
+    // magnitude; once the backlog drains, give the capacity back instead
+    // of holding the high-water mark for the rest of the run.
+    if (heap_.capacity() > kHeapShrinkCapacity &&
+        heap_.size() < heap_.capacity() / 4) {
+      heap_.shrink_to_fit();
+    }
+    return true;
+  }
+
+  size_t MemoryBytes() const {
+    return legacy_ ? heap_.capacity() * sizeof(SimEvent)
+                   : wheel_.MemoryBytes();
+  }
+
+ private:
+  struct Greater {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      return a > b;
+    }
+  };
+
+  static constexpr size_t kHeapShrinkCapacity = 4096;
+
+  bool legacy_;
+  std::vector<SimEvent> heap_;
+  TimerWheel<SimEvent> wheel_;
 };
 
 /// One discrete-event simulation over a contiguous slice of the fleet.
-/// `db_offset` is the fleet-global id of the slice's first trace; all
+/// `db_offset` is the fleet-global id of the slice's first database; all
 /// externally visible ids (telemetry events, RNG seeding) are global, so
 /// a sharded run merges into the same report a whole-fleet run produces.
+///
+/// Per-database runtime state lives in parallel arrays (struct-of-arrays)
+/// instead of one heap-allocated runtime object per database: the event
+/// loop's per-tick working set touches only the few fields the handler
+/// needs, and the controllers and history stores are arena-packed so
+/// same-kind objects stay contiguous.
 class FleetSimulation {
  public:
-  FleetSimulation(const workload::DbTrace* traces, size_t num_traces,
+  FleetSimulation(const workload::TraceSource& source, size_t num_dbs,
                   const SimOptions& options, DbId db_offset)
-      : traces_(traces),
-        num_traces_(num_traces),
+      : source_(&source),
+        num_dbs_(num_dbs),
         options_(options),
         db_offset_(db_offset),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        queue_(options.use_legacy_event_heap) {}
 
   Result<SimReport> Run();
 
  private:
   void Push(EpochSeconds time, SimEventType type, DbId db, uint64_t aux) {
-    queue_.push({time, seq_++, type, db, aux});
+    SimEvent e{time, seq_++, type, db, aux};
+    // A handler pushing into the tick being processed (an inline resume
+    // completing "now") appends to the tick buffer: its seq is larger
+    // than every event already buffered, which is exactly where the
+    // legacy priority queue would have popped it.
+    if (time <= tick_time_) {
+      tick_.push_back(e);
+    } else {
+      queue_.Push(e);
+    }
   }
 
   /// Re-schedules the controller's requested timer if it changed.  A
@@ -203,22 +256,22 @@ class FleetSimulation {
   /// otherwise a later legitimate timer at the same timestamp would be
   /// silently consumed by HandleTimer's staleness check.
   void SyncTimer(DbId db) {
-    DbRuntime& rt = dbs_[db];
-    EpochSeconds t = rt.controller->NextTimerAt();
+    EpochSeconds t = controllers_[db]->NextTimerAt();
     if (t == 0) {
-      rt.scheduled_timer = 0;
+      scheduled_timer_[db] = 0;
       return;
     }
-    if (t != rt.scheduled_timer ||
-        rt.scheduled_timer_gen != rt.generation) {
-      rt.scheduled_timer = t;
-      rt.scheduled_timer_gen = rt.generation;
-      Push(t, SimEventType::kTimer, db, rt.generation);
+    if (t != scheduled_timer_[db] ||
+        scheduled_timer_gen_[db] != generation_[db]) {
+      scheduled_timer_[db] = t;
+      scheduled_timer_gen_[db] = generation_[db];
+      Push(t, SimEventType::kTimer, db, generation_[db]);
     }
   }
 
   void RecordEvent(EpochSeconds time, DbId db, EventKind kind) {
-    recorder_->Record(time, db_offset_ + db, kind);
+    counts_.Add(kind);
+    if (recorder_ != nullptr) recorder_->Record(time, db_offset_ + db, kind);
   }
 
   void SetPhase(DbId db, Phase phase, EpochSeconds time) {
@@ -227,7 +280,7 @@ class FleetSimulation {
     bool is_allocated = phase != Phase::kReclaimed;
     if (is_allocated && !was_allocated) ++allocated_now_;
     if (!is_allocated && was_allocated) --allocated_now_;
-    phase_known_[db] = true;
+    phase_known_[db] = 1;
     ledger_->SetPhase(db, phase, time);
     current_phase_[db] = phase;
   }
@@ -255,6 +308,10 @@ class FleetSimulation {
   Status HandleMaintenanceTick(const SimEvent& ev);
   Status HandleControlPlaneCrash(const SimEvent& ev);
 
+  bool full_telemetry() const {
+    return options_.telemetry == SimOptions::Telemetry::kFull;
+  }
+
   /// The node-side resume executor shared by the legacy and durable
   /// control planes.  Failure draws come from the member RNG so the
   /// stream continues across a simulated control-plane restart.
@@ -274,15 +331,21 @@ class FleetSimulation {
   /// repoints metadata_/management_ at its components.
   Status OpenDurableControlPlane(EpochSeconds now);
 
-  const workload::DbTrace* traces_;
-  size_t num_traces_;
+  const workload::TraceSource* source_;
+  size_t num_dbs_;
   SimOptions options_;
   DbId db_offset_;
   Rng rng_;
 
-  std::priority_queue<SimEvent, std::vector<SimEvent>, std::greater<>>
-      queue_;
+  EventQueue queue_;
   uint64_t seq_ = 0;
+  /// Events of the tick currently being processed, ascending seq;
+  /// handlers may append same-tick events while it drains.
+  std::vector<SimEvent> tick_;
+  /// Time of the tick being processed (-1 outside the event loop, so
+  /// setup-phase pushes always go to the queue).
+  EpochSeconds tick_time_ = -1;
+  uint64_t events_processed_ = 0;
 
   OutageSchedule outages_;
   telemetry::RobustnessReport robustness_;
@@ -290,11 +353,47 @@ class FleetSimulation {
   std::unique_ptr<NodeCapacityModel> capacity_;
   /// Reactive login-to-resources delays inside the measurement window.
   Summary login_delay_;
+  telemetry::Histogram login_delay_hist_;
   /// Round-robin cursor of the maintenance sweep.
   DbId maint_cursor_ = 0;
-  std::vector<DbRuntime> dbs_;
+
+  // --- Struct-of-arrays per-database state (indexed by shard-local id).
+  // Arena pools own the controllers and in-memory history stores; the
+  // parallel vectors below hold raw pointers plus the hot scheduling
+  // fields the event handlers actually touch.
+  ArenaPool<LifecycleController> controller_pool_;
+  ArenaPool<MemHistoryStore> mem_history_pool_;
+  history::NullHistoryStore null_history_;
+  std::vector<LifecycleController*> controllers_;  // null until created
+  std::vector<history::HistoryStore*> history_;
+  /// Concrete views of SQL-backed stores (scrubber + integrity rollup);
+  /// allocated only when options_.sql_history_count > 0.
+  std::vector<history::SqlHistoryStore*> sql_history_;
+  std::vector<std::unique_ptr<history::SqlHistoryStore>> owned_sql_;
+  /// Bumped on every lifecycle transition; stamps scheduled timer,
+  /// eviction, and resume-latency events so stale ones are dropped.
+  std::vector<uint64_t> generation_;
+  std::vector<EpochSeconds> scheduled_timer_;
+  std::vector<uint64_t> scheduled_timer_gen_;
+  /// Capacity-pressure hazard streams, seeded from the run seed and the
+  /// database's fleet-global id so the draws are identical whether the
+  /// fleet runs in one piece or sharded; empty when eviction is disabled.
+  std::vector<Rng> eviction_rng_;
+  /// Storm layer: time of the reactive login currently waiting for
+  /// resources (0 = none) and the generation it was issued under, so the
+  /// first matching completion event records the login delay exactly once
+  /// (a hedge produces a second, ignored, completion).  Empty when the
+  /// storm layer is disabled.
+  std::vector<EpochSeconds> reactive_login_at_;
+  std::vector<uint64_t> reactive_login_gen_;
+  /// Per-database session stream and the end of the most recently
+  /// scheduled session (what the kSessionStart/kSessionEnd handlers
+  /// need); a cursor is released as soon as its trace is exhausted.
+  std::vector<std::unique_ptr<workload::SessionCursor>> cursors_;
+  std::vector<EpochSeconds> cur_session_end_;
   std::vector<Phase> current_phase_;
-  std::vector<bool> phase_known_;
+  std::vector<uint8_t> phase_known_;
+
   int64_t allocated_now_ = 0;
   Summary allocated_samples_;
   std::unique_ptr<forecast::FastPredictor> predictor_;
@@ -318,13 +417,14 @@ class FleetSimulation {
   uint64_t cp_recoveries_ = 0;
   uint64_t cp_last_replayed_ = 0;
   std::unique_ptr<telemetry::UsageLedger> ledger_;
+  telemetry::EventCounts counts_;
+  /// Null under Telemetry::kStreaming — events are counted, not buffered.
   std::unique_ptr<telemetry::Recorder> recorder_;
 };
 
 void FleetSimulation::OnTransition(DbId db,
                                    const policy::TransitionEvent& e) {
-  DbRuntime& rt = dbs_[db];
-  ++rt.generation;
+  ++generation_[db];
   // Algorithm 1 line 31: persist the predicted start in the metadata
   // store when physically pausing (0 when no prediction).
   (void)metadata_->UpsertState(db, e.to, e.prediction.start);
@@ -340,13 +440,13 @@ void FleetSimulation::OnTransition(DbId db,
           // The reactive resume routes through the control plane's
           // multi-class queue and the finite node capacity: the delay is
           // base service time plus whatever congestion the node has.
-          rt.reactive_login_at = e.time;
-          rt.reactive_login_gen = rt.generation;
+          reactive_login_at_[db] = e.time;
+          reactive_login_gen_[db] = generation_[db];
           (void)management_->EnqueueReactive(db, e.time);
           (void)management_->Pump(e.time);
         } else {
           Push(e.time + options_.resume_latency,
-               SimEventType::kResumeLatencyDone, db, rt.generation);
+               SimEventType::kResumeLatencyDone, db, generation_[db]);
         }
       } else {
         SetPhase(db, Phase::kActive, e.time);
@@ -364,9 +464,9 @@ void FleetSimulation::OnTransition(DbId db,
         double mean_seconds = 3600.0 / options_.eviction_per_hour;
         EpochSeconds at =
             e.time + static_cast<DurationSeconds>(
-                         rt.eviction_rng.NextExponential(mean_seconds));
+                         eviction_rng_[db].NextExponential(mean_seconds));
         if (at < options_.end) {
-          Push(at, SimEventType::kEviction, db, rt.generation);
+          Push(at, SimEventType::kEviction, db, generation_[db]);
         }
       }
       break;
@@ -381,25 +481,30 @@ void FleetSimulation::OnTransition(DbId db,
 }
 
 Status FleetSimulation::HandleDbCreated(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
-  if (static_cast<uint64_t>(db_offset_ + ev.db) <
-      options_.sql_history_count) {
+  DbId db = ev.db;
+  if (static_cast<uint64_t>(db_offset_ + db) < options_.sql_history_count) {
     // The real SQL stack (ephemeral: no on-disk directory per simulated
     // database, but the full B+tree/buffer-pool/checksum path runs).
     PRORP_ASSIGN_OR_RETURN(auto sql_store, history::SqlHistoryStore::Open());
-    rt.sql_history = sql_store.get();
-    rt.history = std::move(sql_store);
+    sql_history_[db] = sql_store.get();
+    history_[db] = sql_store.get();
+    owned_sql_.push_back(std::move(sql_store));
+  } else if (options_.use_null_history) {
+    // Reactive/always-on controllers write history but never read it:
+    // one shared no-op store serves the whole shard.
+    history_[db] = &null_history_;
   } else {
-    rt.history = std::make_unique<MemHistoryStore>();
+    history_[db] = mem_history_pool_.Emplace();
   }
-  rt.eviction_rng.Seed(options_.seed ^
-                       (0x9E3779B97F4A7C15ULL *
-                        (static_cast<uint64_t>(db_offset_ + ev.db) + 1)));
+  if (!eviction_rng_.empty()) {
+    eviction_rng_[db].Seed(options_.seed ^
+                           (0x9E3779B97F4A7C15ULL *
+                            (static_cast<uint64_t>(db_offset_ + db) + 1)));
+  }
   const forecast::Predictor* predictor =
       options_.mode == PolicyMode::kProactive ? predictor_.get() : nullptr;
-  DbId db = ev.db;
-  rt.controller = std::make_unique<LifecycleController>(
-      options_.config.policy, options_.mode, rt.history.get(), predictor,
+  controllers_[db] = controller_pool_.Emplace(
+      options_.config.policy, options_.mode, history_[db], predictor,
       ev.time, [this, db](const policy::TransitionEvent& e) {
         OnTransition(db, e);
       });
@@ -408,14 +513,13 @@ Status FleetSimulation::HandleDbCreated(const SimEvent& ev) {
   // does not enter the QoS statistics.
   SetPhase(db, Phase::kActive, ev.time);
   // The creation login is session 0; its end is the next event.
-  Push(rt.trace->sessions[0].end, SimEventType::kSessionEnd, db, 0);
+  Push(cur_session_end_[db], SimEventType::kSessionEnd, db, 0);
   return Status::OK();
 }
 
 Status FleetSimulation::HandleSessionStart(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
   PRORP_ASSIGN_OR_RETURN(policy::LoginOutcome outcome,
-                         rt.controller->OnActivityStart(ev.time));
+                         controllers_[ev.db]->OnActivityStart(ev.time));
   if (outcome == policy::LoginOutcome::kReactiveResume) {
     RecordEvent(ev.time, ev.db, EventKind::kLoginReactive);
   } else if (outcome == policy::LoginOutcome::kResourcesAvailable) {
@@ -425,37 +529,37 @@ Status FleetSimulation::HandleSessionStart(const SimEvent& ev) {
     }
   }
   SyncTimer(ev.db);
-  Push(rt.trace->sessions[ev.aux].end, SimEventType::kSessionEnd, ev.db,
-       ev.aux);
+  Push(cur_session_end_[ev.db], SimEventType::kSessionEnd, ev.db, ev.aux);
   return Status::OK();
 }
 
 Status FleetSimulation::HandleSessionEnd(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
-  PRORP_RETURN_IF_ERROR(rt.controller->OnActivityEnd(ev.time));
+  PRORP_RETURN_IF_ERROR(controllers_[ev.db]->OnActivityEnd(ev.time));
   RecordEvent(ev.time, ev.db, EventKind::kLogout);
   if (options_.mode == PolicyMode::kAlwaysOn) {
     // Resources stay allocated; the idle time is plain logical-pause idle.
     SetPhase(ev.db, Phase::kIdleLogical, ev.time);
   }
   SyncTimer(ev.db);
-  size_t next = static_cast<size_t>(ev.aux) + 1;
-  if (next < rt.trace->sessions.size()) {
-    Push(rt.trace->sessions[next].start, SimEventType::kSessionStart, ev.db,
-         next);
+  workload::Session next;
+  if (cursors_[ev.db] != nullptr && cursors_[ev.db]->Next(&next)) {
+    cur_session_end_[ev.db] = next.end;
+    Push(next.start, SimEventType::kSessionStart, ev.db, ev.aux + 1);
+  } else {
+    cursors_[ev.db].reset();  // trace exhausted: free the generator state
   }
   return Status::OK();
 }
 
 Status FleetSimulation::HandleTimer(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
-  if (rt.controller == nullptr) return Status::OK();
-  if (rt.scheduled_timer != ev.time || rt.scheduled_timer_gen != ev.aux) {
+  if (controllers_[ev.db] == nullptr) return Status::OK();
+  if (scheduled_timer_[ev.db] != ev.time ||
+      scheduled_timer_gen_[ev.db] != ev.aux) {
     return Status::OK();  // superseded or cancelled: this event is stale
   }
-  rt.scheduled_timer = 0;  // this event is consumed either way
-  if (rt.controller->NextTimerAt() == ev.time) {
-    PRORP_RETURN_IF_ERROR(rt.controller->OnTimerCheck(ev.time));
+  scheduled_timer_[ev.db] = 0;  // this event is consumed either way
+  if (controllers_[ev.db]->NextTimerAt() == ev.time) {
+    PRORP_RETURN_IF_ERROR(controllers_[ev.db]->OnTimerCheck(ev.time));
   }
   SyncTimer(ev.db);
   return Status::OK();
@@ -473,11 +577,11 @@ Status FleetSimulation::HandleResumeOpTick(const SimEvent& ev) {
 }
 
 Status FleetSimulation::HandleScrubTick(const SimEvent& ev) {
-  for (DbRuntime& rt : dbs_) {
-    if (rt.sql_history == nullptr || rt.sql_history->quarantined()) continue;
+  for (history::SqlHistoryStore* store : sql_history_) {
+    if (store == nullptr || store->quarantined()) continue;
     // A scrub failure must not kill the run: a dirty store repairs or
     // quarantines itself, and the integrity counters record the outcome.
-    (void)rt.sql_history->Scrub();
+    (void)store->Scrub();
   }
   EpochSeconds next = ev.time + options_.scrub_interval;
   if (next < options_.end) Push(next, SimEventType::kScrubTick, 0, 0);
@@ -485,34 +589,35 @@ Status FleetSimulation::HandleScrubTick(const SimEvent& ev) {
 }
 
 Status FleetSimulation::HandleEviction(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
-  if (rt.controller == nullptr || rt.generation != ev.aux) {
+  LifecycleController* controller = controllers_[ev.db];
+  if (controller == nullptr || generation_[ev.db] != ev.aux) {
     return Status::OK();  // the pause this hazard was drawn for is over
   }
-  if (rt.controller->state() != DbState::kLogicallyPaused ||
-      rt.controller->active()) {
+  if (controller->state() != DbState::kLogicallyPaused ||
+      controller->active()) {
     return Status::OK();
   }
-  PRORP_RETURN_IF_ERROR(rt.controller->OnForcedEviction(ev.time));
+  PRORP_RETURN_IF_ERROR(controller->OnForcedEviction(ev.time));
   SyncTimer(ev.db);
   return Status::OK();
 }
 
 Status FleetSimulation::HandleResumeLatencyDone(const SimEvent& ev) {
-  DbRuntime& rt = dbs_[ev.db];
-  if (rt.controller == nullptr) return Status::OK();
-  if (options_.storm_layer_enabled() && rt.reactive_login_at > 0 &&
-      ev.aux == rt.reactive_login_gen) {
+  if (controllers_[ev.db] == nullptr) return Status::OK();
+  if (options_.storm_layer_enabled() && reactive_login_at_[ev.db] > 0 &&
+      ev.aux == reactive_login_gen_[ev.db]) {
     // First completion (original or hedge) wins; later ones fall through
     // to the generation check below and are dropped as stale.
     management_->CompleteWorkflow(ev.db, ev.time);
-    if (rt.reactive_login_at >= options_.measure_from) {
-      login_delay_.Add(static_cast<double>(ev.time - rt.reactive_login_at));
+    if (reactive_login_at_[ev.db] >= options_.measure_from) {
+      DurationSeconds delay = ev.time - reactive_login_at_[ev.db];
+      if (full_telemetry()) login_delay_.Add(static_cast<double>(delay));
+      login_delay_hist_.Add(delay);
     }
-    rt.reactive_login_at = 0;
+    reactive_login_at_[ev.db] = 0;
   }
-  if (rt.generation != ev.aux) return Status::OK();
-  if (rt.controller->active() &&
+  if (generation_[ev.db] != ev.aux) return Status::OK();
+  if (controllers_[ev.db]->active() &&
       current_phase_[ev.db] == Phase::kUnavailable) {
     SetPhase(ev.db, Phase::kActive, ev.time);
   }
@@ -535,13 +640,12 @@ Status FleetSimulation::HandleMaintenanceTick(const SimEvent& ev) {
   // lowest-class touches, round-robin over the fleet slice.
   size_t enqueued = 0;
   for (size_t scanned = 0;
-       scanned < dbs_.size() && enqueued < options_.maintenance_batch;
+       scanned < num_dbs_ && enqueued < options_.maintenance_batch;
        ++scanned) {
     DbId db = maint_cursor_;
-    maint_cursor_ = (maint_cursor_ + 1) % dbs_.size();
-    DbRuntime& rt = dbs_[db];
-    if (rt.controller == nullptr ||
-        rt.controller->state() != DbState::kPhysicallyPaused) {
+    maint_cursor_ = (maint_cursor_ + 1) % num_dbs_;
+    if (controllers_[db] == nullptr ||
+        controllers_[db]->state() != DbState::kPhysicallyPaused) {
       continue;
     }
     if (management_->EnqueueMaintenance(db, ev.time).ok()) ++enqueued;
@@ -552,17 +656,19 @@ Status FleetSimulation::HandleMaintenanceTick(const SimEvent& ev) {
 }
 
 void FleetSimulation::HandleMeasureStart(const SimEvent& ev) {
-  // Swap in a fresh ledger/recorder seeded with the current phases: the
-  // warm-up period does not count toward the KPIs.
-  auto fresh = std::make_unique<telemetry::UsageLedger>(dbs_.size(),
-                                                        ev.time);
-  for (DbId db = 0; db < dbs_.size(); ++db) {
-    if (dbs_[db].controller != nullptr) {
+  // Swap in a fresh ledger/recorder/counter set seeded with the current
+  // phases: the warm-up period does not count toward the KPIs.
+  auto fresh = std::make_unique<telemetry::UsageLedger>(num_dbs_, ev.time);
+  for (DbId db = 0; db < num_dbs_; ++db) {
+    if (controllers_[db] != nullptr) {
       fresh->SetPhase(db, current_phase_[db], ev.time);
     }
   }
   ledger_ = std::move(fresh);
-  recorder_ = std::make_unique<telemetry::Recorder>();
+  counts_ = telemetry::EventCounts();
+  if (full_telemetry()) {
+    recorder_ = std::make_unique<telemetry::Recorder>();
+  }
 }
 
 controlplane::ManagementService::ResumeCallback
@@ -581,8 +687,8 @@ FleetSimulation::MakeResumeCallback() {
         if (a.cls == controlplane::ResumeClass::kReactiveLogin) {
           // The customer's connection retry loop rides out outages and
           // congestion: the workflow never fails, it just takes longer.
-          DbRuntime& rt = dbs_[a.db];
-          if (rt.controller == nullptr || rt.reactive_login_at == 0 ||
+          if (controllers_[a.db] == nullptr ||
+              reactive_login_at_[a.db] == 0 ||
               current_phase_[a.db] != Phase::kUnavailable) {
             return Status::FailedPrecondition("login no longer waiting");
           }
@@ -592,7 +698,7 @@ FleetSimulation::MakeResumeCallback() {
               node, now, common::JitterHash(a.db, a.attempt), blocked_until,
               /*limited=*/false);
           Push(g.done, SimEventType::kResumeLatencyDone, a.db,
-               rt.reactive_login_gen);
+               reactive_login_gen_[a.db]);
           return Status::OK();
         }
         if (outages_.enabled() && outages_.DownAt(node, now)) {
@@ -600,11 +706,10 @@ FleetSimulation::MakeResumeCallback() {
           return Status::Unavailable("node outage");
         }
         if (a.cls == controlplane::ResumeClass::kMaintenance) {
-          DbRuntime& rt = dbs_[a.db];
-          if (rt.controller == nullptr) {
+          if (controllers_[a.db] == nullptr) {
             return Status::FailedPrecondition("database not yet created");
           }
-          Status s = rt.controller->OnMaintenanceTouch(now);
+          Status s = controllers_[a.db]->OnMaintenanceTouch(now);
           if (s.ok() && capacity_ != nullptr) {
             (void)capacity_->Acquire(node, now,
                                      common::JitterHash(a.db, a.attempt), 0);
@@ -616,11 +721,10 @@ FleetSimulation::MakeResumeCallback() {
           ++robustness_.resume_failures_injected;
           return Status::Unavailable("injected workflow failure");
         }
-        DbRuntime& rt = dbs_[a.db];
-        if (rt.controller == nullptr) {
+        if (controllers_[a.db] == nullptr) {
           return Status::FailedPrecondition("database not yet created");
         }
-        Status s = rt.controller->OnProactiveResume(now);
+        Status s = controllers_[a.db]->OnProactiveResume(now);
         if (s.ok()) {
           SyncTimer(a.db);
           if (capacity_ != nullptr) {
@@ -676,9 +780,8 @@ Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
                     // Reconcile oracle: the node holds the resumed
                     // resources iff the database's lifecycle FSM is not
                     // physically paused.
-                    DbRuntime& rt = dbs_[db];
-                    return rt.controller != nullptr &&
-                           rt.controller->state() !=
+                    return controllers_[db] != nullptr &&
+                           controllers_[db]->state() !=
                                DbState::kPhysicallyPaused;
                   },
                   now));
@@ -715,10 +818,32 @@ Result<SimReport> FleetSimulation::Run() {
     return Status::InvalidArgument(
         "control_plane_crash_at requires control_plane_journal_dir");
   }
-  size_t n = num_traces_;
-  dbs_.resize(n);
+  if (options_.use_null_history && options_.mode == PolicyMode::kProactive) {
+    return Status::InvalidArgument(
+        "use_null_history discards the history the proactive policy "
+        "predicts from");
+  }
+  if (options_.use_lite_metadata && options_.use_sql_scan_for_resume_op) {
+    return Status::InvalidArgument(
+        "use_lite_metadata drops the SQL mirror the literal-scan "
+        "validation path reads");
+  }
+  size_t n = num_dbs_;
+  controllers_.assign(n, nullptr);
+  history_.assign(n, nullptr);
+  if (options_.sql_history_count > 0) sql_history_.assign(n, nullptr);
+  generation_.assign(n, 0);
+  scheduled_timer_.assign(n, 0);
+  scheduled_timer_gen_.assign(n, 0);
+  if (options_.eviction_per_hour > 0) eviction_rng_.assign(n, Rng(0));
+  if (options_.storm_layer_enabled()) {
+    reactive_login_at_.assign(n, 0);
+    reactive_login_gen_.assign(n, 0);
+  }
+  cursors_.resize(n);
+  cur_session_end_.assign(n, 0);
   current_phase_.assign(n, Phase::kReclaimed);
-  phase_known_.assign(n, false);
+  phase_known_.assign(n, 0);
   predictor_ = std::make_unique<forecast::FastPredictor>(
       options_.config.policy.prediction);
 
@@ -742,7 +867,11 @@ Result<SimReport> FleetSimulation::Run() {
   if (!options_.control_plane_journal_dir.empty()) {
     PRORP_RETURN_IF_ERROR(OpenDurableControlPlane(/*now=*/0));
   } else {
-    PRORP_ASSIGN_OR_RETURN(owned_metadata_, MetadataStore::Open());
+    PRORP_ASSIGN_OR_RETURN(
+        owned_metadata_,
+        MetadataStore::Open(options_.use_lite_metadata
+                                ? MetadataStore::Backing::kIndexOnly
+                                : MetadataStore::Backing::kSqlMirrored));
     metadata_ = owned_metadata_.get();
     owned_management_ = std::make_unique<controlplane::ManagementService>(
         metadata_, options_.config.control_plane, MakeServiceCallback());
@@ -751,21 +880,25 @@ Result<SimReport> FleetSimulation::Run() {
   }
 
   EpochSeconds measure_from = options_.measure_from;
+  // The report only ever publishes fleet totals, so skip the ledger's
+  // per-database breakdown (bit-identical; see UsageLedger).
   ledger_ = std::make_unique<telemetry::UsageLedger>(
-      n, measure_from > 0 ? measure_from : 0);
-  recorder_ = std::make_unique<telemetry::Recorder>();
-
-  for (DbId db = 0; db < n; ++db) {
-    dbs_[db].trace = &traces_[db];
-    if (!traces_[db].sessions.empty() &&
-        traces_[db].sessions[0].start < options_.end) {
-      Push(traces_[db].sessions[0].start, SimEventType::kDbCreated, db, 0);
-    }
+      n, measure_from > 0 ? measure_from : 0, /*track_per_db=*/false);
+  if (full_telemetry()) {
+    recorder_ = std::make_unique<telemetry::Recorder>();
   }
+
   EpochSeconds earliest_start = options_.end;
-  for (size_t i = 0; i < num_traces_; ++i) {
-    if (!traces_[i].sessions.empty()) {
-      earliest_start = std::min(earliest_start, traces_[i].sessions[0].start);
+  for (DbId db = 0; db < n; ++db) {
+    std::unique_ptr<workload::SessionCursor> cursor =
+        source_->Open(db_offset_ + db);
+    workload::Session first;
+    if (!cursor->Next(&first)) continue;
+    earliest_start = std::min(earliest_start, first.start);
+    if (first.start < options_.end) {
+      cur_session_end_[db] = first.end;
+      cursors_[db] = std::move(cursor);
+      Push(first.start, SimEventType::kDbCreated, db, 0);
     }
   }
   if (options_.mode == PolicyMode::kProactive &&
@@ -809,104 +942,131 @@ Result<SimReport> FleetSimulation::Run() {
   Push(measure_from > 0 ? measure_from : options_.end - 1,
        SimEventType::kAllocationSample, 0, 0);
 
-  while (!queue_.empty()) {
-    SimEvent ev = queue_.top();
-    queue_.pop();
-    if (ev.time >= options_.end) break;
-    switch (ev.type) {
-      case SimEventType::kDbCreated:
-        PRORP_RETURN_IF_ERROR(HandleDbCreated(ev));
-        break;
-      case SimEventType::kSessionStart:
-        PRORP_RETURN_IF_ERROR(HandleSessionStart(ev));
-        break;
-      case SimEventType::kSessionEnd:
-        PRORP_RETURN_IF_ERROR(HandleSessionEnd(ev));
-        break;
-      case SimEventType::kTimer:
-        PRORP_RETURN_IF_ERROR(HandleTimer(ev));
-        break;
-      case SimEventType::kResumeOpTick:
-        PRORP_RETURN_IF_ERROR(HandleResumeOpTick(ev));
-        break;
-      case SimEventType::kScrubTick:
-        PRORP_RETURN_IF_ERROR(HandleScrubTick(ev));
-        break;
-      case SimEventType::kEviction:
-        PRORP_RETURN_IF_ERROR(HandleEviction(ev));
-        break;
-      case SimEventType::kResumeLatencyDone:
-        PRORP_RETURN_IF_ERROR(HandleResumeLatencyDone(ev));
-        break;
-      case SimEventType::kMeasureStart:
-        HandleMeasureStart(ev);
-        break;
-      case SimEventType::kPumpTick:
-        PRORP_RETURN_IF_ERROR(HandlePumpTick(ev));
-        break;
-      case SimEventType::kMaintenanceTick:
-        PRORP_RETURN_IF_ERROR(HandleMaintenanceTick(ev));
-        break;
-      case SimEventType::kControlPlaneCrash:
-        PRORP_RETURN_IF_ERROR(HandleControlPlaneCrash(ev));
-        break;
-      case SimEventType::kAllocationSample: {
-        allocated_samples_.Add(static_cast<double>(allocated_now_));
-        EpochSeconds next_sample = ev.time + Minutes(5);
-        if (next_sample < options_.end) {
-          Push(next_sample, SimEventType::kAllocationSample, 0, 0);
-        }
+  // The unified tick-drain loop: both backends hand over one virtual
+  // second of events at a time, ascending seq; handlers appending to the
+  // current tick extend the same pass.  Indexing (not iterators) because
+  // tick_ may reallocate mid-loop.
+  bool done = false;
+  while (!done && queue_.PopNextTick(&tick_)) {
+    if (tick_.front().time >= options_.end) break;
+    tick_time_ = tick_.front().time;
+    for (size_t i = 0; i < tick_.size(); ++i) {
+      SimEvent ev = tick_[i];
+      if (ev.time >= options_.end) {  // unreachable; defensive
+        done = true;
         break;
       }
+      ++events_processed_;
+      switch (ev.type) {
+        case SimEventType::kDbCreated:
+          PRORP_RETURN_IF_ERROR(HandleDbCreated(ev));
+          break;
+        case SimEventType::kSessionStart:
+          PRORP_RETURN_IF_ERROR(HandleSessionStart(ev));
+          break;
+        case SimEventType::kSessionEnd:
+          PRORP_RETURN_IF_ERROR(HandleSessionEnd(ev));
+          break;
+        case SimEventType::kTimer:
+          PRORP_RETURN_IF_ERROR(HandleTimer(ev));
+          break;
+        case SimEventType::kResumeOpTick:
+          PRORP_RETURN_IF_ERROR(HandleResumeOpTick(ev));
+          break;
+        case SimEventType::kScrubTick:
+          PRORP_RETURN_IF_ERROR(HandleScrubTick(ev));
+          break;
+        case SimEventType::kEviction:
+          PRORP_RETURN_IF_ERROR(HandleEviction(ev));
+          break;
+        case SimEventType::kResumeLatencyDone:
+          PRORP_RETURN_IF_ERROR(HandleResumeLatencyDone(ev));
+          break;
+        case SimEventType::kMeasureStart:
+          HandleMeasureStart(ev);
+          break;
+        case SimEventType::kPumpTick:
+          PRORP_RETURN_IF_ERROR(HandlePumpTick(ev));
+          break;
+        case SimEventType::kMaintenanceTick:
+          PRORP_RETURN_IF_ERROR(HandleMaintenanceTick(ev));
+          break;
+        case SimEventType::kControlPlaneCrash:
+          PRORP_RETURN_IF_ERROR(HandleControlPlaneCrash(ev));
+          break;
+        case SimEventType::kAllocationSample: {
+          allocated_samples_.Add(static_cast<double>(allocated_now_));
+          EpochSeconds next_sample = ev.time + Minutes(5);
+          if (next_sample < options_.end) {
+            Push(next_sample, SimEventType::kAllocationSample, 0, 0);
+          }
+          break;
+        }
+      }
+    }
+    tick_time_ = -1;
+    // Same post-storm policy as the queue backends: a tick inflated by a
+    // synchronized herd must not pin its capacity forever.
+    if (tick_.capacity() > 4096 && tick_.size() < tick_.capacity() / 4) {
+      std::vector<SimEvent>().swap(tick_);
+    } else {
+      tick_.clear();
     }
   }
   ledger_->Finish(options_.end);
 
   SimReport report;
   report.usage = ledger_->fleet_total();
-  report.kpi = telemetry::ComputeKpi(*recorder_, report.usage);
+  report.counts = counts_;
+  report.kpi = telemetry::ComputeKpi(counts_, report.usage);
   // Predictions are counted inside the controllers (the event stream only
   // carries lifecycle transitions).
-  for (const DbRuntime& rt : dbs_) {
-    if (rt.controller != nullptr) {
-      report.kpi.predictions += rt.controller->stats().predictions_made;
-      robustness_.degraded_enters += rt.controller->stats().degraded_enters;
-      robustness_.degraded_exits += rt.controller->stats().degraded_exits;
-      robustness_.history_errors += rt.controller->stats().history_errors;
-      robustness_.corruption_errors +=
-          rt.controller->stats().corruption_errors;
-      robustness_.maintenance_touches +=
-          rt.controller->stats().maintenance_touches;
-    }
-    if (rt.sql_history != nullptr) {
-      const storage::IntegrityStats& is = rt.sql_history->integrity_stats();
-      robustness_.corruption_detected += is.corruption_detected;
-      robustness_.corruption_repaired += is.corruption_repaired;
-      robustness_.corruption_quarantined += is.corruption_quarantined;
-      robustness_.scrub_passes += is.scrub_passes;
-      robustness_.scrub_pages += is.scrub_pages;
-      robustness_.scrub_errors += is.scrub_errors;
-    }
+  for (const LifecycleController* controller : controllers_) {
+    if (controller == nullptr) continue;
+    report.kpi.predictions += controller->stats().predictions_made;
+    robustness_.degraded_enters += controller->stats().degraded_enters;
+    robustness_.degraded_exits += controller->stats().degraded_exits;
+    robustness_.history_errors += controller->stats().history_errors;
+    robustness_.corruption_errors += controller->stats().corruption_errors;
+    robustness_.maintenance_touches +=
+        controller->stats().maintenance_touches;
   }
-  report.recorder = std::move(*recorder_);
+  for (const history::SqlHistoryStore* store : sql_history_) {
+    if (store == nullptr) continue;
+    const storage::IntegrityStats& is = store->integrity_stats();
+    robustness_.corruption_detected += is.corruption_detected;
+    robustness_.corruption_repaired += is.corruption_repaired;
+    robustness_.corruption_quarantined += is.corruption_quarantined;
+    robustness_.scrub_passes += is.scrub_passes;
+    robustness_.scrub_pages += is.scrub_pages;
+    robustness_.scrub_errors += is.scrub_errors;
+  }
+  if (recorder_ != nullptr) report.recorder = std::move(*recorder_);
   report.diagnostics = management_->diagnostics();
   report.robustness = robustness_;
   report.pending_failed = management_->pending_failed();
   report.resumed_per_iteration = management_->resumed_per_iteration();
   report.login_delay = login_delay_;
+  report.login_delay_hist = login_delay_hist_;
   if (capacity_ != nullptr) report.resume_waits = capacity_->waits();
   report.control_plane_recoveries = cp_recoveries_;
   report.control_plane_replayed = cp_last_replayed_;
   report.measure_from = measure_from;
   report.measure_end = options_.end;
   report.allocated_samples = allocated_samples_;
+  report.events_processed = events_processed_;
+  report.event_queue_bytes =
+      queue_.MemoryBytes() + tick_.capacity() * sizeof(SimEvent);
   for (DbId db = 0; db < n; ++db) {
-    if (dbs_[db].history != nullptr) {
-      report.history_tuples.Add(
-          static_cast<double>(dbs_[db].history->NumTuples()));
-      report.history_bytes.Add(
-          static_cast<double>(dbs_[db].history->SizeBytes()));
+    if (history_[db] == nullptr) continue;
+    uint64_t tuples = history_[db]->NumTuples();
+    uint64_t bytes = history_[db]->SizeBytes();
+    if (full_telemetry()) {
+      report.history_tuples.Add(static_cast<double>(tuples));
+      report.history_bytes.Add(static_cast<double>(bytes));
     }
+    report.history_tuples_hist.Add(static_cast<int64_t>(tuples));
+    report.history_bytes_hist.Add(static_cast<int64_t>(bytes));
   }
   return report;
 }
@@ -925,12 +1085,15 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
   uint64_t predictions = 0;
   for (SimReport& s : shards) {
     merged.usage += s.usage;
+    merged.counts.Merge(s.counts);
     predictions += s.kpi.predictions;
     events.insert(events.end(), s.recorder.events().begin(),
                   s.recorder.events().end());
     merged.resumed_per_iteration.Merge(s.resumed_per_iteration);
     merged.history_tuples.Merge(s.history_tuples);
     merged.history_bytes.Merge(s.history_bytes);
+    merged.history_tuples_hist.Merge(s.history_tuples_hist);
+    merged.history_bytes_hist.Merge(s.history_bytes_hist);
     // Every shard samples on the same 5-minute schedule, so the fleet's
     // concurrent-allocation census is the element-wise sum.
     const std::vector<double>& samples = s.allocated_samples.values();
@@ -940,64 +1103,15 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
     for (size_t i = 0; i < samples.size(); ++i) {
       allocated_sums[i] += samples[i];
     }
-    merged.diagnostics.observed_iterations +=
-        s.diagnostics.observed_iterations;
-    merged.diagnostics.max_queue_depth = std::max(
-        merged.diagnostics.max_queue_depth, s.diagnostics.max_queue_depth);
-    merged.diagnostics.stuck_workflows += s.diagnostics.stuck_workflows;
-    merged.diagnostics.mitigated += s.diagnostics.mitigated;
-    merged.diagnostics.skipped_state_changed +=
-        s.diagnostics.skipped_state_changed;
-    merged.diagnostics.failed_then_skipped +=
-        s.diagnostics.failed_then_skipped;
-    merged.diagnostics.failed_then_shed += s.diagnostics.failed_then_shed;
-    merged.diagnostics.incidents += s.diagnostics.incidents;
-    merged.diagnostics.backoff_retries_scheduled +=
-        s.diagnostics.backoff_retries_scheduled;
-    merged.diagnostics.backoff_delay_seconds_total +=
-        s.diagnostics.backoff_delay_seconds_total;
-    merged.diagnostics.shed_resumes += s.diagnostics.shed_resumes;
-    merged.diagnostics.breaker_opens += s.diagnostics.breaker_opens;
-    merged.diagnostics.breaker_state_changes +=
-        s.diagnostics.breaker_state_changes;
-    for (size_t c = 0; c < controlplane::kNumResumeClasses; ++c) {
-      controlplane::ClassDiagnostics& m = merged.diagnostics.per_class[c];
-      const controlplane::ClassDiagnostics& v = s.diagnostics.per_class[c];
-      m.enqueued += v.enqueued;
-      m.resumed += v.resumed;
-      m.shed_admission += v.shed_admission;
-      m.shed_evicted += v.shed_evicted;
-      m.stuck += v.stuck;
-      m.mitigated += v.mitigated;
-      m.incidents += v.incidents;
-      m.skipped_state_changed += v.skipped_state_changed;
-      m.failed_then_skipped += v.failed_then_skipped;
-      m.failed_then_shed += v.failed_then_shed;
-      m.deadline_breaches += v.deadline_breaches;
-      m.hedged += v.hedged;
-      m.hedge_wins += v.hedge_wins;
-    }
-    merged.diagnostics.storms_detected += s.diagnostics.storms_detected;
-    merged.diagnostics.slow_start_ticks += s.diagnostics.slow_start_ticks;
-    merged.diagnostics.quota_deferrals += s.diagnostics.quota_deferrals;
-    merged.diagnostics.catch_up_enqueued += s.diagnostics.catch_up_enqueued;
-    merged.diagnostics.deleted_while_queued +=
-        s.diagnostics.deleted_while_queued;
-    merged.diagnostics.unacked_dispatches += s.diagnostics.unacked_dispatches;
-    merged.diagnostics.dispatch_timeouts += s.diagnostics.dispatch_timeouts;
-    merged.diagnostics.late_acks += s.diagnostics.late_acks;
-    merged.diagnostics.stale_epoch_acks += s.diagnostics.stale_epoch_acks;
-    merged.diagnostics.max_brownout_level =
-        std::max(merged.diagnostics.max_brownout_level,
-                 s.diagnostics.max_brownout_level);
-    merged.diagnostics.queue_wait.Merge(s.diagnostics.queue_wait);
-    merged.diagnostics.in_flight_duration.Merge(
-        s.diagnostics.in_flight_duration);
+    merged.diagnostics.Merge(s.diagnostics);
     merged.login_delay.Merge(s.login_delay);
+    merged.login_delay_hist.Merge(s.login_delay_hist);
     merged.resume_waits.Merge(s.resume_waits);
     merged.pending_failed += s.pending_failed;
     merged.control_plane_recoveries += s.control_plane_recoveries;
     merged.control_plane_replayed += s.control_plane_replayed;
+    merged.events_processed += s.events_processed;
+    merged.event_queue_bytes += s.event_queue_bytes;
     merged.robustness.AccumulateShard(s.robustness);
   }
   // The outage schedule is fleet-global and identical in every shard.
@@ -1014,20 +1128,20 @@ SimReport MergeShardReports(std::vector<SimReport> shards) {
   for (const telemetry::FleetEvent& e : events) {
     merged.recorder.Record(e.time, e.db, e.kind);
   }
-  merged.kpi = telemetry::ComputeKpi(merged.recorder, merged.usage);
+  merged.kpi = telemetry::ComputeKpi(merged.counts, merged.usage);
   merged.kpi.predictions = predictions;
   return merged;
 }
 
 }  // namespace
 
-Result<SimReport> RunFleetSimulation(
-    const std::vector<workload::DbTrace>& traces,
-    const SimOptions& options) {
+Result<SimReport> RunFleetSimulation(const workload::TraceSource& source,
+                                     const SimOptions& options) {
+  size_t num_dbs = source.num_dbs();
   size_t num_shards =
       options.num_threads > 1
           ? std::min<size_t>(static_cast<size_t>(options.num_threads),
-                             traces.size())
+                             num_dbs)
           : 1;
   // Proactive mode couples databases through the shared metadata store
   // and management service, the storm layer couples them through the
@@ -1037,7 +1151,7 @@ Result<SimReport> RunFleetSimulation(
   if (options.mode == PolicyMode::kProactive || num_shards <= 1 ||
       options.storm_layer_enabled() ||
       !options.control_plane_journal_dir.empty() || options.use_transport) {
-    FleetSimulation simulation(traces.data(), traces.size(), options, 0);
+    FleetSimulation simulation(source, num_dbs, options, 0);
     return simulation.Run();
   }
 
@@ -1045,12 +1159,11 @@ Result<SimReport> RunFleetSimulation(
   jobs.reserve(num_shards);
   size_t base = 0;
   for (size_t shard = 0; shard < num_shards; ++shard) {
-    size_t count = traces.size() / num_shards +
-                   (shard < traces.size() % num_shards ? 1 : 0);
-    const workload::DbTrace* begin = traces.data() + base;
+    size_t count = num_dbs / num_shards +
+                   (shard < num_dbs % num_shards ? 1 : 0);
     DbId offset = static_cast<DbId>(base);
-    jobs.emplace_back([begin, count, offset, &options] {
-      FleetSimulation simulation(begin, count, options, offset);
+    jobs.emplace_back([&source, count, offset, &options] {
+      FleetSimulation simulation(source, count, options, offset);
       return simulation.Run();
     });
     base += count;
@@ -1064,6 +1177,12 @@ Result<SimReport> RunFleetSimulation(
     shards.push_back(std::move(r.value()));
   }
   return MergeShardReports(std::move(shards));
+}
+
+Result<SimReport> RunFleetSimulation(
+    const std::vector<workload::DbTrace>& traces, const SimOptions& options) {
+  workload::MaterializedTraceSource source(traces);
+  return RunFleetSimulation(source, options);
 }
 
 }  // namespace prorp::sim

@@ -9,8 +9,10 @@
 #include "controlplane/management_service.h"
 #include "policy/lifecycle_controller.h"
 #include "telemetry/fault_stats.h"
+#include "telemetry/histogram.h"
 #include "telemetry/kpi.h"
 #include "workload/trace.h"
+#include "workload/trace_source.h"
 
 namespace prorp::sim {
 
@@ -133,6 +135,38 @@ struct SimOptions {
   /// dispatcher, so this always runs the serial event loop.
   bool use_transport = false;
 
+  // --- Scale layer (DESIGN.md section 12) ---
+  /// Event-queue backend.  false (default): the hierarchical timer wheel
+  /// (O(1) push, next-tick jump, post-storm slot shrink).  true: the
+  /// legacy global binary heap, kept as the differential-testing oracle —
+  /// bit-identical output, just slower and cache-colder at scale.
+  bool use_legacy_event_heap = false;
+
+  /// Telemetry detail.  kFull buffers every fleet event in the report's
+  /// Recorder (O(events) memory — what the figure benches and CSV export
+  /// consume).  kStreaming keeps only the running counters and log2
+  /// histograms: O(fleet) memory however long the run; report.recorder
+  /// stays empty and the per-event Summaries (login_delay,
+  /// history_tuples/bytes) are replaced by their histogram forms.
+  enum class Telemetry : uint8_t { kFull, kStreaming };
+  Telemetry telemetry = Telemetry::kFull;
+
+  /// Share one write-discarding history store across the fleet instead of
+  /// one in-memory store per database.  Valid for reactive and always-on
+  /// policies, whose controllers write history but never read it back;
+  /// proactive mode (which predicts from history) rejects this flag.
+  /// Databases covered by sql_history_count keep their SQL-backed store.
+  bool use_null_history = false;
+
+  /// Open the metadata store without its sys.databases SQL mirror
+  /// (MetadataStore::Backing::kIndexOnly).  Every selection the policies
+  /// use is answered from the in-memory entry map / resume index, so the
+  /// run stays bit-identical; only the literal-SQL validation path
+  /// (use_sql_scan_for_resume_op) is unavailable, and the two are
+  /// rejected together.  At million-database scale the per-transition
+  /// SQL upsert otherwise dominates the hot loop.
+  bool use_lite_metadata = false;
+
   uint64_t seed = 42;
 
   /// Workers for the sharded fleet mode.  Reactive and always-on
@@ -148,7 +182,13 @@ struct SimOptions {
 /// Everything a bench needs from one run.
 struct SimReport {
   telemetry::KpiReport kpi;
-  telemetry::Recorder recorder;  // events within the measurement window
+  /// Running per-kind event counters over the measurement window.  Always
+  /// populated (both telemetry modes); the KPI report is computed from
+  /// these, so streaming runs lose no KPI fidelity.
+  telemetry::EventCounts counts;
+  /// Events within the measurement window.  Empty under
+  /// Telemetry::kStreaming.
+  telemetry::Recorder recorder;
   /// Fleet-total seconds per phase over the measurement window.  Kept in
   /// raw form (not just the KPI percentages) so per-shard reports can be
   /// summed exactly when merging.
@@ -184,13 +224,33 @@ struct SimReport {
   uint64_t control_plane_replayed = 0;
   EpochSeconds measure_from = 0;
   EpochSeconds measure_end = 0;
+
+  // --- Scale-layer telemetry ---
+  /// Simulation events executed by the event loop (all phases, warm-up
+  /// included) — the numerator of the bench_fleet_scale throughput gate.
+  uint64_t events_processed = 0;
+  /// Log2-bucket forms of login_delay and history_tuples/bytes,
+  /// populated in both telemetry modes (the only tail-latency view a
+  /// streaming run has; O(1) memory, bucket-wise exact shard merge).
+  telemetry::Histogram login_delay_hist;
+  telemetry::Histogram history_tuples_hist;
+  telemetry::Histogram history_bytes_hist;
+  /// Bytes held by the event queue's slot/heap storage at run end (summed
+  /// over shards) — the post-storm shrink regression metric.
+  uint64_t event_queue_bytes = 0;
 };
 
-/// Runs the full ProRP stack over the given traces: one history store and
+/// Runs the full ProRP stack over the fleet: one history store and
 /// lifecycle controller per database, the metadata store, the management
 /// service's periodic proactive resume operation, capacity-pressure
 /// evictions, and reactive-resume latency — all on a single-threaded
-/// discrete event loop.
+/// discrete event loop (per shard).  Sessions are pulled from the source
+/// database-by-database, so a streaming source runs a million-database
+/// fleet without materializing any trace.
+Result<SimReport> RunFleetSimulation(const workload::TraceSource& source,
+                                     const SimOptions& options);
+
+/// Convenience overload over a materialized fleet.
 Result<SimReport> RunFleetSimulation(
     const std::vector<workload::DbTrace>& traces, const SimOptions& options);
 

@@ -1,6 +1,7 @@
 #ifndef PRORP_TELEMETRY_EVENTS_H_
 #define PRORP_TELEMETRY_EVENTS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@ enum class EventKind : uint8_t {
   kForcedEviction,   // capacity pressure reclaimed a logical pause
   kPrediction,       // next-activity prediction computed
 };
+
+/// Number of EventKind values (array-index bound for counters).
+inline constexpr size_t kNumEventKinds = 8;
 
 std::string_view EventKindName(EventKind kind);
 
@@ -55,6 +59,40 @@ class Recorder {
 
  private:
   std::vector<FleetEvent> events_;
+};
+
+/// Fixed-size running event counters: the streaming replacement for
+/// buffering every FleetEvent when only KPIs are needed.  O(1) memory
+/// however long the run, and shard counters merge by plain addition, so
+/// sharded totals are exactly the serial totals.
+class EventCounts {
+ public:
+  void Add(EventKind kind) { ++counts_[static_cast<size_t>(kind)]; }
+
+  uint64_t Count(EventKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+
+  void Merge(const EventCounts& other) {
+    for (size_t i = 0; i < kNumEventKinds; ++i) counts_[i] += other.counts_[i];
+  }
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t c : counts_) sum += c;
+    return sum;
+  }
+
+  /// Counters equivalent to a buffered recorder (for differential tests
+  /// between full and streaming telemetry modes).
+  static EventCounts FromRecorder(const Recorder& recorder) {
+    EventCounts counts;
+    for (const FleetEvent& e : recorder.events()) counts.Add(e.kind);
+    return counts;
+  }
+
+ private:
+  std::array<uint64_t, kNumEventKinds> counts_{};
 };
 
 }  // namespace prorp::telemetry

@@ -24,34 +24,18 @@ KpiReport ComputeKpi(const Recorder& recorder, const UsageLedger& ledger) {
 }
 
 KpiReport ComputeKpi(const Recorder& recorder, const TimeBreakdown& t) {
+  return ComputeKpi(EventCounts::FromRecorder(recorder), t);
+}
+
+KpiReport ComputeKpi(const EventCounts& counts, const TimeBreakdown& t) {
   KpiReport report;
-  for (const FleetEvent& e : recorder.events()) {
-    switch (e.kind) {
-      case EventKind::kLoginAvailable:
-        ++report.logins_available;
-        break;
-      case EventKind::kLoginReactive:
-        ++report.logins_reactive;
-        break;
-      case EventKind::kLogicalPause:
-        ++report.logical_pauses;
-        break;
-      case EventKind::kPhysicalPause:
-        ++report.physical_pauses;
-        break;
-      case EventKind::kProactiveResume:
-        ++report.proactive_resumes;
-        break;
-      case EventKind::kForcedEviction:
-        ++report.forced_evictions;
-        break;
-      case EventKind::kPrediction:
-        ++report.predictions;
-        break;
-      case EventKind::kLogout:
-        break;
-    }
-  }
+  report.logins_available = counts.Count(EventKind::kLoginAvailable);
+  report.logins_reactive = counts.Count(EventKind::kLoginReactive);
+  report.logical_pauses = counts.Count(EventKind::kLogicalPause);
+  report.physical_pauses = counts.Count(EventKind::kPhysicalPause);
+  report.proactive_resumes = counts.Count(EventKind::kProactiveResume);
+  report.forced_evictions = counts.Count(EventKind::kForcedEviction);
+  report.predictions = counts.Count(EventKind::kPrediction);
   report.logins_total = report.logins_available + report.logins_reactive;
 
   double total = t.Total();

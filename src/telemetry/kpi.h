@@ -61,6 +61,11 @@ KpiReport ComputeKpi(const Recorder& recorder, const UsageLedger& ledger);
 /// the single-ledger result exactly.
 KpiReport ComputeKpi(const Recorder& recorder, const TimeBreakdown& total);
 
+/// Same, from streaming event counters instead of a buffered event log.
+/// The recorder overloads delegate here after counting, so full and
+/// streaming telemetry modes produce bit-identical KPI reports.
+KpiReport ComputeKpi(const EventCounts& counts, const TimeBreakdown& total);
+
 /// Figures 11-12: five-number summary of the number of events of `kind`
 /// per `interval`-second bucket across [start, end).  Buckets with zero
 /// events count.

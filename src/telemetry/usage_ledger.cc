@@ -14,13 +14,16 @@ TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
   return *this;
 }
 
-UsageLedger::UsageLedger(size_t num_dbs, EpochSeconds start)
-    : open_(num_dbs), per_db_(num_dbs), start_(start) {}
+UsageLedger::UsageLedger(size_t num_dbs, EpochSeconds start,
+                         bool track_per_db)
+    : open_(num_dbs), start_(start) {
+  if (track_per_db) per_db_.resize(num_dbs);
+}
 
 void UsageLedger::SetPhase(DbId db, Phase phase, EpochSeconds now) {
   assert(db < open_.size());
   CloseSegment(db, now, phase);
-  open_[db] = {phase, now, true};
+  open_[db] = {now, phase, true};
 }
 
 void UsageLedger::CloseSegment(DbId db, EpochSeconds now, Phase next_phase) {
@@ -28,7 +31,7 @@ void UsageLedger::CloseSegment(DbId db, EpochSeconds now, Phase next_phase) {
   if (!seg.started) return;
   double dur = static_cast<double>(now - seg.since);
   if (dur < 0) dur = 0;
-  TimeBreakdown& t = per_db_[db];
+  TimeBreakdown& t = per_db_.empty() ? fleet_total_ : per_db_[db];
   switch (seg.phase) {
     case Phase::kActive:
       t.active += dur;
@@ -61,7 +64,7 @@ void UsageLedger::Finish(EpochSeconds end) {
     // An unused pre-warm at window end counts as wrong; pass kReclaimed.
     CloseSegment(db, end, Phase::kReclaimed);
     open_[db].started = false;
-    fleet_total_ += per_db_[db];
+    if (!per_db_.empty()) fleet_total_ += per_db_[db];
   }
 }
 

@@ -48,7 +48,13 @@ struct TimeBreakdown {
 /// of the observation window — the pre-warm was not used).
 class UsageLedger {
  public:
-  UsageLedger(size_t num_dbs, EpochSeconds start);
+  /// `track_per_db` false skips the per-database breakdown and folds every
+  /// closed segment straight into the fleet total — half the random memory
+  /// traffic per phase change, which matters at million-database scale.
+  /// The totals are bit-identical either way: segment durations are whole
+  /// seconds, and integer-valued doubles below 2^53 add exactly, so the
+  /// accumulation order cannot change the result.
+  UsageLedger(size_t num_dbs, EpochSeconds start, bool track_per_db = true);
 
   /// Switches `db` to `phase` at `now`, closing the previous segment.
   void SetPhase(DbId db, Phase phase, EpochSeconds now);
@@ -59,21 +65,22 @@ class UsageLedger {
   /// Fleet-wide totals (valid after Finish).
   const TimeBreakdown& fleet_total() const { return fleet_total_; }
 
-  /// Per-database totals (valid after Finish).
+  /// Per-database totals (valid after Finish; requires track_per_db).
   const TimeBreakdown& db_total(DbId db) const { return per_db_[db]; }
 
-  size_t num_dbs() const { return per_db_.size(); }
+  size_t num_dbs() const { return open_.size(); }
 
  private:
   struct OpenSegment {
-    Phase phase = Phase::kActive;
     EpochSeconds since = 0;
+    Phase phase = Phase::kActive;
     bool started = false;
   };
 
   void CloseSegment(DbId db, EpochSeconds now, Phase next_phase);
 
   std::vector<OpenSegment> open_;
+  /// Empty when per-database tracking is off.
   std::vector<TimeBreakdown> per_db_;
   TimeBreakdown fleet_total_;
   EpochSeconds start_;

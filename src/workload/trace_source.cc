@@ -1,0 +1,413 @@
+#include "workload/trace_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+
+namespace prorp::workload {
+namespace {
+
+// ---------------------------------------------------------------------
+// Raw pattern generators: resumable forms of the archetype generators in
+// patterns.cc.  Each emits the same *shape* of trace — day-batch
+// archetypes buffer one day of sessions at a time, cursor archetypes
+// carry a single running timestamp — and every one emits sessions in
+// ascending start order, which the normalizing wrapper below relies on.
+// ---------------------------------------------------------------------
+
+/// Unclipped, unmerged sessions in ascending start order.
+class RawGen {
+ public:
+  virtual ~RawGen() = default;
+  virtual bool Next(Session* out) = 0;
+};
+
+/// Archetypes generated a day at a time (DailyBusiness, Daily, Weekly,
+/// Bursty, DevTest): advances the day cursor until a day yields sessions,
+/// buffering at most one day (<= ~130 sessions for a bursty day).
+class DayBatchGen : public RawGen {
+ public:
+  DayBatchGen(EpochSeconds from, EpochSeconds to)
+      : day_(StartOfDay(from)), to_(to) {}
+
+  bool Next(Session* out) override {
+    while (idx_ >= buf_.size()) {
+      if (day_ >= to_) return false;
+      buf_.clear();
+      idx_ = 0;
+      GenerateDay(day_);
+      day_ += Days(1);
+    }
+    *out = buf_[idx_++];
+    return true;
+  }
+
+ protected:
+  virtual void GenerateDay(EpochSeconds day) = 0;
+
+  std::vector<Session> buf_;
+
+ private:
+  EpochSeconds day_;
+  EpochSeconds to_;
+  size_t idx_ = 0;
+};
+
+/// Weekday business usage with loose within-day timing and intraday
+/// breaks (patterns.cc DailyBusiness).
+class DailyBusinessGen final : public DayBatchGen {
+ public:
+  DailyBusinessGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : DayBatchGen(from, to), rng_(rng) {
+    base_ = Hours(5) + rng_.NextInt(0, Hours(4));
+    spread_ = rng_.NextBool(0.5)
+                  ? Minutes(40) + rng_.NextInt(0, Minutes(80))
+                  : Hours(9) + rng_.NextInt(0, Hours(4));
+  }
+
+ protected:
+  void GenerateDay(EpochSeconds day) override {
+    if (IsWeekend(day)) {
+      if (rng_.NextBool(0.05)) {
+        EpochSeconds s = day + Hours(10) + rng_.NextInt(0, Hours(6));
+        buf_.push_back({s, s + rng_.NextInt(Minutes(10), Hours(1))});
+      }
+      return;
+    }
+    if (rng_.NextBool(0.12)) return;
+    EpochSeconds start = day + base_ + rng_.NextInt(0, spread_);
+    DurationSeconds work_span = Hours(3) + rng_.NextInt(0, Hours(5));
+    EpochSeconds end = start + work_span;
+    EpochSeconds cuts[2];
+    size_t num_cuts = 0;
+    if (rng_.NextBool(0.75)) {
+      cuts[num_cuts++] =
+          start + work_span / 2 + rng_.NextInt(-Hours(1), Hours(1));
+    }
+    if (rng_.NextBool(0.35)) {
+      cuts[num_cuts++] =
+          start + work_span / 4 + rng_.NextInt(-Minutes(30), Minutes(30));
+    }
+    std::sort(cuts, cuts + num_cuts);
+    EpochSeconds cursor = start;
+    for (size_t i = 0; i < num_cuts; ++i) {
+      EpochSeconds cut = cuts[i];
+      if (cut <= cursor + Minutes(30) || cut >= end - Minutes(30)) continue;
+      buf_.push_back({cursor, cut});
+      cursor = cut + rng_.NextInt(Minutes(10), Minutes(90));
+    }
+    if (cursor < end) buf_.push_back({cursor, end});
+  }
+
+ private:
+  Rng rng_;
+  DurationSeconds base_;
+  DurationSeconds spread_;
+};
+
+/// Daily usage, seven days a week (patterns.cc Daily).
+class DailyGen final : public DayBatchGen {
+ public:
+  DailyGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : DayBatchGen(from, to), rng_(rng) {
+    base_ = rng_.NextInt(0, Hours(14));
+    spread_ = rng_.NextBool(0.5) ? Minutes(30) + rng_.NextInt(0, Minutes(90))
+                                 : Hours(8) + rng_.NextInt(0, Hours(4));
+  }
+
+ protected:
+  void GenerateDay(EpochSeconds day) override {
+    if (rng_.NextBool(0.08)) return;
+    EpochSeconds start = day + base_ + rng_.NextInt(0, spread_);
+    DurationSeconds window_len = Hours(1) + rng_.NextInt(0, Hours(5));
+    EpochSeconds end = start + window_len;
+    if (rng_.NextBool(0.5)) {
+      EpochSeconds cut = start + window_len / 2;
+      buf_.push_back({start, cut});
+      buf_.push_back({cut + rng_.NextInt(Minutes(5), Minutes(45)), end});
+    } else {
+      buf_.push_back({start, end});
+    }
+  }
+
+ private:
+  Rng rng_;
+  DurationSeconds base_;
+  DurationSeconds spread_;
+};
+
+/// One or two fixed weekdays (patterns.cc Weekly).
+class WeeklyGen final : public DayBatchGen {
+ public:
+  WeeklyGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : DayBatchGen(from, to), rng_(rng) {
+    day_a_ = static_cast<int>(rng_.NextInt(0, 6));
+    day_b_ = rng_.NextBool(0.4) ? static_cast<int>(rng_.NextInt(0, 6)) : -1;
+    hour_ = Hours(6) + rng_.NextInt(0, Hours(8));
+  }
+
+ protected:
+  void GenerateDay(EpochSeconds day) override {
+    int wd = WeekdayIndex(day);
+    if (wd != day_a_ && wd != day_b_) return;
+    if (rng_.NextBool(0.08)) return;
+    EpochSeconds start = day + hour_ + rng_.NextInt(0, Hours(4));
+    buf_.push_back({start, start + rng_.NextInt(Hours(1), Hours(5))});
+  }
+
+ private:
+  Rng rng_;
+  int day_a_;
+  int day_b_;
+  DurationSeconds hour_;
+};
+
+/// Rare days packed with dozens of short sessions (patterns.cc Bursty).
+class BurstyGen final : public DayBatchGen {
+ public:
+  BurstyGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : DayBatchGen(from, to), rng_(rng) {}
+
+ protected:
+  void GenerateDay(EpochSeconds day) override {
+    if (!rng_.NextBool(0.45)) return;
+    EpochSeconds cursor = day + rng_.NextInt(0, Hours(6));
+    int sessions = static_cast<int>(rng_.NextInt(40, 130));
+    for (int i = 0; i < sessions && cursor < day + Days(1); ++i) {
+      DurationSeconds session = rng_.NextInt(Minutes(2), Minutes(10));
+      buf_.push_back({cursor, cursor + session});
+      cursor += session + rng_.NextInt(Minutes(2), Minutes(12));
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Occasional short workday sessions (patterns.cc DevTest).
+class DevTestGen final : public DayBatchGen {
+ public:
+  DevTestGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : DayBatchGen(from, to), rng_(rng) {}
+
+ protected:
+  void GenerateDay(EpochSeconds day) override {
+    if (IsWeekend(day) || !rng_.NextBool(0.35)) return;
+    int sessions = static_cast<int>(rng_.NextInt(1, 3));
+    EpochSeconds cursor = day + Hours(8) + rng_.NextInt(0, Hours(6));
+    for (int i = 0; i < sessions; ++i) {
+      DurationSeconds session = rng_.NextInt(Minutes(15), Minutes(90));
+      buf_.push_back({cursor, cursor + session});
+      cursor += session + rng_.NextInt(Minutes(30), Hours(3));
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Near-continuous usage (patterns.cc AlwaysBusy): a single running
+/// timestamp, one session per pull.
+class AlwaysBusyGen final : public RawGen {
+ public:
+  AlwaysBusyGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : to_(to), rng_(rng) {
+    cursor_ = from + rng_.NextInt(0, Hours(2));
+  }
+
+  bool Next(Session* out) override {
+    if (cursor_ >= to_) return false;
+    DurationSeconds session =
+        static_cast<DurationSeconds>(rng_.NextExponential(Hours(3)));
+    session = std::clamp(session, Minutes(10), Hours(12));
+    *out = {cursor_, cursor_ + session};
+    DurationSeconds gap =
+        static_cast<DurationSeconds>(rng_.NextExponential(Minutes(25)));
+    gap = std::clamp(gap, Minutes(2), Hours(4));
+    cursor_ += session + gap;
+    return true;
+  }
+
+ private:
+  EpochSeconds cursor_;
+  EpochSeconds to_;
+  Rng rng_;
+};
+
+/// Poisson sessions days apart (patterns.cc Sporadic).
+class SporadicGen final : public RawGen {
+ public:
+  SporadicGen(EpochSeconds from, EpochSeconds to, Rng rng)
+      : to_(to), rng_(rng) {
+    cursor_ = from + rng_.NextInt(0, Days(3));
+  }
+
+  bool Next(Session* out) override {
+    if (cursor_ >= to_) return false;
+    DurationSeconds session =
+        static_cast<DurationSeconds>(rng_.NextExponential(Hours(1)));
+    session = std::clamp(session, Minutes(5), Hours(8));
+    *out = {cursor_, cursor_ + session};
+    DurationSeconds gap =
+        static_cast<DurationSeconds>(rng_.NextExponential(Days(5)));
+    gap = std::clamp(gap, Hours(8), Days(24));
+    cursor_ += session + gap;
+    return true;
+  }
+
+ private:
+  EpochSeconds cursor_;
+  EpochSeconds to_;
+  Rng rng_;
+};
+
+std::unique_ptr<RawGen> MakeRawGen(PatternType pattern, EpochSeconds from,
+                                   EpochSeconds to, Rng rng) {
+  switch (pattern) {
+    case PatternType::kDailyBusiness:
+      return std::make_unique<DailyBusinessGen>(from, to, rng);
+    case PatternType::kDaily:
+      return std::make_unique<DailyGen>(from, to, rng);
+    case PatternType::kWeekly:
+      return std::make_unique<WeeklyGen>(from, to, rng);
+    case PatternType::kAlwaysBusy:
+      return std::make_unique<AlwaysBusyGen>(from, to, rng);
+    case PatternType::kSporadic:
+      return std::make_unique<SporadicGen>(from, to, rng);
+    case PatternType::kBursty:
+      return std::make_unique<BurstyGen>(from, to, rng);
+    case PatternType::kDevTest:
+      return std::make_unique<DevTestGen>(from, to, rng);
+  }
+  return std::make_unique<SporadicGen>(from, to, rng);
+}
+
+/// Applies NormalizeSessions' clip/merge/min-gap rules one session at a
+/// time.  The sort NormalizeSessions performs is a no-op here because
+/// raw generators emit ascending starts (clipping preserves that).
+class NormalizingCursor final : public SessionCursor {
+ public:
+  NormalizingCursor(std::unique_ptr<RawGen> gen, EpochSeconds from,
+                    EpochSeconds to, DurationSeconds min_gap)
+      : gen_(std::move(gen)), from_(from), to_(to), min_gap_(min_gap) {}
+
+  bool Next(Session* out) override {
+    for (;;) {
+      Session raw;
+      if (!gen_ || !gen_->Next(&raw)) {
+        gen_.reset();
+        if (!have_pending_) return false;
+        have_pending_ = false;
+        *out = pending_;
+        return true;
+      }
+      raw.start = std::max(raw.start, from_);
+      raw.end = std::min(raw.end, to_);
+      if (raw.end - raw.start < 1) continue;
+      if (!have_pending_) {
+        pending_ = raw;
+        have_pending_ = true;
+        continue;
+      }
+      if (raw.start - pending_.end < min_gap_) {
+        pending_.end = std::max(pending_.end, raw.end);
+        continue;
+      }
+      *out = pending_;
+      pending_ = raw;
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<RawGen> gen_;
+  EpochSeconds from_;
+  EpochSeconds to_;
+  DurationSeconds min_gap_;
+  Session pending_;
+  bool have_pending_ = false;
+};
+
+class VectorCursor final : public SessionCursor {
+ public:
+  explicit VectorCursor(const std::vector<Session>* sessions)
+      : sessions_(sessions) {}
+
+  bool Next(Session* out) override {
+    if (idx_ >= sessions_->size()) return false;
+    *out = (*sessions_)[idx_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Session>* sessions_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionCursor> MaterializedTraceSource::Open(
+    uint32_t db_id) const {
+  return std::make_unique<VectorCursor>(&(*traces_)[db_id].sessions);
+}
+
+StreamingFleetSource::StreamingFleetSource(RegionProfile profile,
+                                           size_t num_dbs, EpochSeconds from,
+                                           EpochSeconds to, uint64_t seed,
+                                           EpochSeconds new_from)
+    : profile_(std::move(profile)),
+      num_dbs_(num_dbs),
+      from_(from),
+      to_(to),
+      new_from_(new_from <= 0 ? from : new_from),
+      seed_(seed) {
+  for (const auto& [pattern, weight] : profile_.mix) total_weight_ += weight;
+}
+
+std::unique_ptr<SessionCursor> StreamingFleetSource::Open(
+    uint32_t db_id) const {
+  // Mirrors GenerateFleet's per-database draw order (archetype pick, then
+  // the new-database creation time), but addresses the stream purely so
+  // database k is reconstructible in O(1) from any shard.
+  Rng db_rng = Rng(seed_).ForkStream(db_id);
+  double pick = db_rng.NextDouble() * total_weight_;
+  PatternType pattern = profile_.mix.back().first;
+  for (const auto& [candidate, weight] : profile_.mix) {
+    if (pick < weight) {
+      pattern = candidate;
+      break;
+    }
+    pick -= weight;
+  }
+  EpochSeconds start = from_;
+  if (db_rng.NextBool(profile_.new_db_fraction) && new_from_ > from_) {
+    start = new_from_ + db_rng.NextInt(0, to_ - new_from_ - 1);
+  }
+  return std::make_unique<NormalizingCursor>(
+      MakeRawGen(pattern, start, to_, db_rng), start, to_,
+      kSecondsPerMinute);
+}
+
+PatternType StreamingFleetSource::PatternOf(uint32_t db_id) const {
+  Rng db_rng = Rng(seed_).ForkStream(db_id);
+  double pick = db_rng.NextDouble() * total_weight_;
+  PatternType pattern = profile_.mix.back().first;
+  for (const auto& [candidate, weight] : profile_.mix) {
+    if (pick < weight) return candidate;
+    pick -= weight;
+  }
+  return pattern;
+}
+
+std::vector<Session> CollectSessions(const TraceSource& source,
+                                     uint32_t db_id) {
+  std::vector<Session> sessions;
+  std::unique_ptr<SessionCursor> cursor = source.Open(db_id);
+  Session s;
+  while (cursor->Next(&s)) sessions.push_back(s);
+  return sessions;
+}
+
+}  // namespace prorp::workload

@@ -1,0 +1,100 @@
+#ifndef PRORP_WORKLOAD_TRACE_SOURCE_H_
+#define PRORP_WORKLOAD_TRACE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workload/region.h"
+#include "workload/trace.h"
+
+namespace prorp::workload {
+
+/// Pull iterator over one database's activity trace.  Sessions come out
+/// normalized exactly as NormalizeSessions leaves a materialized trace:
+/// non-overlapping, ascending, clipped to the generation window, with the
+/// minimum inter-session gap enforced.
+class SessionCursor {
+ public:
+  virtual ~SessionCursor() = default;
+
+  /// Writes the next session and returns true; false at end of trace.
+  virtual bool Next(Session* out) = 0;
+};
+
+/// A fleet of activity traces accessed database-by-database.  The fleet
+/// simulator consumes sessions strictly in order per database, so a
+/// cursor is all it needs — which is what lets a million-database fleet
+/// run without ever materializing millions of session vectors.
+///
+/// Open must be pure (the same db yields the same sessions every time)
+/// and safe to call concurrently for distinct databases: sharded
+/// simulation runs open disjoint db ranges from worker threads.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual size_t num_dbs() const = 0;
+
+  virtual std::unique_ptr<SessionCursor> Open(uint32_t db_id) const = 0;
+};
+
+/// Adapter over a pre-generated fleet (GenerateFleet, tests, trace
+/// files).  Borrows the vector; the caller keeps it alive.
+class MaterializedTraceSource final : public TraceSource {
+ public:
+  explicit MaterializedTraceSource(const std::vector<DbTrace>& traces)
+      : traces_(&traces) {}
+
+  size_t num_dbs() const override { return traces_->size(); }
+
+  std::unique_ptr<SessionCursor> Open(uint32_t db_id) const override;
+
+ private:
+  const std::vector<DbTrace>* traces_;
+};
+
+/// Generates a region's fleet on the fly: O(1) state per open cursor
+/// (the per-pattern generator buffers at most one day of sessions)
+/// instead of O(sessions) per database materialized up front.
+///
+/// Database k's trace is a pure function of (seed, k): the per-database
+/// stream is derived with Rng::ForkStream, so any shard of a sharded run
+/// reconstructs exactly the traces of a serial run without coordination.
+/// Note this derivation differs from GenerateFleet's sequential Fork, so
+/// the two produce statistically equivalent but not identical fleets.
+///
+/// Sessions are normalized on the fly with the same clip/merge/min-gap
+/// rules as NormalizeSessions — valid because every archetype generator
+/// emits sessions in ascending start order.
+class StreamingFleetSource final : public TraceSource {
+ public:
+  StreamingFleetSource(RegionProfile profile, size_t num_dbs,
+                       EpochSeconds from, EpochSeconds to, uint64_t seed,
+                       EpochSeconds new_from = 0);
+
+  size_t num_dbs() const override { return num_dbs_; }
+
+  std::unique_ptr<SessionCursor> Open(uint32_t db_id) const override;
+
+  /// The archetype database `db_id` was assigned (test introspection).
+  PatternType PatternOf(uint32_t db_id) const;
+
+ private:
+  RegionProfile profile_;
+  double total_weight_ = 0;
+  size_t num_dbs_;
+  EpochSeconds from_;
+  EpochSeconds to_;
+  EpochSeconds new_from_;
+  uint64_t seed_;
+};
+
+/// Materializes one database's full trace from a source (tests and
+/// offline analysis; the simulator itself never needs this).
+std::vector<Session> CollectSessions(const TraceSource& source,
+                                     uint32_t db_id);
+
+}  // namespace prorp::workload
+
+#endif  // PRORP_WORKLOAD_TRACE_SOURCE_H_

@@ -1,0 +1,72 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prorp {
+namespace {
+
+struct Tracked {
+  Tracked(int v, std::vector<int>* log) : value(v), destroy_log(log) {}
+  ~Tracked() { destroy_log->push_back(value); }
+
+  int value;
+  std::vector<int>* destroy_log;
+};
+
+TEST(ArenaPoolTest, PointersStayValidAcrossChunkBoundaries) {
+  ArenaPool<uint64_t> pool(/*chunk_capacity=*/4);
+  std::vector<uint64_t*> ptrs;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ptrs.push_back(pool.Emplace(i));
+  }
+  EXPECT_EQ(pool.size(), 100u);
+  // Every pointer handed out earlier still reads back its value, even
+  // though 25 chunks were appended after the first one filled.
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(*ptrs[i], i);
+  }
+  EXPECT_GE(pool.MemoryBytes(), 100 * sizeof(uint64_t));
+}
+
+TEST(ArenaPoolTest, ClearDestroysInCreationOrderAndResets) {
+  std::vector<int> destroyed;
+  ArenaPool<Tracked> pool(/*chunk_capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    pool.Emplace(i, &destroyed);
+  }
+  pool.Clear();
+  ASSERT_EQ(destroyed.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(destroyed[i], i);
+  }
+  EXPECT_EQ(pool.size(), 0u);
+  // The pool is reusable after Clear.
+  Tracked* t = pool.Emplace(42, &destroyed);
+  EXPECT_EQ(t->value, 42);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ArenaPoolTest, NonTrivialElementsSurviveGrowth) {
+  ArenaPool<std::string> pool(/*chunk_capacity=*/2);
+  std::string* a = pool.Emplace("a long string that defeats SSO for sure");
+  std::string* b = pool.Emplace(100, 'x');
+  for (int i = 0; i < 20; ++i) {
+    pool.Emplace("filler");
+  }
+  EXPECT_EQ(*a, "a long string that defeats SSO for sure");
+  EXPECT_EQ(b->size(), 100u);
+}
+
+TEST(ArenaPoolTest, ZeroChunkCapacityIsClampedToOne) {
+  ArenaPool<int> pool(/*chunk_capacity=*/0);
+  int* p = pool.Emplace(7);
+  EXPECT_EQ(*p, 7);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prorp
