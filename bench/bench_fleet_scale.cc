@@ -1,4 +1,4 @@
-// Fleet-scale benchmark of the simulation hot loop (DESIGN.md section 12):
+// Fleet-scale benchmark of the simulation hot loop (DESIGN.md section 13):
 // how fast the simulator pushes a reactive fleet through 60 days of
 // virtual time as the fleet grows 10k -> 100k -> 1M databases.
 //

@@ -17,7 +17,8 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x5052434a;  // "PRCJ"
 // v2 appends the unacked-dispatch section (transport layer).
-constexpr uint32_t kCheckpointVersion = 2;
+// v3 appends the failover counters (node health tracker).
+constexpr uint32_t kCheckpointVersion = 3;
 
 void PutBytes(std::vector<uint8_t>& out, const void* p, size_t n) {
   const uint8_t* b = static_cast<const uint8_t*>(p);
@@ -183,6 +184,10 @@ struct ServiceStateCodec {
       Put<uint8_t>(out, item.hedged ? 1 : 0);
       Put<uint8_t>(out, item.wait_recorded ? 1 : 0);
     }
+
+    // v3: failover counters.
+    Put<uint64_t>(out, d.node_failovers);
+    Put<uint64_t>(out, d.failover_requeues);
   }
 
   static Status Deserialize(ManagementService* s, Reader& r) {
@@ -291,6 +296,8 @@ struct ServiceStateCodec {
       s->queued_dbs_.emplace(item.db, item.cls);
       s->recovery_pending_[item.db] = item.cls;
     }
+    d.node_failovers = r.Get<uint64_t>();
+    d.failover_requeues = r.Get<uint64_t>();
     s->outcomes_.clear();
     s->window_failures_ = 0;
     s->half_open_probes_issued_ = 0;

@@ -1,0 +1,34 @@
+#include "controlplane/failover.h"
+
+#include <algorithm>
+
+namespace prorp::controlplane {
+
+Status FailoverEngine::Tick(EpochSeconds now) {
+  for (uint32_t node : tracker_->TakeNewlyDead()) {
+    PRORP_RETURN_IF_ERROR(service_->NoteNodeDead(node, now));
+    DeathRecord record;
+    record.node = node;
+    record.declared_at = now;
+    std::vector<DbId> dbs = enumerate_ ? enumerate_(node) : std::vector<DbId>{};
+    std::sort(dbs.begin(), dbs.end());
+    dbs.erase(std::unique(dbs.begin(), dbs.end()), dbs.end());
+    for (DbId db : dbs) {
+      const uint64_t before = service_->diagnostics().failover_requeues;
+      PRORP_RETURN_IF_ERROR(service_->EnqueueFailover(db, now));
+      if (service_->diagnostics().failover_requeues > before) {
+        ++record.requeued;
+        if (hook_) hook_(db, node, now);
+      } else {
+        ++record.deduped;
+      }
+    }
+    stats_.requeued += record.requeued;
+    stats_.deduped += record.deduped;
+    ++stats_.nodes_failed_over;
+    deaths_.push_back(record);
+  }
+  return Status::OK();
+}
+
+}  // namespace prorp::controlplane

@@ -1,0 +1,91 @@
+#ifndef PRORP_CONTROLPLANE_FAILOVER_H_
+#define PRORP_CONTROLPLANE_FAILOVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "controlplane/management_service.h"
+#include "controlplane/node_health.h"
+
+namespace prorp::controlplane {
+
+/// Fenced failover of the databases resumed on a dead node (DESIGN.md
+/// section 12).
+///
+/// The engine drains the health tracker's death declarations.  For each
+/// dead node it journals the decision (kNodeDead) and re-places every
+/// database the placement source reports as resumed there, as
+/// reactive-priority work through ManagementService::EnqueueFailover —
+/// the normal admission/dispatch machinery does the rest.
+///
+/// Exactly-once across a plane crash mid-failover:
+///  * the declaration and every re-queue are journaled BEFORE they take
+///    effect, so replay restores exactly the re-queues that were
+///    acknowledged and nothing twice (EnqueueFailover dedups against
+///    queued/in-flight/unacked state, which replay also restores);
+///  * a crash BEFORE the declaration loses nothing: the new incarnation's
+///    fresh tracker re-detects the dead node (its grants are still
+///    absent) and re-runs the enumeration against the re-learned
+///    placements, while databases whose workflows died with the plane are
+///    already re-placed by the standard recovery reconcile.
+///
+/// Safety: a death declaration only exists past the node's fence-safe
+/// time (NodeHealthTracker declares death strictly after it), and by then
+/// the node has self-quiesced — so a re-placed database can never be live
+/// on two nodes at once.
+class FailoverEngine {
+ public:
+  /// Placement source: databases currently believed resumed on `node`.
+  /// Must be safe to call at declaration time; order need not be sorted
+  /// (the engine sorts for determinism).
+  using EnumerateFn = std::function<std::vector<DbId>(uint32_t node)>;
+  /// Test/telemetry hook, invoked once per database actually re-queued.
+  using RequeueHook =
+      std::function<void(DbId db, uint32_t node, EpochSeconds now)>;
+
+  struct DeathRecord {
+    uint32_t node = 0;
+    EpochSeconds declared_at = 0;
+    uint64_t requeued = 0;  ///< databases re-placed by this declaration
+    uint64_t deduped = 0;   ///< already queued/in-flight/unacked
+  };
+
+  struct Stats {
+    uint64_t nodes_failed_over = 0;
+    uint64_t requeued = 0;
+    uint64_t deduped = 0;
+  };
+
+  FailoverEngine(ManagementService* service, NodeHealthTracker* tracker,
+                 EnumerateFn enumerate)
+      : service_(service),
+        tracker_(tracker),
+        enumerate_(std::move(enumerate)) {}
+
+  /// Recovery re-points the engine at the new service incarnation.
+  void set_service(ManagementService* service) { service_ = service; }
+  void set_requeue_hook(RequeueHook hook) { hook_ = std::move(hook); }
+
+  /// Drains death declarations accumulated since the last call.  Returns
+  /// the first journaling failure (the plane is fencing itself; the
+  /// undrained declarations stay with the tracker's state and are
+  /// re-detected after recovery).
+  Status Tick(EpochSeconds now);
+
+  const std::vector<DeathRecord>& deaths() const { return deaths_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ManagementService* service_;
+  NodeHealthTracker* tracker_;
+  EnumerateFn enumerate_;
+  RequeueHook hook_;
+  std::vector<DeathRecord> deaths_;
+  Stats stats_;
+};
+
+}  // namespace prorp::controlplane
+
+#endif  // PRORP_CONTROLPLANE_FAILOVER_H_

@@ -111,6 +111,8 @@ std::string_view JournalEventName(JournalEvent event) {
       return "reconcile_complete";
     case JournalEvent::kReconcileRequeue:
       return "reconcile_requeue";
+    case JournalEvent::kNodeDead:
+      return "node_dead";
   }
   return "unknown";
 }

@@ -44,6 +44,7 @@ enum class JournalEvent : uint8_t {
   kIteration = 16,       // one RunOnce iteration finished (aggregates)
   kReconcileComplete = 17,  // recovery: unacked dispatch found resumed
   kReconcileRequeue = 18,   // recovery: unacked dispatch found not resumed
+  kNodeDead = 19,           // failure detector declared a node dead
 };
 
 std::string_view JournalEventName(JournalEvent event);
@@ -61,6 +62,7 @@ inline constexpr uint32_t kJfHedgeWin = 1u << 8;    // hedge attempt succeeded
 inline constexpr uint32_t kJfSlowStart = 1u << 9;   // iteration ran quota'd
 inline constexpr uint32_t kJfFirstFailure = 1u << 10;  // became stuck here
 inline constexpr uint32_t kJfReactive = 1u << 11;   // reactive-login arrival
+inline constexpr uint32_t kJfFailover = 1u << 12;   // failover re-placement
 
 /// One journaled control-plane transition.  The record is fixed-layout:
 /// fields not meaningful for an event type are zero.  `cls` carries a

@@ -52,6 +52,8 @@ void DiagnosticsReport::Merge(const DiagnosticsReport& other) {
   dispatch_timeouts += other.dispatch_timeouts;
   late_acks += other.late_acks;
   stale_epoch_acks += other.stale_epoch_acks;
+  node_failovers += other.node_failovers;
+  failover_requeues += other.failover_requeues;
   queue_wait.Merge(other.queue_wait);
   in_flight_duration.Merge(other.in_flight_duration);
 }
@@ -315,7 +317,8 @@ bool ManagementService::EvictLowerClass(ResumeClass cls, EpochSeconds now) {
 }
 
 void ManagementService::EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now,
-                                    int brownout_level, bool catch_up) {
+                                    int brownout_level, bool catch_up,
+                                    bool failover) {
   WorkItem item;
   item.db = db;
   item.cls = cls;
@@ -333,11 +336,19 @@ void ManagementService::EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now,
   rec.enqueued_at = now;
   rec.deadline = item.deadline;
   if (catch_up) rec.flags |= kJfCatchUp;
-  if (cls == ResumeClass::kReactiveLogin) rec.flags |= kJfReactive;
+  if (failover) {
+    // Failover re-placements are reactive-priority but deliberately NOT
+    // kJfReactive: replay must not feed them into the storm detector's
+    // arrival count.
+    rec.flags |= kJfFailover;
+  } else if (cls == ResumeClass::kReactiveLogin) {
+    rec.flags |= kJfReactive;
+  }
   if (!Journal(rec)) return;
   queued_dbs_.emplace(db, cls);
   queues_[Idx(cls)].push_back(item);
   ++Cls(cls).enqueued;
+  if (failover) ++diagnostics_.failover_requeues;
 }
 
 bool ManagementService::AdmitNonReactive(DbId db, ResumeClass cls,
@@ -446,6 +457,40 @@ Status ManagementService::EnqueueReactive(DbId db, EpochSeconds now) {
     return Status::OK();
   }
   EnqueueItem(db, ResumeClass::kReactiveLogin, now);
+  if (fenced_) return fence_status_;
+  return Status::OK();
+}
+
+Status ManagementService::NoteNodeDead(uint32_t node, EpochSeconds now) {
+  if (fenced_) return fence_status_;
+  JournalRecord rec;
+  rec.event = JournalEvent::kNodeDead;
+  rec.db = node;  // the db field carries the node id for this event
+  rec.time = now;
+  if (!Journal(rec)) return fence_status_;
+  ++diagnostics_.node_failovers;
+  return Status::OK();
+}
+
+Status ManagementService::EnqueueFailover(DbId db, EpochSeconds now) {
+  if (fenced_) return fence_status_;
+  // Dedup against every live form the workflow could already have: a
+  // failover must never fork a second concurrent workflow for the same
+  // database.  In-flight and unacked dispatches resolve through their own
+  // paths (timeout/reconcile re-places them), and anything already queued
+  // is promoted to reactive priority rather than duplicated.
+  if (in_flight_.count(db) != 0) return Status::OK();
+  if (auto ua = unacked_.find(db); ua != unacked_.end()) {
+    ua->second.reactive_interest = true;
+    return Status::OK();
+  }
+  if (auto it = queued_dbs_.find(db); it != queued_dbs_.end()) {
+    if (it->second != ResumeClass::kReactiveLogin) PromoteToReactive(db, now);
+    if (fenced_) return fence_status_;
+    return Status::OK();
+  }
+  EnqueueItem(db, ResumeClass::kReactiveLogin, now, /*brownout_level=*/-1,
+              /*catch_up=*/false, /*failover=*/true);
   if (fenced_) return fence_status_;
   return Status::OK();
 }
@@ -1225,12 +1270,16 @@ Status ManagementService::ApplyForRecovery(const JournalRecord& rec) {
       ++Cls(cls).enqueued;
       if ((rec.flags & kJfCatchUp) != 0) ++diagnostics_.catch_up_enqueued;
       if ((rec.flags & kJfReactive) != 0) ++reactive_arrivals_;
+      if ((rec.flags & kJfFailover) != 0) ++diagnostics_.failover_requeues;
       if (rec.attempt > 0) {
         diagnostics_.max_brownout_level =
             std::max(diagnostics_.max_brownout_level, rec.attempt);
       }
       return Status::OK();
     }
+    case JournalEvent::kNodeDead:
+      ++diagnostics_.node_failovers;
+      return Status::OK();
     case JournalEvent::kAdmissionShed: {
       if ((rec.flags & kJfBreakerShed) != 0) ++diagnostics_.shed_resumes;
       ++Cls(cls).shed_admission;

@@ -125,6 +125,10 @@ struct DiagnosticsReport {
   uint64_t dispatch_timeouts = 0;   // ack never arrived; requeued unacked
   uint64_t late_acks = 0;           // ack after local resolution; no-op
   uint64_t stale_epoch_acks = 0;    // ack from a predecessor epoch; no-op
+
+  // Failover telemetry (inert-zero without the node health tracker).
+  uint64_t node_failovers = 0;     // journaled node-death declarations
+  uint64_t failover_requeues = 0;  // databases re-placed off a dead node
   telemetry::Histogram queue_wait;          // enqueue -> first attempt
   telemetry::Histogram in_flight_duration;  // dispatch -> completion
 
@@ -201,6 +205,23 @@ class ManagementService {
 
   /// Admits a maintenance touch (lowest class; first to be shed).
   Status EnqueueMaintenance(DbId db, EpochSeconds now);
+
+  // --- Failover (node death, DESIGN.md section 12) ---
+
+  /// Journals a node-death declaration (kNodeDead).  The failover engine
+  /// calls this once per declaration, before re-queueing the node's
+  /// databases, so the decision itself is exactly-once across a plane
+  /// crash mid-failover.
+  Status NoteNodeDead(uint32_t node, EpochSeconds now);
+
+  /// Re-places one database off a dead node: admitted as
+  /// reactive-priority work (customer impact is live or imminent), never
+  /// shed or throttled, journaled kAccepted|kJfFailover so replay
+  /// restores it exactly once.  Deduplicates against work already
+  /// queued, in flight, or on the wire for the database — a failover
+  /// must never fork a second workflow.  Does NOT count as a reactive
+  /// arrival (plane-initiated work must not feed the storm detector).
+  Status EnqueueFailover(DbId db, EpochSeconds now);
 
   /// Drains the reactive class and runs the deadline watchdog without an
   /// Algorithm 5 selection — the between-iterations pump a login-path
@@ -391,7 +412,8 @@ class ManagementService {
   /// class strictly below `cls`; false if no lower-class item exists.
   bool EvictLowerClass(ResumeClass cls, EpochSeconds now);
   void EnqueueItem(DbId db, ResumeClass cls, EpochSeconds now,
-                   int brownout_level = -1, bool catch_up = false);
+                   int brownout_level = -1, bool catch_up = false,
+                   bool failover = false);
   /// Retires a queued item without an attempt (promotion, deletion) via
   /// the skipped_state_changed path of its class.
   void RetireSkipped(const WorkItem& item, bool deleted = false);

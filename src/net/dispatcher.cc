@@ -16,6 +16,12 @@ TransportDispatcher::TransportDispatcher(Transport* transport, Options options,
       [this](const Envelope& env, EpochSeconds now) { HandleReply(env, now); });
 }
 
+void TransportDispatcher::set_health_tracker(
+    controlplane::NodeHealthTracker* tracker) {
+  health_ = tracker;
+  health_registered_ = false;
+}
+
 void TransportDispatcher::set_service(controlplane::ManagementService* service) {
   service_ = service;
   // The previous incarnation's requests are dead: their ids embed the old
@@ -115,6 +121,13 @@ void TransportDispatcher::HandleReply(const Envelope& env, EpochSeconds now) {
         return;
       }
       outstanding_.erase(it);
+      if (health_ != nullptr && env.enqueued_at > 0 &&
+          now >= env.enqueued_at) {
+        // The reply echoes its request's transmission time in
+        // enqueued_at: per-transmission round-trip latency for the
+        // gray-failure score.
+        health_->OnAckLatency(env.src, now - env.enqueued_at, now);
+      }
       Status verdict = StatusFromCode(env.code, "node reply");
       if (in_dispatch_ && env.request_id == inline_rid_) {
         inline_result_ = std::move(verdict);
@@ -126,9 +139,21 @@ void TransportDispatcher::HandleReply(const Envelope& env, EpochSeconds now) {
       }
       return;
     }
-    case MessageType::kLeaseGrant:
+    case MessageType::kLeaseGrant: {
       ++stats_.lease_grants;
+      // Thread the granting node through: per-node liveness is the whole
+      // point of the lease loop (the aggregate count cannot tell a
+      // healthy pool from one dead node hidden by a chatty neighbor).
+      ++lease_grants_by_node_[env.src];
+      if (health_ != nullptr) {
+        const DurationSeconds latency =
+            env.enqueued_at > 0 && now >= env.enqueued_at
+                ? now - env.enqueued_at
+                : 0;
+        health_->OnLeaseGrant(env.src, latency, now);
+      }
       return;
+    }
     case MessageType::kResumeRequest:
     case MessageType::kPauseRequest:
     case MessageType::kLeaseRenew:
@@ -138,6 +163,15 @@ void TransportDispatcher::HandleReply(const Envelope& env, EpochSeconds now) {
 }
 
 void TransportDispatcher::Tick(EpochSeconds now) {
+  if (health_ != nullptr && !health_registered_) {
+    // Register the fan-out set at the first tick's virtual time, so an
+    // unseen node is neither healthy-forever nor instantly suspect.
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      health_->Register(options_.first_node + static_cast<EndpointId>(i),
+                        now);
+    }
+    health_registered_ = true;
+  }
   transport_->DeliverDue(now);
 
   // Snapshot + sort so retransmission order is deterministic regardless
@@ -175,16 +209,34 @@ void TransportDispatcher::Tick(EpochSeconds now) {
   if (options_.lease_interval > 0 && now >= next_lease_at_) {
     next_lease_at_ = now + options_.lease_interval;
     for (int i = 0; i < options_.num_nodes; ++i) {
+      const EndpointId node =
+          options_.first_node + static_cast<EndpointId>(i);
       Envelope lease;
       lease.type = MessageType::kLeaseRenew;
       lease.src = kControlPlaneEndpoint;
-      lease.dst = options_.first_node + static_cast<EndpointId>(i);
+      lease.dst = node;
       lease.epoch = service_ != nullptr ? service_->epoch() : 0;
       lease.sent_at = now;
-      ++stats_.lease_renewals;
+      // Healthy nodes get a real renewal; a suspect or dead node gets a
+      // ttl=0 probe — liveness evidence is still solicited, but its
+      // fence-safe bound stops advancing, so the node's lease runs out
+      // at a time the plane already knows.
+      const bool extend =
+          health_ == nullptr || health_->ShouldExtendLease(node);
+      lease.lease_ttl = extend ? options_.lease_ttl : 0;
+      if (extend) {
+        ++stats_.lease_renewals;
+      } else {
+        ++stats_.lease_probes;
+      }
+      if (health_ != nullptr) {
+        health_->OnRenewalSent(node, now, lease.lease_ttl);
+      }
       transport_->Send(lease);
     }
   }
+
+  if (health_ != nullptr) health_->AdvanceTime(now);
 }
 
 }  // namespace prorp::net

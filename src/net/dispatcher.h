@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
 #include "controlplane/management_service.h"
+#include "controlplane/node_health.h"
 #include "net/transport.h"
 
 namespace prorp::net {
@@ -32,8 +34,15 @@ class TransportDispatcher {
     /// dispatch is reported timed out.
     int max_transmissions = 4;
     /// Period of lease renewals to every node (0 disables).  Leases are
-    /// liveness/epoch advertisements; telemetry-only today.
+    /// liveness/epoch advertisements; with a nonzero lease_ttl (and a
+    /// health tracker attached) they become the failure detector's
+    /// heartbeat and the nodes' work-acceptance fence.
     DurationSeconds lease_interval = 0;
+    /// TTL carried on real renewals (0 keeps leases telemetry-only: the
+    /// nodes never become lease-enforced — the pre-failover behavior).
+    /// When a health tracker is attached, suspect and dead nodes get
+    /// ttl=0 probes instead, so their fence-safe bound stops advancing.
+    DurationSeconds lease_ttl = 0;
     /// Node endpoints [first_node, first_node + num_nodes) for lease
     /// fan-out.
     EndpointId first_node = 1;
@@ -54,6 +63,7 @@ class TransportDispatcher {
     uint64_t late_acks = 0;        ///< ack for a no-longer-outstanding id
     uint64_t stale_epoch_acks = 0; ///< ack from a previous incarnation
     uint64_t lease_renewals = 0;
+    uint64_t lease_probes = 0;  ///< ttl=0 renewals to non-healthy nodes
     uint64_t lease_grants = 0;
   };
 
@@ -64,6 +74,12 @@ class TransportDispatcher {
   /// outstanding dispatch: the old incarnation's requests are dead — any
   /// straggler acks they still produce land in the stale/late counters.
   void set_service(controlplane::ManagementService* service);
+
+  /// Attaches the failure detector: grants and ack latencies are fed to
+  /// it per node, lease fan-out consults it (healthy nodes get real
+  /// renewals, others ttl=0 probes), and Tick advances its clock.
+  /// nullptr detaches.
+  void set_health_tracker(controlplane::NodeHealthTracker* tracker);
 
   /// The management service's resume callback.  Returns the node's
   /// verdict when the ack arrived inline, Status::Pending otherwise.
@@ -82,6 +98,13 @@ class TransportDispatcher {
   size_t outstanding() const { return outstanding_.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Grants received from one node (the aggregate Stats::lease_grants,
+  /// disaggregated by granting endpoint).
+  uint64_t lease_grants_from(EndpointId node) const {
+    auto it = lease_grants_by_node_.find(node);
+    return it == lease_grants_by_node_.end() ? 0 : it->second;
+  }
+
  private:
   void HandleReply(const Envelope& env, EpochSeconds now);
   uint64_t NextPauseId();
@@ -90,6 +113,10 @@ class TransportDispatcher {
   Options options_;
   NodeResolver resolver_;
   controlplane::ManagementService* service_ = nullptr;
+  controlplane::NodeHealthTracker* health_ = nullptr;
+  bool health_registered_ = false;
+  /// Per-node grant counts (ordered for deterministic inspection).
+  std::map<EndpointId, uint64_t> lease_grants_by_node_;
 
   struct Outstanding {
     Envelope request;       // retransmissions resend this verbatim

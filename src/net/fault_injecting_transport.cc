@@ -43,10 +43,27 @@ bool FaultInjectingTransport::Partitioned(const Envelope& env) const {
   return false;
 }
 
+DurationSeconds FaultInjectingTransport::SlowDelay(const Envelope& env) const {
+  if (env.src == kControlPlaneEndpoint) return 0;  // node-sent traffic only
+  DurationSeconds delay = 0;
+  for (const SlowNodeSpec& s : slow_nodes_) {
+    if (env.src != s.node) continue;
+    if (env.sent_at < s.from || env.sent_at >= s.until) continue;
+    delay = std::max(delay, s.delay);
+  }
+  return delay;
+}
+
 void FaultInjectingTransport::Send(Envelope env) {
   ++stats_.sent;
   if (Partitioned(env)) {
     ++stats_.partitioned;
+    return;
+  }
+  if (DurationSeconds slow = SlowDelay(env); slow > 0) {
+    ++stats_.delayed;
+    delayed_.push_back(Delayed{env.sent_at + slow, ++seq_, env});
+    std::push_heap(delayed_.begin(), delayed_.end(), Later);
     return;
   }
   if (plan_ != nullptr) {

@@ -27,6 +27,19 @@ struct PartitionSpec {
   EndpointId last_node = ~0u;
 };
 
+/// A gray-failed node over [from, until): every message it SENDS (acks,
+/// grants) is deferred by a fixed `delay` on the virtual clock.  The
+/// node is alive and correct — just slow — which is exactly the failure
+/// mode the tracker's p99 ack scoring exists to catch.  The delay is a
+/// constant, not drawn from any RNG stream, so a slow-node overlay
+/// perturbs nothing else.
+struct SlowNodeSpec {
+  EndpointId node = 1;
+  EpochSeconds from = 0;
+  EpochSeconds until = 0;
+  DurationSeconds delay = 0;
+};
+
 /// Transport decorator injecting message-level faults from a seeded
 /// FaultPlan: drops, duplicates, and clock-based delays (reordering is
 /// emergent — independently delayed messages overtake each other), plus
@@ -52,6 +65,7 @@ class FaultInjectingTransport : public Transport {
   void set_fault_plan(faults::FaultPlan* plan) { plan_ = plan; }
 
   void AddPartition(PartitionSpec spec) { partitions_.push_back(spec); }
+  void AddSlowNode(SlowNodeSpec spec) { slow_nodes_.push_back(spec); }
 
   void Send(Envelope env) override;
   void DeliverDue(EpochSeconds now) override;
@@ -73,11 +87,14 @@ class FaultInjectingTransport : public Transport {
   }
 
   bool Partitioned(const Envelope& env) const;
+  /// Fixed reply-path delay of an active slow-node window; 0 when none.
+  DurationSeconds SlowDelay(const Envelope& env) const;
   static faults::FaultOp OpFor(MessageType type);
 
   faults::FaultPlan* plan_;
   Options options_;
   std::vector<PartitionSpec> partitions_;
+  std::vector<SlowNodeSpec> slow_nodes_;
   std::vector<Delayed> delayed_;  // min-heap via Later
   uint64_t seq_ = 0;
 };

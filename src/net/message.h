@@ -37,6 +37,10 @@ inline constexpr uint32_t kMfDuplicateDelivery = 1u << 0;
 /// The request's epoch was below the node's fence: a predecessor
 /// incarnation's late message, rejected without executing anything.
 inline constexpr uint32_t kMfStaleEpoch = 1u << 1;
+/// The node's lease had lapsed (or the request predates a self-quiesce):
+/// the agent is fenced and refused the request without executing it, so
+/// the plane can safely re-place the database elsewhere.
+inline constexpr uint32_t kMfLeaseExpired = 1u << 2;
 
 /// One message on the wire.  Flat POD-style struct: the in-process
 /// transports pass it by value, and a future serialized transport can
@@ -63,6 +67,14 @@ struct Envelope {
   uint8_t node_offset = 0;
   bool hedge = false;
   EpochSeconds enqueued_at = 0;
+
+  /// Lease-renewal payload: how long past `sent_at` the node may keep
+  /// accepting work.  Zero means "probe" — the renewal solicits a grant
+  /// (liveness evidence) without extending the node's lease, which is how
+  /// the plane lets a suspect node's lease run out at a known bound.
+  /// Replies echo the transmission's `sent_at` in `enqueued_at`, so the
+  /// plane can measure per-transmission round-trip latency.
+  DurationSeconds lease_ttl = 0;
 
   // Reply payload.
   StatusCode code = StatusCode::kOk;

@@ -93,7 +93,10 @@ class Harness {
       PartitionSpec p;
       p.from = kStart + static_cast<EpochSeconds>(opt.steps / 3) * kStep;
       p.until = p.from + 20 * kStep;
-      switch (opt.seed % 3) {
+      const uint64_t dir = opt.partition_direction >= 0
+                               ? static_cast<uint64_t>(opt.partition_direction)
+                               : opt.seed % 3;
+      switch (dir % 3) {
         case 0:
           p.direction = PartitionSpec::Direction::kBoth;
           break;

@@ -35,6 +35,11 @@ struct NetworkTortureOptions {
   double duplicate_p = 0.0;
   double delay_p = 0.0;
   bool partition = false;  // plane <-> node-subset partition window
+  /// Partition direction: -1 derives it from the seed (legacy behavior);
+  /// 0/1/2 force kBoth/kToNodes/kFromNodes.  kFromNodes is the
+  /// asymmetric "zombie" cell — the node keeps receiving requests (and
+  /// executing them) while every ack it sends is lost one-way.
+  int partition_direction = -1;
   /// Probability a node execution fails transiently.
   double fail_probability = 0.10;
   uint64_t checkpoint_every = 64;

@@ -21,6 +21,33 @@ void NodeAgent::FenceEpoch(uint64_t epoch) {
   fence_epoch_ = std::max(fence_epoch_, epoch);
 }
 
+void NodeAgent::Quiesce(EpochSeconds now) {
+  // The lease lapsed: every side effect this node produced is released,
+  // so the applied-request verdicts describe a world that no longer
+  // exists.  Voiding the table means a post-re-lease redelivery
+  // re-executes (correctly — the work has to be redone), instead of
+  // re-acking a resume that is no longer live.
+  ++stats_.self_quiesces;
+  lease_valid_until_ = 0;
+  refuse_before_ = std::max(refuse_before_, now);
+  applied_.clear();
+  if (quiesce_) quiesce_(now);
+}
+
+void NodeAgent::AdvanceTime(EpochSeconds now) {
+  if (down_) return;
+  if (lease_enforced_ && lease_valid_until_ > 0 && now > lease_valid_until_) {
+    Quiesce(now);
+  }
+}
+
+void NodeAgent::Restart(EpochSeconds now) {
+  down_ = false;
+  lease_valid_until_ = 0;
+  refuse_before_ = std::max(refuse_before_, now);
+  applied_.clear();
+}
+
 void NodeAgent::Reply(const Envelope& request, MessageType type,
                       StatusCode code, uint32_t flags, EpochSeconds now) {
   Envelope reply;
@@ -36,12 +63,19 @@ void NodeAgent::Reply(const Envelope& request, MessageType type,
   reply.cls = request.cls;
   reply.attempt = request.attempt;
   reply.hedge = request.hedge;
+  // Echo the transmission's send time so the plane can score this node's
+  // per-transmission round-trip latency (gray-failure detection).
+  reply.enqueued_at = request.sent_at;
   reply.code = code;
   reply.flags = flags;
   transport_->Send(reply);
 }
 
 void NodeAgent::HandleMessage(const Envelope& env, EpochSeconds now) {
+  if (down_) return;  // crashed process: the message falls on the floor
+  // Message arrival is also a clock observation: a lapsed lease fences
+  // the node before anything else is considered.
+  AdvanceTime(now);
   switch (env.type) {
     case MessageType::kResumeRequest:
     case MessageType::kPauseRequest: {
@@ -54,6 +88,16 @@ void NodeAgent::HandleMessage(const Envelope& env, EpochSeconds now) {
         return;
       }
       fence_epoch_ = std::max(fence_epoch_, env.epoch);
+      if ((lease_enforced_ && now > lease_valid_until_) ||
+          env.sent_at <= refuse_before_) {
+        // Lease fence: no live lease (or the request predates a quiesce
+        // or restart).  Refuse without executing — the plane will
+        // re-place the database once the node is declared dead.
+        ++stats_.lease_expired_rejected;
+        Reply(env, MessageType::kNack, StatusCode::kUnavailable,
+              kMfLeaseExpired, now);
+        return;
+      }
       if (auto it = applied_.find(env.request_id); it != applied_.end()) {
         // Redelivery of a request whose side effect already ran: repeat
         // the recorded verdict, execute nothing.
@@ -89,6 +133,16 @@ void NodeAgent::HandleMessage(const Envelope& env, EpochSeconds now) {
       // Lease renewals double as epoch advertisements: they raise the
       // fence even when no workflow is in flight.
       fence_epoch_ = std::max(fence_epoch_, env.epoch);
+      if (env.lease_ttl > 0) {
+        // The lease runs from the renewal's SEND time, not its arrival:
+        // a renewal delayed in the network extends the lease no further
+        // than the plane already accounted for when it sent it.
+        lease_enforced_ = true;
+        lease_valid_until_ =
+            std::max(lease_valid_until_, env.sent_at + env.lease_ttl);
+      }
+      // Probes (ttl == 0) are still granted: the grant is liveness
+      // evidence for the tracker, it just doesn't extend the lease.
       ++stats_.leases_granted;
       Reply(env, MessageType::kLeaseGrant, StatusCode::kOk, 0, now);
       return;

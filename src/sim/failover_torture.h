@@ -1,0 +1,121 @@
+#ifndef PRORP_SIM_FAILOVER_TORTURE_H_
+#define PRORP_SIM_FAILOVER_TORTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "net/transport.h"
+
+namespace prorp::sim {
+
+/// One injected node fault, active over [at_step, at_step + duration).
+struct NodeFaultSpec {
+  enum class Kind : uint8_t {
+    kCrash,   ///< process death: deaf to messages, side effects destroyed
+    kZombie,  ///< asymmetric partition: keeps receiving and executing,
+              ///< every message it sends is lost one-way
+    kSlow,    ///< gray failure: alive and correct, replies delayed
+  };
+  Kind kind = Kind::kCrash;
+  uint32_t node = 1;  ///< node endpoint id (1-based)
+  int at_step = 40;
+  int duration_steps = 20;
+  /// kSlow only: fixed delay applied to everything the node sends.
+  DurationSeconds slow_delay = 120;
+};
+
+/// One failover-torture run: the network-torture workload (proactive
+/// selections, reactive logins, pause churn, message faults, optional
+/// storm/outage/plane-crash overlays) with node-level failures layered on
+/// top — crashes, zombie partitions, gray-slow nodes — and the
+/// lease-driven failure detector plus the fenced failover engine wired in
+/// to detect them and re-place the affected databases.
+///
+/// Invariants the result exposes (the matrix test asserts them):
+///  * zero accepted-login loss (every acked login's database is resumed
+///    after the final drain),
+///  * zero double-applies and zero stale-epoch applies,
+///  * zero double-live (a database never has side effects live on two
+///    nodes at once — the fence held),
+///  * zero fence violations (no node executed work past its lease),
+///  * per-class accounting reconciles after the drain.
+struct FailoverTortureOptions {
+  std::string dir;  // working directory for journal + checkpoint
+  uint64_t seed = 1;
+  int num_dbs = 48;
+  int num_nodes = 4;
+  int steps = 200;  // virtual-clock steps of one minute each
+  /// False = passive baseline: leases stay telemetry-only (ttl 0), no
+  /// tracker, no failover engine, no diversion — recovery from a node
+  /// fault happens only through retry/timeout attrition.
+  bool detection_enabled = true;
+  DurationSeconds lease_interval = 60;
+  DurationSeconds lease_ttl = 240;
+  DurationSeconds suspect_after = 150;
+  DurationSeconds dead_grace = 120;
+  DurationSeconds rejoin_after = 600;
+  DurationSeconds slow_p99_threshold = 60;
+  int min_latency_samples = 8;
+  std::vector<NodeFaultSpec> faults;
+  bool storm = false;      // login-spike storm mid-run
+  bool outage = false;     // resume-path outage window mid-run
+  int crash_at_step = -1;  // control-plane crash/recovery overlay
+  // Message-fault probabilities (transport-only RNG stream).
+  double drop_p = 0.0;
+  double duplicate_p = 0.0;
+  double delay_p = 0.0;
+  /// Probability a node execution fails transiently.
+  double fail_probability = 0.05;
+  uint64_t checkpoint_every = 64;
+};
+
+struct FailoverTortureResult {
+  int recoveries = 0;  ///< control-plane crash/recovery cycles
+  uint64_t accepted_reactive = 0;
+  /// Acked logins whose database was still not resumed after the final
+  /// drain — must be zero.
+  uint64_t lost_reactive = 0;
+  /// A request id side-effecting twice — must be zero.
+  uint64_t double_applies = 0;
+  /// A request below the node's epoch fence executed — must be zero.
+  uint64_t stale_epoch_applied = 0;
+  /// A database executed a resume while its side effects were still live
+  /// on another node — must be zero (the lease fence failed).
+  uint64_t double_live = 0;
+  /// A node executed work while its own lease was lapsed — must be zero
+  /// (the self-quiesce fence failed).
+  uint64_t fence_violations = 0;
+  // Detection / failover telemetry.
+  uint64_t deaths_declared = 0;
+  uint64_t failover_requeues = 0;
+  uint64_t failover_deduped = 0;
+  uint64_t diverted_dispatches = 0;  ///< routed off a dead home node
+  uint64_t self_quiesces = 0;
+  uint64_t lease_expired_rejected = 0;
+  uint64_t lease_probes = 0;
+  uint64_t node_rejoins = 0;
+  uint64_t suspects_gray_failure = 0;
+  // Workload telemetry.
+  uint64_t incidents = 0;
+  uint64_t dispatch_timeouts = 0;
+  uint64_t retransmissions = 0;
+  uint64_t total_resumed = 0;
+  bool accounting_ok = false;
+  bool drained = false;
+  /// Fault onset -> death declaration, seconds, one sample per death.
+  Summary detection_delay;
+  /// Failover re-queue -> successful re-execution on a survivor.
+  Summary replacement_delay;
+  /// Login arrival -> database resumed, for logins that had to wait.
+  Summary login_wait;
+  net::TransportStats transport;
+};
+
+Result<FailoverTortureResult> RunFailoverTorture(
+    const FailoverTortureOptions& options);
+
+}  // namespace prorp::sim
+
+#endif  // PRORP_SIM_FAILOVER_TORTURE_H_

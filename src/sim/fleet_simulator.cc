@@ -9,6 +9,8 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "controlplane/durable_control_plane.h"
+#include "controlplane/failover.h"
+#include "controlplane/node_health.h"
 #include "forecast/fast_predictor.h"
 #include "history/mem_history_store.h"
 #include "history/null_history_store.h"
@@ -47,6 +49,10 @@ enum class SimEventType : uint8_t {
   kPumpTick,         // storm layer: periodic reactive drain + watchdog
   kMaintenanceTick,  // storm layer: enqueue background maintenance load
   kControlPlaneCrash,  // durable mode: simulated control-plane death
+  kLeaseTick,        // transport: lease renewals, retransmits, failover
+  kNodeCrash,        // injected node death: agent deaf, resources lost
+  kNodeRestart,      // the crashed node's process returns
+  kFailoverPlaced,   // a failover re-placement finished on a survivor
 };
 
 /// Deterministic per-node outage windows over [0, end).  Derived from the
@@ -307,6 +313,18 @@ class FleetSimulation {
   Status HandlePumpTick(const SimEvent& ev);
   Status HandleMaintenanceTick(const SimEvent& ev);
   Status HandleControlPlaneCrash(const SimEvent& ev);
+  Status HandleLeaseTick(const SimEvent& ev);
+  Status HandleNodeCrash(const SimEvent& ev);
+  Status HandleNodeRestart(const SimEvent& ev);
+
+  /// True when the transport stack runs one agent per node (failure
+  /// detection or an injected node crash need real per-node endpoints);
+  /// plain use_transport keeps the single-agent legacy wiring.
+  bool multi_node_transport() const {
+    return options_.use_transport &&
+           (options_.failure_detection_enabled ||
+            options_.node_crash_node >= 0);
+  }
 
   bool full_telemetry() const {
     return options_.telemetry == SimOptions::Telemetry::kFull;
@@ -316,6 +334,18 @@ class FleetSimulation {
   /// control planes.  Failure draws come from the member RNG so the
   /// stream continues across a simulated control-plane restart.
   controlplane::ManagementService::ResumeCallback MakeResumeCallback();
+
+  /// The executor body behind MakeResumeCallback and the per-node agents:
+  /// `node` is the 0-based node actually running the attempt (the home
+  /// node in the legacy wiring, the dispatch target under failover).
+  Status ExecuteResume(const controlplane::ResumeAttempt& a,
+                       EpochSeconds now, size_t node);
+
+  /// A reactive-class attempt with no waiting login: either a failover
+  /// re-placement of a crash-evicted database (re-warm it on `node`) or
+  /// a genuinely stale workflow (refuse it).
+  Status ExecuteFailoverPlacement(const controlplane::ResumeAttempt& a,
+                                  EpochSeconds now, size_t node);
 
   /// The resume callback handed to the control plane: the node executor
   /// directly (legacy), or a hop through the message transport when
@@ -413,6 +443,19 @@ class FleetSimulation {
   std::unique_ptr<net::InProcessTransport> transport_;
   std::unique_ptr<net::NodeAgent> agent_;
   std::unique_ptr<net::TransportDispatcher> dispatcher_;
+  /// Multi-node wiring (multi_node_transport()): one agent per node at
+  /// endpoints 1..num_nodes, plus the lease-driven health tracker and
+  /// failover engine when failure detection is enabled.
+  std::vector<std::unique_ptr<net::NodeAgent>> agents_;
+  std::unique_ptr<controlplane::NodeHealthTracker> tracker_;
+  std::unique_ptr<controlplane::FailoverEngine> engine_;
+  /// Databases force-evicted by a node crash and not yet re-placed; the
+  /// failover engine enumerates these for the dead node.
+  std::vector<uint8_t> crash_evicted_;
+  /// Failover-engine requeue count after the previous lease tick, so the
+  /// tick only pumps the service when the engine actually enqueued work
+  /// (a fault-free run must not see extra pumps).
+  uint64_t failover_requeued_seen_ = 0;
   Rng failure_rng_{0};
   uint64_t cp_recoveries_ = 0;
   uint64_t cp_last_replayed_ = 0;
@@ -610,9 +653,26 @@ Status FleetSimulation::HandleResumeLatencyDone(const SimEvent& ev) {
     // to the generation check below and are dropped as stale.
     management_->CompleteWorkflow(ev.db, ev.time);
     if (reactive_login_at_[ev.db] >= options_.measure_from) {
-      DurationSeconds delay = ev.time - reactive_login_at_[ev.db];
+      const EpochSeconds login_at = reactive_login_at_[ev.db];
+      DurationSeconds delay = ev.time - login_at;
       if (full_telemetry()) login_delay_.Add(static_cast<double>(delay));
       login_delay_hist_.Add(delay);
+      // Attribute the wait: did it start inside an outage window of the
+      // home node (ride it out), or inside the node-crash window
+      // (failover should have re-placed the database elsewhere)?
+      const size_t home = NodeOf(ev.db);
+      if (outages_.enabled() && outages_.DownAt(home, login_at)) {
+        ++robustness_.outage_waited_logins;
+        robustness_.outage_wait_seconds += static_cast<uint64_t>(delay);
+      } else if (options_.node_crash_node >= 0 &&
+                 home == static_cast<size_t>(options_.node_crash_node) &&
+                 login_at >= options_.node_crash_at &&
+                 (options_.node_crash_duration <= 0 ||
+                  login_at <
+                      options_.node_crash_at + options_.node_crash_duration)) {
+        ++robustness_.failover_waited_logins;
+        robustness_.failover_wait_seconds += static_cast<uint64_t>(delay);
+      }
     }
     reactive_login_at_[ev.db] = 0;
   }
@@ -675,82 +735,163 @@ controlplane::ManagementService::ResumeCallback
 FleetSimulation::MakeResumeCallback() {
   return [this](const controlplane::ResumeAttempt& a,
                 EpochSeconds now) -> Status {
-        size_t node = NodeOf(a.db);
-        if (a.node_offset != 0) {
-          // Hedge: route to a different (least-loaded) node.
-          node = capacity_ != nullptr
-                     ? capacity_->LeastLoadedOther(node, now)
-                     : (node + static_cast<size_t>(a.node_offset)) %
-                           static_cast<size_t>(
-                               std::max(1, options_.num_nodes));
-        }
-        if (a.cls == controlplane::ResumeClass::kReactiveLogin) {
-          // The customer's connection retry loop rides out outages and
-          // congestion: the workflow never fails, it just takes longer.
-          if (controllers_[a.db] == nullptr ||
-              reactive_login_at_[a.db] == 0 ||
-              current_phase_[a.db] != Phase::kUnavailable) {
-            return Status::FailedPrecondition("login no longer waiting");
-          }
-          EpochSeconds blocked_until =
-              outages_.enabled() ? outages_.DownUntil(node, now) : 0;
-          NodeCapacityModel::Grant g = capacity_->Acquire(
-              node, now, common::JitterHash(a.db, a.attempt), blocked_until,
-              /*limited=*/false);
-          Push(g.done, SimEventType::kResumeLatencyDone, a.db,
-               reactive_login_gen_[a.db]);
-          return Status::OK();
-        }
-        if (outages_.enabled() && outages_.DownAt(node, now)) {
-          ++robustness_.resume_failures_outage;
-          return Status::Unavailable("node outage");
-        }
-        if (a.cls == controlplane::ResumeClass::kMaintenance) {
-          if (controllers_[a.db] == nullptr) {
-            return Status::FailedPrecondition("database not yet created");
-          }
-          Status s = controllers_[a.db]->OnMaintenanceTouch(now);
-          if (s.ok() && capacity_ != nullptr) {
-            (void)capacity_->Acquire(node, now,
-                                     common::JitterHash(a.db, a.attempt), 0);
-          }
-          return s;
-        }
-        if (options_.resume_failure_probability > 0 &&
-            failure_rng_.NextBool(options_.resume_failure_probability)) {
-          ++robustness_.resume_failures_injected;
-          return Status::Unavailable("injected workflow failure");
-        }
-        if (controllers_[a.db] == nullptr) {
-          return Status::FailedPrecondition("database not yet created");
-        }
-        Status s = controllers_[a.db]->OnProactiveResume(now);
-        if (s.ok()) {
-          SyncTimer(a.db);
-          if (capacity_ != nullptr) {
-            // Pre-warms consume node capacity too — this is exactly the
-            // coupling a naive post-outage catch-up abuses.
-            (void)capacity_->Acquire(node, now,
-                                     common::JitterHash(a.db, a.attempt), 0);
-          }
-        }
-        return s;
+    return ExecuteResume(a, now, NodeOf(a.db));
   };
+}
+
+Status FleetSimulation::ExecuteResume(const controlplane::ResumeAttempt& a,
+                                      EpochSeconds now, size_t node) {
+  if (a.node_offset != 0) {
+    // Hedge: route to a different (least-loaded) node.
+    node = capacity_ != nullptr
+               ? capacity_->LeastLoadedOther(node, now)
+               : (node + static_cast<size_t>(a.node_offset)) %
+                     static_cast<size_t>(std::max(1, options_.num_nodes));
+  }
+  if (a.cls == controlplane::ResumeClass::kReactiveLogin) {
+    const bool login_waiting =
+        !reactive_login_at_.empty() && controllers_[a.db] != nullptr &&
+        reactive_login_at_[a.db] != 0 &&
+        current_phase_[a.db] == Phase::kUnavailable;
+    if (!login_waiting) return ExecuteFailoverPlacement(a, now, node);
+    // The customer's connection retry loop rides out outages and
+    // congestion: the workflow never fails, it just takes longer.
+    EpochSeconds blocked_until =
+        outages_.enabled() ? outages_.DownUntil(node, now) : 0;
+    NodeCapacityModel::Grant g = capacity_->Acquire(
+        node, now, common::JitterHash(a.db, a.attempt), blocked_until,
+        /*limited=*/false);
+    Push(g.done, SimEventType::kResumeLatencyDone, a.db,
+         reactive_login_gen_[a.db]);
+    return Status::OK();
+  }
+  if (outages_.enabled() && outages_.DownAt(node, now)) {
+    ++robustness_.resume_failures_outage;
+    return Status::Unavailable("node outage");
+  }
+  if (a.cls == controlplane::ResumeClass::kMaintenance) {
+    if (controllers_[a.db] == nullptr) {
+      return Status::FailedPrecondition("database not yet created");
+    }
+    Status s = controllers_[a.db]->OnMaintenanceTouch(now);
+    if (s.ok() && capacity_ != nullptr) {
+      (void)capacity_->Acquire(node, now,
+                               common::JitterHash(a.db, a.attempt), 0);
+    }
+    return s;
+  }
+  if (options_.resume_failure_probability > 0 &&
+      failure_rng_.NextBool(options_.resume_failure_probability)) {
+    ++robustness_.resume_failures_injected;
+    return Status::Unavailable("injected workflow failure");
+  }
+  if (controllers_[a.db] == nullptr) {
+    return Status::FailedPrecondition("database not yet created");
+  }
+  Status s = controllers_[a.db]->OnProactiveResume(now);
+  if (s.ok()) {
+    SyncTimer(a.db);
+    if (capacity_ != nullptr) {
+      // Pre-warms consume node capacity too — this is exactly the
+      // coupling a naive post-outage catch-up abuses.
+      (void)capacity_->Acquire(node, now,
+                               common::JitterHash(a.db, a.attempt), 0);
+    }
+  }
+  return s;
+}
+
+Status FleetSimulation::ExecuteFailoverPlacement(
+    const controlplane::ResumeAttempt& a, EpochSeconds now, size_t node) {
+  // A reactive-class attempt arriving with no login waiting is either a
+  // failover re-placement — the crash evicted the database's warm
+  // resources, and the engine re-queued it at reactive priority to
+  // re-warm them on a survivor — or a genuinely stale workflow.
+  LifecycleController* c = controllers_[a.db];
+  if (c == nullptr || crash_evicted_.empty() || !crash_evicted_[a.db] ||
+      c->state() != DbState::kPhysicallyPaused) {
+    return Status::FailedPrecondition("login no longer waiting");
+  }
+  if (outages_.enabled() && outages_.DownAt(node, now)) {
+    ++robustness_.resume_failures_outage;
+    return Status::Unavailable("node outage");
+  }
+  Status s = c->OnProactiveResume(now);
+  if (s.ok()) {
+    crash_evicted_[a.db] = 0;
+    SyncTimer(a.db);
+    if (capacity_ != nullptr) {
+      (void)capacity_->Acquire(node, now,
+                               common::JitterHash(a.db, a.attempt), 0);
+    }
+    // Close the workflow once the re-placement lands (the login path
+    // closes it from kResumeLatencyDone; there is no login here).
+    Push(now, SimEventType::kFailoverPlaced, a.db, 0);
+  }
+  return s;
 }
 
 controlplane::ManagementService::ResumeCallback
 FleetSimulation::MakeServiceCallback() {
   if (!options_.use_transport) return MakeResumeCallback();
   if (dispatcher_ == nullptr) {
-    // One dispatcher on the plane side, one agent standing in for the
-    // whole node fleet: per-node routing stays inside the executor (the
-    // callback above picks the node from the attempt), so a single
-    // endpoint preserves bit-identity with the direct-call run.
     transport_ = std::make_unique<net::InProcessTransport>();
-    dispatcher_ = std::make_unique<net::TransportDispatcher>(
-        transport_.get(), net::TransportDispatcher::Options{});
-    agent_ = std::make_unique<net::NodeAgent>(
-        /*id=*/1, transport_.get(), MakeResumeCallback());
+    if (multi_node_transport()) {
+      // Real per-node endpoints: agent at endpoint i+1 serves node i.
+      // The resolver routes each attempt to its home node, diverting a
+      // declared-dead node's work to the next live endpoint (the
+      // executor still re-warms on the node it actually runs on).
+      const int n = std::max(1, options_.num_nodes);
+      net::TransportDispatcher::Options dopt;
+      dopt.first_node = 1;
+      dopt.num_nodes = n;
+      if (options_.failure_detection_enabled) {
+        dopt.lease_interval = options_.lease_interval;
+        dopt.lease_ttl = options_.lease_ttl;
+        controlplane::NodeHealthTracker::Options hopt;
+        hopt.lease_ttl = options_.lease_ttl;
+        hopt.suspect_after = options_.suspect_after;
+        hopt.dead_grace = options_.dead_grace;
+        hopt.rejoin_after = options_.rejoin_after;
+        tracker_ = std::make_unique<controlplane::NodeHealthTracker>(hopt);
+      }
+      dispatcher_ = std::make_unique<net::TransportDispatcher>(
+          transport_.get(), dopt,
+          [this, n](const controlplane::ResumeAttempt& a) {
+            auto target = static_cast<net::EndpointId>(1 + NodeOf(a.db));
+            if (tracker_ != nullptr) {
+              for (int i = 0;
+                   i < n && tracker_->health(target) ==
+                                controlplane::NodeHealth::kDead;
+                   ++i) {
+                target = static_cast<net::EndpointId>(target % n + 1);
+              }
+            }
+            return target;
+          });
+      if (tracker_ != nullptr) {
+        dispatcher_->set_health_tracker(tracker_.get());
+      }
+      agents_.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const size_t node = static_cast<size_t>(i);
+        agents_.push_back(std::make_unique<net::NodeAgent>(
+            static_cast<net::EndpointId>(1 + i), transport_.get(),
+            [this, node](const controlplane::ResumeAttempt& a,
+                         EpochSeconds now) -> Status {
+              return ExecuteResume(a, now, node);
+            }));
+      }
+    } else {
+      // One dispatcher on the plane side, one agent standing in for the
+      // whole node fleet: per-node routing stays inside the executor
+      // (the callback above picks the node from the attempt), so a
+      // single endpoint preserves bit-identity with the direct-call run.
+      dispatcher_ = std::make_unique<net::TransportDispatcher>(
+          transport_.get(), net::TransportDispatcher::Options{});
+      agent_ = std::make_unique<net::NodeAgent>(
+          /*id=*/1, transport_.get(), MakeResumeCallback());
+    }
   }
   return [this](const controlplane::ResumeAttempt& a,
                 EpochSeconds now) -> Status {
@@ -761,10 +902,32 @@ FleetSimulation::MakeServiceCallback() {
 void FleetSimulation::SyncTransportToService() {
   if (dispatcher_ == nullptr) return;
   dispatcher_->set_service(management_);
-  // Fence the node against the dead incarnation's stragglers before the
-  // new one dispatches anything (inline transport has none; the call
+  // Fence the node(s) against the dead incarnation's stragglers before
+  // the new one dispatches anything (inline transport has none; the call
   // keeps the recovery contract explicit).
-  agent_->FenceEpoch(management_->epoch());
+  if (agent_ != nullptr) agent_->FenceEpoch(management_->epoch());
+  for (auto& ag : agents_) ag->FenceEpoch(management_->epoch());
+  if (tracker_ == nullptr) return;
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<controlplane::FailoverEngine>(
+        management_, tracker_.get(), [this](uint32_t node) {
+          // Placement source: the crash-evicted databases homed on the
+          // dead endpoint and not yet re-placed.
+          std::vector<DbId> dbs;
+          for (DbId db = 0; db < num_dbs_; ++db) {
+            if (!crash_evicted_.empty() && crash_evicted_[db] &&
+                NodeOf(db) + 1 == node) {
+              dbs.push_back(db);
+            }
+          }
+          return dbs;
+        });
+  } else {
+    // The tracker and engine ride across a plane crash (they model
+    // plane-side RAM, but re-detection after recovery is covered by the
+    // failover-torture harness); only the service pointer moves.
+    engine_->set_service(management_);
+  }
 }
 
 Status FleetSimulation::OpenDurableControlPlane(EpochSeconds now) {
@@ -808,6 +971,47 @@ Status FleetSimulation::HandleControlPlaneCrash(const SimEvent& ev) {
   return Status::OK();
 }
 
+Status FleetSimulation::HandleLeaseTick(const SimEvent& ev) {
+  // The plane's lease loop: renew/probe every node, feed the failure
+  // detector, and drain any death declarations into failover re-queues.
+  dispatcher_->Tick(ev.time);
+  if (engine_ != nullptr) {
+    PRORP_RETURN_IF_ERROR(engine_->Tick(ev.time));
+    const uint64_t requeued = engine_->stats().requeued;
+    if (requeued != failover_requeued_seen_) {
+      failover_requeued_seen_ = requeued;
+      (void)management_->Pump(ev.time);
+    }
+  }
+  EpochSeconds next = ev.time + options_.lease_interval;
+  if (next < options_.end) Push(next, SimEventType::kLeaseTick, 0, 0);
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleNodeCrash(const SimEvent& ev) {
+  const size_t node = static_cast<size_t>(ev.aux);
+  if (node < agents_.size()) agents_[node]->Crash();
+  // The node's RAM is gone: every database idling there with warm
+  // resources (logically paused) loses them.  Active databases are
+  // assumed HA-protected above this model, and physically paused ones
+  // had nothing on the node to lose.
+  for (DbId db = 0; db < num_dbs_; ++db) {
+    LifecycleController* c = controllers_[db];
+    if (c == nullptr || NodeOf(db) != node) continue;
+    if (c->state() != DbState::kLogicallyPaused || c->active()) continue;
+    PRORP_RETURN_IF_ERROR(c->OnForcedEviction(ev.time));
+    if (!crash_evicted_.empty()) crash_evicted_[db] = 1;
+    SyncTimer(db);
+  }
+  return Status::OK();
+}
+
+Status FleetSimulation::HandleNodeRestart(const SimEvent& ev) {
+  const size_t node = static_cast<size_t>(ev.aux);
+  if (node < agents_.size()) agents_[node]->Restart(ev.time);
+  return Status::OK();
+}
+
 Result<SimReport> FleetSimulation::Run() {
   PRORP_RETURN_IF_ERROR(options_.config.Validate());
   if (options_.end <= 0) {
@@ -828,6 +1032,23 @@ Result<SimReport> FleetSimulation::Run() {
         "use_lite_metadata drops the SQL mirror the literal-scan "
         "validation path reads");
   }
+  if (options_.failure_detection_enabled && !options_.use_transport) {
+    return Status::InvalidArgument(
+        "failure_detection_enabled requires use_transport (leases ride "
+        "the message stack)");
+  }
+  if (options_.node_crash_node >= 0) {
+    if (!options_.use_transport) {
+      return Status::InvalidArgument(
+          "node_crash_node requires use_transport");
+    }
+    if (options_.node_crash_node >= std::max(1, options_.num_nodes)) {
+      return Status::InvalidArgument("node_crash_node out of range");
+    }
+    if (options_.node_crash_at <= 0) {
+      return Status::InvalidArgument("node_crash_at must be positive");
+    }
+  }
   size_t n = num_dbs_;
   controllers_.assign(n, nullptr);
   history_.assign(n, nullptr);
@@ -844,6 +1065,7 @@ Result<SimReport> FleetSimulation::Run() {
   cur_session_end_.assign(n, 0);
   current_phase_.assign(n, Phase::kReclaimed);
   phase_known_.assign(n, 0);
+  if (multi_node_transport()) crash_evicted_.assign(n, 0);
   predictor_ = std::make_unique<forecast::FastPredictor>(
       options_.config.policy.prediction);
 
@@ -936,6 +1158,30 @@ Result<SimReport> FleetSimulation::Run() {
     Push(options_.control_plane_crash_at, SimEventType::kControlPlaneCrash,
          0, 0);
   }
+  // The transport maintenance tick: lease fan-out + failure detection
+  // when enabled, and (multi-node wiring generally) the retransmit /
+  // timeout loop a deaf node's unanswered dispatches depend on.
+  if (multi_node_transport() && options_.lease_interval > 0 &&
+      earliest_start + 1 < options_.end) {
+    Push(earliest_start + 1, SimEventType::kLeaseTick, 0, 0);
+  }
+  if (options_.node_crash_node >= 0 && options_.node_crash_at > 0 &&
+      options_.node_crash_at < options_.end) {
+    Push(options_.node_crash_at, SimEventType::kNodeCrash, 0,
+         static_cast<uint64_t>(options_.node_crash_node));
+    robustness_.node_crash_windows = 1;
+    EpochSeconds back = options_.node_crash_at + options_.node_crash_duration;
+    if (options_.node_crash_duration > 0 && back < options_.end) {
+      Push(back, SimEventType::kNodeRestart, 0,
+           static_cast<uint64_t>(options_.node_crash_node));
+      robustness_.node_crash_seconds =
+          static_cast<uint64_t>(options_.node_crash_duration);
+    } else {
+      // No restart before the horizon: down for the rest of the run.
+      robustness_.node_crash_seconds =
+          static_cast<uint64_t>(options_.end - options_.node_crash_at);
+    }
+  }
   if (measure_from > 0) {
     Push(measure_from, SimEventType::kMeasureStart, 0, 0);
   }
@@ -994,6 +1240,18 @@ Result<SimReport> FleetSimulation::Run() {
         case SimEventType::kControlPlaneCrash:
           PRORP_RETURN_IF_ERROR(HandleControlPlaneCrash(ev));
           break;
+        case SimEventType::kLeaseTick:
+          PRORP_RETURN_IF_ERROR(HandleLeaseTick(ev));
+          break;
+        case SimEventType::kNodeCrash:
+          PRORP_RETURN_IF_ERROR(HandleNodeCrash(ev));
+          break;
+        case SimEventType::kNodeRestart:
+          PRORP_RETURN_IF_ERROR(HandleNodeRestart(ev));
+          break;
+        case SimEventType::kFailoverPlaced:
+          management_->CompleteWorkflow(ev.db, ev.time);
+          break;
         case SimEventType::kAllocationSample: {
           allocated_samples_.Add(static_cast<double>(allocated_now_));
           EpochSeconds next_sample = ev.time + Minutes(5);
@@ -1043,6 +1301,18 @@ Result<SimReport> FleetSimulation::Run() {
   }
   if (recorder_ != nullptr) report.recorder = std::move(*recorder_);
   report.diagnostics = management_->diagnostics();
+  if (tracker_ != nullptr) {
+    robustness_.node_deaths = tracker_->stats().deaths;
+    robustness_.node_rejoins = tracker_->stats().rejoins;
+  }
+  if (engine_ != nullptr) {
+    robustness_.failover_requeues = engine_->stats().requeued;
+    robustness_.failover_deduped = engine_->stats().deduped;
+  }
+  for (const auto& ag : agents_) {
+    robustness_.resume_failures_node_down +=
+        ag->stats().lease_expired_rejected;
+  }
   report.robustness = robustness_;
   report.pending_failed = management_->pending_failed();
   report.resumed_per_iteration = management_->resumed_per_iteration();

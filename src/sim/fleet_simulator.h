@@ -135,7 +135,35 @@ struct SimOptions {
   /// dispatcher, so this always runs the serial event loop.
   bool use_transport = false;
 
-  // --- Scale layer (DESIGN.md section 12) ---
+  // --- Failure detection + fenced failover (DESIGN.md section 12) ---
+  /// Enables the lease-driven node health subsystem on top of the message
+  /// transport (requires use_transport): the dispatcher runs a lease loop
+  /// against one NodeAgent per node, a NodeHealthTracker scores grant
+  /// silence and reply latency, and a FailoverEngine re-places a declared
+  /// dead node's databases as reactive-priority work.  Fault-free this is
+  /// pure observation — the run's workload output is identical to a plain
+  /// use_transport run.
+  bool failure_detection_enabled = false;
+  DurationSeconds lease_interval = 60;
+  DurationSeconds lease_ttl = 240;
+  DurationSeconds suspect_after = 150;
+  DurationSeconds dead_grace = 120;
+  DurationSeconds rejoin_after = 600;
+
+  /// One injected node-crash window [node_crash_at, node_crash_at +
+  /// node_crash_duration): the node's agent drops every message, and the
+  /// idle (logically paused) databases it hosted are force-evicted — the
+  /// node died, their warm resources died with it.  With detection
+  /// enabled the tracker declares the node dead and the failover engine
+  /// re-places those databases on survivors; without it (the passive
+  /// baseline) they stay paused until their next login rides the
+  /// retransmit/timeout machinery.  Requires use_transport and
+  /// num_nodes > 0; node_crash_node < 0 disables.
+  int node_crash_node = -1;
+  EpochSeconds node_crash_at = 0;
+  DurationSeconds node_crash_duration = 0;
+
+  // --- Scale layer (DESIGN.md section 13) ---
   /// Event-queue backend.  false (default): the hierarchical timer wheel
   /// (O(1) push, next-tick jump, post-storm slot shrink).  true: the
   /// legacy global binary heap, kept as the differential-testing oracle —

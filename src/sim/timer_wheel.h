@@ -37,7 +37,7 @@ namespace prorp::sim {
 /// (c) an upper-level slot whose window STARTS at the next L0 deadline is
 /// cascaded before that L0 slot is drained, so same-time events split
 /// across levels are reunited in one slot before the seq sort.  See
-/// DESIGN.md section 12 for the full argument.
+/// DESIGN.md section 13 for the full argument.
 ///
 /// `Event` must expose `int64_t time` and a unique, monotonically
 /// assigned `uint64_t seq`.

@@ -19,24 +19,41 @@ void RobustnessReport::AccumulateShard(const RobustnessReport& shard) {
   scrub_pages += shard.scrub_pages;
   scrub_errors += shard.scrub_errors;
   maintenance_touches += shard.maintenance_touches;
+  node_deaths += shard.node_deaths;
+  node_rejoins += shard.node_rejoins;
+  failover_requeues += shard.failover_requeues;
+  failover_deduped += shard.failover_deduped;
+  resume_failures_node_down += shard.resume_failures_node_down;
+  outage_waited_logins += shard.outage_waited_logins;
+  outage_wait_seconds += shard.outage_wait_seconds;
+  failover_waited_logins += shard.failover_waited_logins;
+  failover_wait_seconds += shard.failover_wait_seconds;
 }
 
 std::string RobustnessReport::ToString() const {
-  char buf[384];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "outages=%" PRIu64 " (%.1fh) fail_outage=%" PRIu64
                 " fail_injected=%" PRIu64 " degraded=%" PRIu64 "/%" PRIu64
                 " hist_err=%" PRIu64 " corrupt=%" PRIu64 " detected=%" PRIu64
                 " repaired=%" PRIu64 " quarantined=%" PRIu64
                 " scrubs=%" PRIu64 " scrub_pages=%" PRIu64
-                " scrub_err=%" PRIu64,
+                " scrub_err=%" PRIu64 " node_crashes=%" PRIu64
+                " node_deaths=%" PRIu64 " rejoins=%" PRIu64
+                " failover_requeues=%" PRIu64 " failover_deduped=%" PRIu64
+                " node_down_refusals=%" PRIu64 " outage_waits=%" PRIu64
+                " (%" PRIu64 "s) failover_waits=%" PRIu64 " (%" PRIu64 "s)",
                 outage_windows,
                 static_cast<double>(outage_seconds) / 3600.0,
                 resume_failures_outage, resume_failures_injected,
                 degraded_enters, degraded_exits, history_errors,
                 corruption_errors, corruption_detected, corruption_repaired,
                 corruption_quarantined, scrub_passes, scrub_pages,
-                scrub_errors);
+                scrub_errors, node_crash_windows, node_deaths, node_rejoins,
+                failover_requeues, failover_deduped,
+                resume_failures_node_down, outage_waited_logins,
+                outage_wait_seconds, failover_waited_logins,
+                failover_wait_seconds);
   return buf;
 }
 

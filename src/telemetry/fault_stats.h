@@ -52,6 +52,34 @@ struct RobustnessReport {
   /// database (the lowest workflow class of the storm layer).
   uint64_t maintenance_touches = 0;
 
+  // --- Fleet-global: the injected node-crash schedule ---
+  uint64_t node_crash_windows = 0;
+  uint64_t node_crash_seconds = 0;
+
+  // --- Per-shard counters: failure detection + fenced failover ---
+  /// Death declarations by the lease-driven health tracker.
+  uint64_t node_deaths = 0;
+  /// Dead nodes re-admitted after the rejoin cooldown.
+  uint64_t node_rejoins = 0;
+  /// Databases re-placed by the failover engine (and the ones its
+  /// enqueue deduped against already-live workflows).
+  uint64_t failover_requeues = 0;
+  uint64_t failover_deduped = 0;
+  /// Work refused node-side because the target's lease had lapsed (the
+  /// node fenced itself before the plane re-placed its databases).
+  uint64_t resume_failures_node_down = 0;
+
+  // --- Per-shard counters: login-wait attribution (storm layer) ---
+  /// Reactive logins whose wait started inside an outage window of the
+  /// database's node, versus inside a node-crash window awaiting
+  /// failover — the two flavors of "the node was gone" with different
+  /// remedies (ride it out vs re-place elsewhere), split so a bench can
+  /// attribute QoS loss to the right defense.
+  uint64_t outage_waited_logins = 0;
+  uint64_t outage_wait_seconds = 0;
+  uint64_t failover_waited_logins = 0;
+  uint64_t failover_wait_seconds = 0;
+
   /// Sums the per-shard counters; leaves the fleet-global schedule
   /// fields untouched (callers copy those from one shard).
   void AccumulateShard(const RobustnessReport& shard);

@@ -8,6 +8,7 @@
 #include "common/config.h"
 #include "controlplane/management_service.h"
 #include "controlplane/metadata_store.h"
+#include "controlplane/node_health.h"
 #include "faults/fault_plan.h"
 #include "net/fault_injecting_transport.h"
 #include "net/node_agent.h"
@@ -383,6 +384,95 @@ TEST(TransportDispatcherTest, LeaseRenewalsAdvertiseTheEpochToEveryNode) {
   EXPECT_EQ(f.dispatcher.stats().lease_renewals, 2u);
   f.dispatcher.Tick(kT0 + 300);
   EXPECT_EQ(f.dispatcher.stats().lease_renewals, 4u);
+}
+
+/// Lease grants are disaggregated by granting node: the aggregate count
+/// cannot tell a healthy pool from one dead node hidden behind a chatty
+/// neighbor.  Once the tracker demotes the silent node its renewals turn
+/// into ttl=0 probes, its fence-safe bound stops advancing, and after
+/// lease TTL + grace it is declared dead.
+TEST(TransportDispatcherTest, DeadNodeIsProbedItsLeaseDrainsAndDeathIsDeclared) {
+  InProcessTransport transport;
+  TransportDispatcher::Options dopt;
+  dopt.lease_interval = 60;
+  dopt.lease_ttl = 240;
+  dopt.num_nodes = 2;
+  Fixture f(&transport, dopt);
+  NodeAgent second(2, &transport,
+                   [](const ResumeAttempt&, EpochSeconds) {
+                     return Status::OK();
+                   });
+  controlplane::NodeHealthTracker::Options hopt;
+  hopt.lease_ttl = 240;
+  hopt.suspect_after = 150;
+  hopt.dead_grace = 60;
+  controlplane::NodeHealthTracker tracker(hopt);
+  f.dispatcher.set_health_tracker(&tracker);
+  f.StartService(Fixture::Config());
+
+  second.Crash();
+  for (DurationSeconds dt = 0; dt <= 480; dt += 60) {
+    f.dispatcher.Tick(kT0 + dt);
+  }
+
+  // Node 1 granted every interval; node 2 never did.
+  EXPECT_EQ(f.dispatcher.lease_grants_from(1), 9u);
+  EXPECT_EQ(f.dispatcher.lease_grants_from(2), 0u);
+  EXPECT_EQ(f.dispatcher.stats().lease_grants, 9u);
+
+  // Node 2 got real renewals until the silence demoted it (ticks kT0 ..
+  // kT0+180), probes after; node 1 got real renewals throughout.
+  EXPECT_EQ(f.dispatcher.stats().lease_renewals, 13u);
+  EXPECT_EQ(f.dispatcher.stats().lease_probes, 5u);
+  EXPECT_EQ(tracker.stats().suspects_missed_grants, 1u);
+
+  // Last real renewal went out at kT0+180, so the node may believe
+  // itself leased until kT0+420; strictly past that (plus grace) it is
+  // dead, and the declaration drains exactly once.
+  EXPECT_EQ(tracker.fence_safe_at(2), kT0 + 420);
+  EXPECT_EQ(tracker.health(2), controlplane::NodeHealth::kDead);
+  EXPECT_EQ(tracker.health(1), controlplane::NodeHealth::kHealthy);
+  EXPECT_EQ(tracker.TakeNewlyDead(), std::vector<uint32_t>{2});
+  EXPECT_TRUE(tracker.TakeNewlyDead().empty());
+}
+
+/// Gray failure end to end through the dispatcher: a node whose grants
+/// keep flowing but arrive late accumulates p99 reply latency through
+/// the enqueued_at echo, is demoted on the score (never on silence), and
+/// its renewals turn into probes.
+TEST(TransportDispatcherTest, SlowGrantLatencyDemotesToGrayFailureProbes) {
+  FaultPlan plan(1);  // trigger-free: no drops, no injected delays
+  FaultInjectingTransport transport(&plan);
+  SlowNodeSpec slow;
+  slow.node = 1;
+  slow.from = 0;
+  slow.until = kT0 + 100'000;
+  slow.delay = 80;
+  transport.AddSlowNode(slow);
+  TransportDispatcher::Options dopt;
+  dopt.lease_interval = 60;
+  dopt.lease_ttl = 240;
+  dopt.num_nodes = 1;
+  Fixture f(&transport, dopt);
+  controlplane::NodeHealthTracker::Options hopt;
+  hopt.slow_p99_threshold = 50;
+  hopt.min_latency_samples = 4;
+  controlplane::NodeHealthTracker tracker(hopt);
+  f.dispatcher.set_health_tracker(&tracker);
+  f.StartService(Fixture::Config());
+
+  for (DurationSeconds dt = 0; dt <= 360; dt += 60) {
+    f.dispatcher.Tick(kT0 + dt);
+  }
+
+  // Every grant arrived (the node is alive) — two intervals late, so
+  // each carried ~120s of round trip against its renewal's send time.
+  EXPECT_GT(f.dispatcher.lease_grants_from(1), 0u);
+  EXPECT_GT(tracker.LatencyP99(1), 50);
+  EXPECT_EQ(tracker.health(1), controlplane::NodeHealth::kSuspect);
+  EXPECT_EQ(tracker.stats().suspects_gray_failure, 1u);
+  EXPECT_EQ(tracker.stats().suspects_missed_grants, 0u);
+  EXPECT_GT(f.dispatcher.stats().lease_probes, 0u);
 }
 
 }  // namespace

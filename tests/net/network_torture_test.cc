@@ -123,6 +123,38 @@ TEST(NetworkTortureTest, MatrixEveryFaultKindAcrossSeedsAndOverlays) {
   EXPECT_GT(total.late_acks, 0u);
 }
 
+/// Asymmetric partitions, both one-way directions forced explicitly.
+/// kToNodes (direction 1) starves the node of requests AND renewals while
+/// its old acks still arrive.  kFromNodes (direction 2) is the zombie
+/// shape: the node keeps receiving and executing, every reply and grant
+/// it sends is lost — exactly-once then rests entirely on the node dedup
+/// table absorbing the blind retransmissions.
+TEST(NetworkTortureTest, AsymmetricPartitionsHoldTheInvariants) {
+  for (int direction : {1, 2}) {
+    for (uint64_t seed : {5u, 9u}) {
+      NetworkTortureOptions opt;
+      opt.dir = FreshDir("net_torture_oneway_" + std::to_string(direction) +
+                         "_" + std::to_string(seed));
+      opt.seed = seed;
+      opt.partition = true;
+      opt.partition_direction = direction;
+      const std::string tag = "direction=" + std::to_string(direction) +
+                              " seed=" + std::to_string(seed);
+      auto r = RunNetworkTorture(opt);
+      ASSERT_TRUE(r.ok()) << tag << ": " << r.status().ToString();
+      ExpectInvariants(*r, tag);
+      EXPECT_GT(r->total_resumed, 0u) << tag;
+      EXPECT_GT(r->transport.partitioned, 0u) << tag;
+      if (direction == 2) {
+        // The reply-loss direction forces blind retransmissions into a
+        // node that already executed: the dedup table must have absorbed
+        // some of them for the run to stay exactly-once.
+        EXPECT_GT(r->duplicate_suppressed, 0u) << tag;
+      }
+    }
+  }
+}
+
 TEST(NetworkTortureTest, EverythingAtOnceSoak) {
   // The worst corner: every fault kind live at once, storm + outage
   // overlays, and a mid-run control-plane crash, over a longer horizon.
